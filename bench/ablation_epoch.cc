@@ -1,0 +1,58 @@
+// Ablation: cost of epoch maintenance. Sweeps the refresh interval (the
+// paper's Sec. 2.5 lifecycle refreshes every 256 operations) on YCSB 50:50
+// uniform. Expected shape: very frequent refreshes (every few ops) pay a
+// visible tax scanning the epoch table and drain list; beyond ~256 the
+// cost is amortized to noise — the design point the paper picks. Extremely
+// infrequent refreshes delay trigger actions (flush/eviction), which can
+// stall page rollover on small buffers; the `allocation_stall` sweep
+// demonstrates this with a log that must recycle frames constantly.
+
+#include "common.h"
+
+namespace faster {
+namespace bench {
+namespace {
+
+void BM_RefreshInterval(benchmark::State& state) {
+  uint32_t interval = static_cast<uint32_t>(state.range(0));
+  bool small_buffer = state.range(1) == 1;
+  uint64_t keys = BenchKeys();
+  auto spec = WorkloadSpec::Ycsb(0.5, 0.0, Distribution::kUniform, keys);
+  for (auto _ : state) {
+    auto cfg = small_buffer
+                   ? FasterConfig<CountStoreFunctions>(
+                         keys, 2ull << Address::kOffsetBits, 0.5)
+                   : FasterConfig<CountStoreFunctions>(keys, keys * 64, 0.9);
+    cfg.refresh_interval = interval;
+    FasterStoreHolder<CountStoreFunctions> holder{cfg};
+    holder.Load(keys);
+    FasterAdapter<CountStoreFunctions> adapter{*holder.store};
+    Report(state, RunWorkload(adapter, spec, 2, BenchSeconds()));
+  }
+}
+
+void RegisterAll() {
+  for (int small = 0; small < 2; ++small) {
+    const char* variant = small == 1 ? "allocation_stall" : "in_memory";
+    for (int64_t interval : {4, 16, 64, 256, 1024, 8192}) {
+      std::string name = std::string("ablation_epoch/") + variant +
+                         "/refresh_every:" + std::to_string(interval);
+      benchmark::RegisterBenchmark(name.c_str(), BM_RefreshInterval)
+          ->Args({interval, small})
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace faster
+
+int main(int argc, char** argv) {
+  faster::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

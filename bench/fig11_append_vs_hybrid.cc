@@ -1,0 +1,72 @@
+// Reproduces Fig. 11: the append-only log allocator (Sec. 5 strawman,
+// FASTER-AOL) vs. HybridLog (FASTER-HL) on YCSB 50:50 (reads : blind
+// updates), uniform and Zipf, with increasing thread count.
+//
+// Expected shape: HybridLog scales and is several times faster (in-place
+// updates, no tail contention for hits in the mutable region); the
+// append-only variant is flat and slow — every update allocates at the
+// tail, copies, and CASes the index, and Zipf's benefit is eaten by CAS
+// failures on hot keys (the paper reports it capped near 20 M ops/s on
+// 56 threads).
+
+#include "common.h"
+
+namespace faster {
+namespace bench {
+namespace {
+
+void BM_Variant(benchmark::State& state) {
+  bool append_only = state.range(0) == 1;
+  Distribution dist =
+      state.range(1) == 0 ? Distribution::kUniform : Distribution::kZipfian;
+  uint32_t threads = static_cast<uint32_t>(state.range(2));
+  uint64_t keys = BenchKeys();
+  auto spec = WorkloadSpec::Ycsb(0.5, 0.0, dist, keys);
+  for (auto _ : state) {
+    // Append-only: no mutable region and no in-place updates at all.
+    auto cfg = append_only
+                   ? FasterConfig<CountStoreFunctions>(keys, 256ull << 20,
+                                                       /*mutable=*/0.0,
+                                                       /*force_rcu=*/true)
+                   : FasterConfig<CountStoreFunctions>(keys, keys * 64, 0.9);
+    FasterStoreHolder<CountStoreFunctions> holder{cfg};
+    holder.Load(keys);
+    FasterAdapter<CountStoreFunctions> adapter{*holder.store};
+    auto r = RunWorkload(adapter, spec, threads, BenchSeconds());
+    Report(state, r);
+    auto stats = holder.store->GetStats();
+    state.counters["appended_records"] =
+        benchmark::Counter(static_cast<double>(stats.appended_records));
+  }
+}
+
+void RegisterAll() {
+  std::vector<uint32_t> threads;
+  for (uint32_t t = 1; t <= BenchMaxThreads() * 2; t *= 2) threads.push_back(t);
+  for (int ao = 0; ao < 2; ++ao) {
+    for (int d = 0; d < 2; ++d) {
+      for (uint32_t t : threads) {
+        std::string name = std::string("fig11/") +
+                           (ao == 1 ? "FASTER-AOL" : "FASTER-HL") + "/" +
+                           (d == 0 ? "uniform" : "zipf") +
+                           "/threads:" + std::to_string(t);
+        benchmark::RegisterBenchmark(name.c_str(), BM_Variant)
+            ->Args({ao, d, static_cast<int64_t>(t)})
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace faster
+
+int main(int argc, char** argv) {
+  faster::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Reproduces Fig. 12 (a, b): effect of the in-place-update (IPU) region
+// size on a 100% RMW workload.
+//   (a) throughput and log growth rate vs. IPU region factor, uniform and
+//       Zipf — more IPU region means more in-place updates: higher
+//       throughput, slower log growth; Zipf reaches peak throughput at
+//       much smaller IPU factors (hot keys concentrate in the mutable
+//       region — the log's shaping effect).
+//   (b) percentage of RMWs deferred in the fuzzy region vs. IPU factor —
+//       small everywhere, rising only when most of memory is mutable.
+//
+// The IPU Region Factor is the fraction of the *dataset* that fits in the
+// mutable region; with the log buffer sized to the dataset it equals the
+// mutable fraction of the buffer.
+
+#include "common.h"
+
+namespace faster {
+namespace bench {
+namespace {
+
+void BM_IpuRegion(benchmark::State& state) {
+  double factor = static_cast<double>(state.range(0)) / 100.0;
+  Distribution dist =
+      state.range(1) == 0 ? Distribution::kUniform : Distribution::kZipfian;
+  uint64_t keys = BenchKeys();
+  auto spec = WorkloadSpec::Ycsb(0.0, 1.0, dist, keys);
+  for (auto _ : state) {
+    // Buffer sized to the dataset: mutable_fraction == IPU region factor.
+    uint64_t dataset_bytes =
+        keys * FasterKv<CountStoreFunctions>::RecordT::size();
+    auto cfg = FasterConfig<CountStoreFunctions>(
+        keys, dataset_bytes + (8ull << 20), factor);
+    FasterStoreHolder<CountStoreFunctions> holder{cfg};
+    holder.Load(keys);
+    Address tail_before = holder.store->hlog().tail_address();
+    FasterAdapter<CountStoreFunctions> adapter{*holder.store};
+    auto r = RunWorkload(adapter, spec, BenchMaxThreads(), BenchSeconds());
+    Report(state, r);
+    Address tail_after = holder.store->hlog().tail_address();
+    double log_mb = static_cast<double>(tail_after - tail_before) / (1 << 20);
+    state.counters["log_growth_MBps"] = benchmark::Counter(log_mb / r.seconds);
+    auto stats = holder.store->GetStats();
+    double fuzzy_pct =
+        stats.rmws > 0 ? 100.0 * static_cast<double>(stats.fuzzy_rmws) /
+                             static_cast<double>(stats.rmws)
+                       : 0.0;
+    state.counters["fuzzy_pct"] = benchmark::Counter(fuzzy_pct);
+  }
+}
+
+void RegisterAll() {
+  for (int d = 0; d < 2; ++d) {
+    for (int64_t pct : {10, 20, 30, 40, 50, 60, 70, 80, 90, 95}) {
+      std::string name = std::string("fig12/FASTER/") +
+                         (d == 0 ? "uniform" : "zipf") +
+                         "/ipu_factor:" + std::to_string(pct);
+      benchmark::RegisterBenchmark(name.c_str(), BM_IpuRegion)
+          ->Args({pct, d})
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace faster
+
+int main(int argc, char** argv) {
+  faster::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

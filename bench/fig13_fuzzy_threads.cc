@@ -1,0 +1,55 @@
+// Reproduces Fig. 13: percentage of fuzzy-region operations with
+// increasing thread count, 100% RMW uniform, IPU region factor fixed at
+// 0.8. The paper finds it grows with threads (more laggard epoch views)
+// but stays below 1% even at 56 threads.
+
+#include "common.h"
+
+namespace faster {
+namespace bench {
+namespace {
+
+void BM_FuzzyThreads(benchmark::State& state) {
+  uint32_t threads = static_cast<uint32_t>(state.range(0));
+  uint64_t keys = BenchKeys();
+  auto spec = WorkloadSpec::Ycsb(0.0, 1.0, Distribution::kUniform, keys);
+  for (auto _ : state) {
+    uint64_t dataset_bytes =
+        keys * FasterKv<CountStoreFunctions>::RecordT::size();
+    auto cfg = FasterConfig<CountStoreFunctions>(
+        keys, dataset_bytes + (8ull << 20), /*mutable=*/0.8);
+    FasterStoreHolder<CountStoreFunctions> holder{cfg};
+    holder.Load(keys);
+    FasterAdapter<CountStoreFunctions> adapter{*holder.store};
+    auto r = RunWorkload(adapter, spec, threads, BenchSeconds());
+    Report(state, r);
+    auto stats = holder.store->GetStats();
+    double fuzzy_pct =
+        stats.rmws > 0 ? 100.0 * static_cast<double>(stats.fuzzy_rmws) /
+                             static_cast<double>(stats.rmws)
+                       : 0.0;
+    state.counters["fuzzy_pct"] = benchmark::Counter(fuzzy_pct);
+  }
+}
+
+void RegisterAll() {
+  for (uint32_t t = 1; t <= BenchMaxThreads() * 2; t *= 2) {
+    std::string name = "fig13/FASTER/threads:" + std::to_string(t);
+    benchmark::RegisterBenchmark(name.c_str(), BM_FuzzyThreads)
+        ->Args({static_cast<int64_t>(t)})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace faster
+
+int main(int argc, char** argv) {
+  faster::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

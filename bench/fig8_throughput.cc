@@ -1,0 +1,135 @@
+// Reproduces Fig. 8 (a-d): YCSB-A throughput of FASTER vs. the in-memory
+// hash map (Intel TBB stand-in), the in-memory range index (Masstree
+// stand-in), and the LSM store (RocksDB stand-in), for the workload
+// variants 0:100 RMW, 0:100, 50:50, 100:0 under uniform and Zipfian key
+// distributions — on a single thread (8a/8b) and on all threads (8c/8d).
+//
+// Dataset fits in memory (the paper's Sec. 7.2 setting). 8-byte keys and
+// values. Expected shape: FASTER >> TBB-like hash > Masstree-like range
+// index >> LSM; Zipf helps FASTER (cache locality) and hurts the locking
+// hash map at higher thread counts.
+
+#include "common.h"
+
+namespace faster {
+namespace bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  double reads;
+  double rmws;
+};
+const Variant kVariants[] = {
+    {"0:100RMW", 0.0, 1.0},
+    {"0:100", 0.0, 0.0},
+    {"50:50", 0.5, 0.0},
+    {"100:0", 1.0, 0.0},
+};
+const Distribution kDists[] = {Distribution::kUniform,
+                               Distribution::kZipfian};
+
+WorkloadSpec SpecFor(int variant, int dist, uint64_t keys) {
+  return WorkloadSpec::Ycsb(kVariants[variant].reads, kVariants[variant].rmws,
+                            kDists[dist], keys);
+}
+
+void BM_Faster(benchmark::State& state) {
+  uint64_t keys = BenchKeys();
+  auto spec = SpecFor(state.range(0), state.range(1), keys);
+  uint32_t threads = static_cast<uint32_t>(state.range(2));
+  for (auto _ : state) {
+    FasterStoreHolder<CountStoreFunctions> holder{
+        FasterConfig<CountStoreFunctions>(keys, keys * 64)};
+    holder.Load(keys);
+    FasterAdapter<CountStoreFunctions> adapter{*holder.store};
+    Report(state, RunWorkload(adapter, spec, threads, BenchSeconds()));
+  }
+}
+
+void BM_ShardHashMap(benchmark::State& state) {
+  uint64_t keys = BenchKeys();
+  auto spec = SpecFor(state.range(0), state.range(1), keys);
+  uint32_t threads = static_cast<uint32_t>(state.range(2));
+  for (auto _ : state) {
+    ShardHashMap<uint64_t, uint64_t> map{keys};
+    for (uint64_t k = 0; k < keys; ++k) map.Put(k, k);
+    ShardMapAdapter<uint64_t> adapter{map};
+    Report(state, RunWorkload(adapter, spec, threads, BenchSeconds()));
+  }
+}
+
+void BM_OrderedStore(benchmark::State& state) {
+  uint64_t keys = BenchKeys();
+  auto spec = SpecFor(state.range(0), state.range(1), keys);
+  uint32_t threads = static_cast<uint32_t>(state.range(2));
+  for (auto _ : state) {
+    OrderedStore<uint64_t, uint64_t> store;
+    for (uint64_t k = 0; k < keys; ++k) store.Put(k, k);
+    OrderedAdapter<uint64_t> adapter{store};
+    Report(state, RunWorkload(adapter, spec, threads, BenchSeconds()));
+  }
+}
+
+void BM_MiniLsm(benchmark::State& state) {
+  uint64_t keys = BenchKeys() / 4;  // LSM load is slow; keep setup sane
+  auto spec = SpecFor(state.range(0), state.range(1), keys);
+  uint32_t threads = static_cast<uint32_t>(state.range(2));
+  for (auto _ : state) {
+    minilsm::LsmConfig cfg;
+    cfg.dir = "/tmp/faster_bench_lsm_fig8";
+    std::filesystem::remove_all(cfg.dir);
+    cfg.value_size = 8;
+    cfg.memtable_bytes = 16ull << 20;
+    minilsm::MiniLsm db{cfg};
+    for (uint64_t k = 0; k < keys; ++k) db.Put(k, &k);
+    LsmAdapter adapter{db, 8};
+    Report(state, RunWorkload(adapter, spec, threads, BenchSeconds()));
+    std::filesystem::remove_all(cfg.dir);
+  }
+}
+
+void RegisterAll() {
+  uint32_t all_threads = BenchMaxThreads();
+  for (int v = 0; v < 4; ++v) {
+    for (int d = 0; d < 2; ++d) {
+      for (uint32_t t : {1u, all_threads}) {
+        std::string suffix = std::string("/") + kVariants[v].name + "/" +
+                             DistributionName(kDists[d]) + "/threads:" +
+                             std::to_string(t);
+        benchmark::RegisterBenchmark(("fig8/FASTER" + suffix).c_str(),
+                                     BM_Faster)
+            ->Args({v, d, static_cast<int64_t>(t)})
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(("fig8/TBB-like" + suffix).c_str(),
+                                     BM_ShardHashMap)
+            ->Args({v, d, static_cast<int64_t>(t)})
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(("fig8/Masstree-like" + suffix).c_str(),
+                                     BM_OrderedStore)
+            ->Args({v, d, static_cast<int64_t>(t)})
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(("fig8/RocksDB-like" + suffix).c_str(),
+                                     BM_MiniLsm)
+            ->Args({v, d, static_cast<int64_t>(t)})
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace faster
+
+int main(int argc, char** argv) {
+  faster::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

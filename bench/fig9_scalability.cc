@@ -1,0 +1,141 @@
+// Reproduces Fig. 9 (a, b): throughput scalability with increasing thread
+// count, Zipf distribution.
+//   (a) 100% RMW, 8-byte payloads  — FASTER scales; the locking hash map
+//       contends on hot keys; the range index scales but at much lower
+//       absolute throughput; the LSM is far below all of them.
+//   (b) 0:100 blind upserts, 100-byte payloads.
+//
+// Note (DESIGN.md §2): this container has one hardware core, so added
+// threads time-slice; the curves show each system's *contention* behaviour
+// (flat for latch-free FASTER, degrading for lock-based designs under
+// skew) rather than parallel speedup.
+
+#include "common.h"
+
+namespace faster {
+namespace bench {
+namespace {
+
+using Blob100Funcs = BlobStoreFunctions<100>;
+
+template <class F>
+void BM_Faster(benchmark::State& state) {
+  uint64_t keys = BenchKeys() / (sizeof(typename F::Value) > 8 ? 4 : 1);
+  auto spec = state.range(1) == 0
+                  ? WorkloadSpec::Ycsb(0.0, 1.0, Distribution::kZipfian, keys)
+                  : WorkloadSpec::Ycsb(0.0, 0.0, Distribution::kZipfian, keys);
+  uint32_t threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    FasterStoreHolder<F> holder{
+        FasterConfig<F>(keys, keys * (sizeof(typename F::Value) + 32))};
+    holder.Load(keys);
+    FasterAdapter<F> adapter{*holder.store};
+    Report(state, RunWorkload(adapter, spec, threads, BenchSeconds()));
+  }
+}
+
+template <class V>
+void BM_ShardMap(benchmark::State& state) {
+  uint64_t keys = BenchKeys() / (sizeof(V) > 8 ? 4 : 1);
+  auto spec = state.range(1) == 0
+                  ? WorkloadSpec::Ycsb(0.0, 1.0, Distribution::kZipfian, keys)
+                  : WorkloadSpec::Ycsb(0.0, 0.0, Distribution::kZipfian, keys);
+  uint32_t threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    ShardHashMap<uint64_t, V> map{keys};
+    for (uint64_t k = 0; k < keys; ++k) map.Put(k, MakeValue<V>(k));
+    ShardMapAdapter<V> adapter{map};
+    Report(state, RunWorkload(adapter, spec, threads, BenchSeconds()));
+  }
+}
+
+template <class V>
+void BM_Ordered(benchmark::State& state) {
+  uint64_t keys = BenchKeys() / (sizeof(V) > 8 ? 8 : 2);
+  auto spec = state.range(1) == 0
+                  ? WorkloadSpec::Ycsb(0.0, 1.0, Distribution::kZipfian, keys)
+                  : WorkloadSpec::Ycsb(0.0, 0.0, Distribution::kZipfian, keys);
+  uint32_t threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    OrderedStore<uint64_t, V> store;
+    for (uint64_t k = 0; k < keys; ++k) store.Put(k, MakeValue<V>(k));
+    OrderedAdapter<V> adapter{store};
+    Report(state, RunWorkload(adapter, spec, threads, BenchSeconds()));
+  }
+}
+
+void BM_Lsm(benchmark::State& state) {
+  bool rmw = state.range(1) == 0;
+  uint32_t value_size = rmw ? 8 : 100;
+  uint64_t keys = BenchKeys() / 8;
+  auto spec = rmw ? WorkloadSpec::Ycsb(0.0, 1.0, Distribution::kZipfian, keys)
+                  : WorkloadSpec::Ycsb(0.0, 0.0, Distribution::kZipfian, keys);
+  uint32_t threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    minilsm::LsmConfig cfg;
+    cfg.dir = "/tmp/faster_bench_lsm_fig9";
+    std::filesystem::remove_all(cfg.dir);
+    cfg.value_size = value_size;
+    cfg.memtable_bytes = 16ull << 20;
+    minilsm::MiniLsm db{cfg};
+    std::vector<uint8_t> v(value_size, 0);
+    for (uint64_t k = 0; k < keys; ++k) db.Put(k, v.data());
+    LsmAdapter adapter{db, value_size};
+    Report(state, RunWorkload(adapter, spec, threads, BenchSeconds()));
+    std::filesystem::remove_all(cfg.dir);
+  }
+}
+
+void RegisterAll() {
+  std::vector<uint32_t> threads;
+  for (uint32_t t = 1; t <= BenchMaxThreads() * 2; t *= 2) threads.push_back(t);
+  // workload 0 = Fig 9a (RMW, 8B); workload 1 = Fig 9b (upsert, 100B)
+  for (int w = 0; w < 2; ++w) {
+    const char* panel = w == 0 ? "fig9a_rmw8B" : "fig9b_upsert100B";
+    for (uint32_t t : threads) {
+      std::string suffix = "/threads:" + std::to_string(t);
+      if (w == 0) {
+        benchmark::RegisterBenchmark(
+            (std::string(panel) + "/FASTER" + suffix).c_str(),
+            BM_Faster<CountStoreFunctions>)
+            ->Args({t, w})->Iterations(1)->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(
+            (std::string(panel) + "/TBB-like" + suffix).c_str(),
+            BM_ShardMap<uint64_t>)
+            ->Args({t, w})->Iterations(1)->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(
+            (std::string(panel) + "/Masstree-like" + suffix).c_str(),
+            BM_Ordered<uint64_t>)
+            ->Args({t, w})->Iterations(1)->Unit(benchmark::kMillisecond);
+      } else {
+        benchmark::RegisterBenchmark(
+            (std::string(panel) + "/FASTER" + suffix).c_str(),
+            BM_Faster<Blob100Funcs>)
+            ->Args({t, w})->Iterations(1)->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(
+            (std::string(panel) + "/TBB-like" + suffix).c_str(),
+            BM_ShardMap<Blob100>)
+            ->Args({t, w})->Iterations(1)->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(
+            (std::string(panel) + "/Masstree-like" + suffix).c_str(),
+            BM_Ordered<Blob100>)
+            ->Args({t, w})->Iterations(1)->Unit(benchmark::kMillisecond);
+      }
+      benchmark::RegisterBenchmark(
+          (std::string(panel) + "/RocksDB-like" + suffix).c_str(), BM_Lsm)
+          ->Args({t, w})->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace faster
+
+int main(int argc, char** argv) {
+  faster::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces the Sec. 7.2.2 text experiment: sensitivity of FASTER's
+// throughput to the hash-index tag width (YCSB 50:50 uniform, all
+// threads). The paper reports that shrinking the tag from 15 bits to 4
+// bits costs < 5% and to 1 bit costs < 14% — i.e., FASTER can robustly
+// give tag bits back to larger addresses.
+
+#include "common.h"
+
+namespace faster {
+namespace bench {
+namespace {
+
+void BM_TagBits(benchmark::State& state) {
+  uint32_t tag_bits = static_cast<uint32_t>(state.range(0));
+  uint64_t keys = BenchKeys();
+  auto spec = WorkloadSpec::Ycsb(0.5, 0.0, Distribution::kUniform, keys);
+  for (auto _ : state) {
+    auto cfg = FasterConfig<CountStoreFunctions>(keys, keys * 64);
+    cfg.tag_bits = tag_bits;
+    FasterStoreHolder<CountStoreFunctions> holder{cfg};
+    holder.Load(keys);
+    FasterAdapter<CountStoreFunctions> adapter{*holder.store};
+    Report(state,
+           RunWorkload(adapter, spec, BenchMaxThreads(), BenchSeconds()));
+    state.counters["index_entries_used"] = benchmark::Counter(
+        static_cast<double>(holder.store->index().NumUsedEntries()));
+  }
+}
+
+void RegisterAll() {
+  for (int64_t bits : {15, 8, 4, 2, 1}) {
+    std::string name = "tag_size/FASTER/tag_bits:" + std::to_string(bits);
+    benchmark::RegisterBenchmark(name.c_str(), BM_TagBits)
+        ->Args({bits})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace faster
+
+int main(int argc, char** argv) {
+  faster::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

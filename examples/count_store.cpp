@@ -1,0 +1,106 @@
+// The paper's running example (Sec. 2.5): a count store. A monitoring
+// application receives millions of CPU readings per second from devices
+// and maintains a per-device running sum with RMW operations, issued
+// concurrently from several threads.
+//
+// Demonstrates: multi-threaded sessions, periodic Refresh/CompletePending
+// (the Sec. 2.5 thread lifecycle), in-place fetch-and-add updates, and the
+// CRDT (mergeable) variant that never blocks on the fuzzy region
+// (Sec. 6.3).
+
+#include <atomic>
+#include <cstdio>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/faster.h"
+#include "core/functions.h"
+#include "device/memory_device.h"
+
+using faster::CountStoreFunctions;
+using faster::FasterKv;
+using faster::MemoryDevice;
+using faster::MergeableCountFunctions;
+using faster::Status;
+
+namespace {
+
+constexpr uint64_t kDevices = 100000;
+constexpr uint64_t kReadingsPerThread = 500000;
+constexpr int kThreads = 4;
+
+template <class Functions>
+uint64_t RunCountStore(const char* label) {
+  MemoryDevice device;
+  typename FasterKv<Functions>::Config config;
+  config.table_size = kDevices / 2;
+  config.log.memory_size_bytes = 32ull << 20;
+  FasterKv<Functions> store{config, &device};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      // Sec. 2.5 lifecycle: Acquire, operate with periodic Refresh (done
+      // automatically by the store every 256 ops) and CompletePending,
+      // then Release.
+      store.StartSession();
+      std::mt19937_64 rng(t + 1);
+      for (uint64_t i = 0; i < kReadingsPerThread; ++i) {
+        uint64_t device_id = rng() % kDevices;
+        uint64_t cpu_reading = rng() % 100;
+        Status s = store.Rmw(device_id, cpu_reading);
+        if (s != Status::kOk && s != Status::kPending) {
+          std::fprintf(stderr, "unexpected status %s\n",
+                       faster::StatusName(s));
+        }
+        if (i % 65536 == 0) store.CompletePending(false);
+      }
+      store.StopSession();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Sum all per-device counters.
+  store.StartSession();
+  uint64_t grand_total = 0;
+  for (uint64_t d = 0; d < kDevices; ++d) {
+    uint64_t sum = 0;
+    Status s = store.Read(d, 0, &sum);
+    if (s == Status::kPending) {
+      store.CompletePending(/*wait=*/true);
+      s = Status::kOk;
+    }
+    if (s == Status::kOk) grand_total += sum;
+  }
+  auto stats = store.GetStats();
+  std::printf(
+      "%-10s total=%llu rmws=%llu fuzzy_rmws=%llu pending_ios=%llu\n", label,
+      static_cast<unsigned long long>(grand_total),
+      static_cast<unsigned long long>(stats.rmws),
+      static_cast<unsigned long long>(stats.fuzzy_rmws),
+      static_cast<unsigned long long>(stats.pending_ios));
+  store.StopSession();
+  return grand_total;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Count store: %d threads x %llu readings over %llu devices\n",
+              kThreads, static_cast<unsigned long long>(kReadingsPerThread),
+              static_cast<unsigned long long>(kDevices));
+  // Standard RMW count store: in-place adds in the mutable region,
+  // read-copy-updates below it, deferred retries in the fuzzy region.
+  uint64_t a = RunCountStore<CountStoreFunctions>("rmw");
+  // CRDT count store (Sec. 6.3): sums are mergeable, so fuzzy-region and
+  // on-storage updates append delta records instead of waiting; reads
+  // reconcile the deltas.
+  uint64_t b = RunCountStore<MergeableCountFunctions>("crdt");
+  // Both must account for every reading exactly once (sum of uniform
+  // readings differs run to run; totals are per-variant).
+  std::printf("ok (totals: rmw=%llu crdt=%llu)\n",
+              static_cast<unsigned long long>(a),
+              static_cast<unsigned long long>(b));
+  return 0;
+}

@@ -1,0 +1,144 @@
+// A configurable YCSB driver over FASTER — the command-line analogue of
+// the paper's evaluation harness (Sec. 7.1). Lets a user reproduce any
+// point of the Fig. 8-13 parameter space by hand:
+//
+//   ycsb_cli [--keys N] [--threads T] [--seconds S] [--dist uniform|zipf|hotset]
+//            [--reads F] [--rmws F] [--memory-mb M] [--mutable F]
+//            [--append-only] [--read-cache]
+//
+// Prints throughput, log growth, fuzzy-op and storage-read percentages.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/faster.h"
+#include "core/functions.h"
+#include "device/memory_device.h"
+#include "workload/ycsb.h"
+
+using namespace faster;
+
+namespace {
+
+struct Options {
+  uint64_t keys = 1 << 20;
+  uint32_t threads = 2;
+  double seconds = 2.0;
+  Distribution dist = Distribution::kZipfian;
+  double reads = 0.5;
+  double rmws = 0.0;
+  uint64_t memory_mb = 64;
+  double mutable_fraction = 0.9;
+  bool append_only = false;
+  bool read_cache = false;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--keys N] [--threads T] [--seconds S]\n"
+      "          [--dist uniform|zipf|hotset] [--reads F] [--rmws F]\n"
+      "          [--memory-mb M] [--mutable F] [--append-only] "
+      "[--read-cache]\n",
+      argv0);
+  std::exit(2);
+}
+
+Options Parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "--keys") o.keys = std::strtoull(next(), nullptr, 10);
+    else if (a == "--threads") o.threads = std::atoi(next());
+    else if (a == "--seconds") o.seconds = std::atof(next());
+    else if (a == "--reads") o.reads = std::atof(next());
+    else if (a == "--rmws") o.rmws = std::atof(next());
+    else if (a == "--memory-mb") o.memory_mb = std::strtoull(next(), nullptr, 10);
+    else if (a == "--mutable") o.mutable_fraction = std::atof(next());
+    else if (a == "--append-only") o.append_only = true;
+    else if (a == "--read-cache") o.read_cache = true;
+    else if (a == "--dist") {
+      std::string d = next();
+      if (d == "uniform") o.dist = Distribution::kUniform;
+      else if (d == "zipf") o.dist = Distribution::kZipfian;
+      else if (d == "hotset") o.dist = Distribution::kHotSet;
+      else Usage(argv[0]);
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  return o;
+}
+
+struct Adapter {
+  FasterKv<CountStoreFunctions>& store;
+  void Begin() { store.StartSession(); }
+  void End() { store.StopSession(); }
+  void DoRead(uint64_t key) {
+    thread_local uint64_t out;
+    store.Read(key, 1, &out);
+  }
+  void DoUpsert(uint64_t key, uint64_t seq) { store.Upsert(key, seq); }
+  void DoRmw(uint64_t key) { store.Rmw(key, 1); }
+  void Idle() { store.CompletePending(false); }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o = Parse(argc, argv);
+
+  MemoryDevice device;
+  FasterKv<CountStoreFunctions>::Config cfg;
+  cfg.table_size = std::max<uint64_t>(o.keys / 2, 1024);
+  cfg.log.memory_size_bytes = o.memory_mb << 20;
+  cfg.log.mutable_fraction = o.append_only ? 0.0 : o.mutable_fraction;
+  cfg.force_rcu = o.append_only;
+  cfg.enable_read_cache = o.read_cache;
+  cfg.read_cache.memory_size_bytes = (o.memory_mb / 4 + 8) << 20;
+  FasterKv<CountStoreFunctions> store{cfg, &device};
+
+  std::printf("loading %llu keys...\n",
+              static_cast<unsigned long long>(o.keys));
+  store.StartSession();
+  for (uint64_t k = 0; k < o.keys; ++k) store.Upsert(k, k);
+  store.StopSession();
+
+  auto spec = WorkloadSpec::Ycsb(o.reads, o.rmws, o.dist, o.keys);
+  std::printf("running %s with %u threads for %.1fs...\n",
+              spec.Name().c_str(), o.threads, o.seconds);
+  Address tail_before = store.hlog().tail_address();
+  Adapter adapter{store};
+  auto r = RunWorkload(adapter, spec, o.threads, o.seconds);
+
+  auto stats = store.GetStats();
+  uint64_t user_ops = stats.reads + stats.upserts + stats.rmws;
+  double log_mb =
+      static_cast<double>(store.hlog().tail_address() - tail_before) /
+      (1 << 20);
+  std::printf("throughput:     %.2f Mops/s (%llu ops in %.2fs)\n", r.mops,
+              static_cast<unsigned long long>(r.total_ops), r.seconds);
+  std::printf("log growth:     %.1f MB (%.1f MB/s)\n", log_mb,
+              log_mb / r.seconds);
+  std::printf("storage reads:  %.3f%%\n",
+              user_ops ? 100.0 * static_cast<double>(stats.pending_ios) /
+                             static_cast<double>(user_ops)
+                       : 0.0);
+  std::printf("fuzzy RMWs:     %.3f%%\n",
+              stats.rmws ? 100.0 * static_cast<double>(stats.fuzzy_rmws) /
+                               static_cast<double>(stats.rmws)
+                         : 0.0);
+  if (o.read_cache) {
+    std::printf("cache hits:     %.3f%% of reads\n",
+                stats.reads ? 100.0 * static_cast<double>(stats.read_cache_hits) /
+                                  static_cast<double>(stats.reads)
+                            : 0.0);
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "baselines/minilsm/bloom.h"
+
+#include <algorithm>
+
+namespace faster {
+namespace minilsm {
+
+BloomFilter::BloomFilter(uint64_t expected_keys, uint32_t bits_per_key) {
+  uint64_t bits = std::max<uint64_t>(64, expected_keys * bits_per_key);
+  bits_.assign((bits + 7) / 8, 0);
+  // Optimal probe count ~= bits_per_key * ln(2).
+  num_probes_ = std::max<uint32_t>(
+      1, static_cast<uint32_t>(bits_per_key * 0.69));
+}
+
+BloomFilter::BloomFilter(std::vector<uint8_t> bytes, uint32_t num_probes)
+    : bits_{std::move(bytes)}, num_probes_{num_probes} {}
+
+void BloomFilter::Add(uint64_t hash) {
+  uint64_t nbits = bits_.size() * 8;
+  uint64_t h1 = hash;
+  uint64_t h2 = (hash >> 33) | (hash << 31);
+  for (uint32_t i = 0; i < num_probes_; ++i) {
+    uint64_t bit = (h1 + i * h2) % nbits;
+    bits_[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+  }
+}
+
+bool BloomFilter::MayContain(uint64_t hash) const {
+  uint64_t nbits = bits_.size() * 8;
+  uint64_t h1 = hash;
+  uint64_t h2 = (hash >> 33) | (hash << 31);
+  for (uint32_t i = 0; i < num_probes_; ++i) {
+    uint64_t bit = (h1 + i * h2) % nbits;
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace minilsm
+}  // namespace faster

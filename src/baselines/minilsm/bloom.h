@@ -1,0 +1,36 @@
+#ifndef FASTER_BASELINES_MINILSM_BLOOM_H_
+#define FASTER_BASELINES_MINILSM_BLOOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace faster {
+namespace minilsm {
+
+/// A standard Bloom filter over 64-bit key hashes, used by SSTables to
+/// skip files that cannot contain a key (as RocksDB does). Uses double
+/// hashing (Kirsch-Mitzenmacher) to derive k probe positions from one
+/// 64-bit hash.
+class BloomFilter {
+ public:
+  /// Builds an empty filter sized for `expected_keys` at `bits_per_key`
+  /// (10 bits/key gives ~1% false positives).
+  explicit BloomFilter(uint64_t expected_keys, uint32_t bits_per_key = 10);
+  /// Reconstructs a filter from serialized bytes.
+  explicit BloomFilter(std::vector<uint8_t> bytes, uint32_t num_probes);
+
+  void Add(uint64_t hash);
+  bool MayContain(uint64_t hash) const;
+
+  const std::vector<uint8_t>& bytes() const { return bits_; }
+  uint32_t num_probes() const { return num_probes_; }
+
+ private:
+  std::vector<uint8_t> bits_;
+  uint32_t num_probes_;
+};
+
+}  // namespace minilsm
+}  // namespace faster
+
+#endif  // FASTER_BASELINES_MINILSM_BLOOM_H_

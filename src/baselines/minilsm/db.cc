@@ -1,0 +1,292 @@
+#include "baselines/minilsm/db.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <queue>
+
+#include "core/key_hash.h"
+
+namespace faster {
+namespace minilsm {
+
+// ---------------------------------------------------------------------------
+// Write-ahead log: a single append-only file of fixed-size records,
+// truncated whenever everything it covers has been flushed to SSTables.
+// ---------------------------------------------------------------------------
+
+class MiniLsm::Wal {
+ public:
+  Wal(const std::string& path, uint32_t value_size, bool sync)
+      : path_{path}, value_size_{value_size}, sync_{sync} {
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  }
+  ~Wal() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(uint64_t key, const void* value, bool tombstone) {
+    std::vector<uint8_t> buf(16 + value_size_, 0);
+    std::memcpy(buf.data(), &key, 8);
+    uint64_t tomb = tombstone ? 1 : 0;
+    std::memcpy(buf.data() + 8, &tomb, 8);
+    if (!tombstone) std::memcpy(buf.data() + 16, value, value_size_);
+    std::lock_guard<std::mutex> lock{mutex_};
+    if (::write(fd_, buf.data(), buf.size()) !=
+        static_cast<ssize_t>(buf.size())) {
+      return Status::kIoError;
+    }
+    if (sync_) ::fsync(fd_);
+    return Status::kOk;
+  }
+
+  /// Replays every record into `fn(key, value_or_null, tombstone)`.
+  void Replay(const std::function<void(uint64_t, const void*, bool)>& fn) {
+    ::lseek(fd_, 0, SEEK_SET);
+    std::vector<uint8_t> buf(16 + value_size_);
+    while (::read(fd_, buf.data(), buf.size()) ==
+           static_cast<ssize_t>(buf.size())) {
+      uint64_t key, tomb;
+      std::memcpy(&key, buf.data(), 8);
+      std::memcpy(&tomb, buf.data() + 8, 8);
+      fn(key, buf.data() + 16, tomb != 0);
+    }
+    ::lseek(fd_, 0, SEEK_END);
+  }
+
+  void Truncate() {
+    std::lock_guard<std::mutex> lock{mutex_};
+    if (::ftruncate(fd_, 0) != 0) return;
+    ::lseek(fd_, 0, SEEK_SET);
+  }
+
+ private:
+  std::string path_;
+  uint32_t value_size_;
+  bool sync_;
+  int fd_ = -1;
+  std::mutex mutex_;
+};
+
+// ---------------------------------------------------------------------------
+
+MiniLsm::MiniLsm(const LsmConfig& config)
+    : config_{config}, active_{std::make_shared<MemTable>()} {
+  std::error_code ec;
+  std::filesystem::create_directories(config_.dir, ec);
+  if (config_.enable_wal) {
+    wal_ = std::make_unique<Wal>(config_.dir + "/wal.log", config_.value_size,
+                                 config_.sync_wal);
+    // Crash recovery: replay unflushed writes into the memtable.
+    wal_->Replay([this](uint64_t key, const void* value, bool tombstone) {
+      if (tombstone) {
+        active_->Delete(key);
+      } else {
+        active_->Put(key, value, config_.value_size);
+      }
+    });
+  }
+}
+
+MiniLsm::~MiniLsm() = default;
+
+std::string MiniLsm::NextTablePath() {
+  return config_.dir + "/sst_" +
+         std::to_string(next_file_.fetch_add(1, std::memory_order_relaxed)) +
+         ".tbl";
+}
+
+Status MiniLsm::PutEntry(uint64_t key, const void* value, bool tombstone) {
+  if (wal_ != nullptr) {
+    Status s = wal_->Append(key, value, tombstone);
+    if (s != Status::kOk) return s;
+  }
+  uint64_t bytes;
+  {
+    std::shared_lock lock{tables_mutex_};
+    bytes = tombstone ? active_->Delete(key)
+                      : active_->Put(key, value, config_.value_size);
+  }
+  if (bytes >= config_.memtable_bytes) {
+    return MaybeRotateAndFlush();
+  }
+  return Status::kOk;
+}
+
+Status MiniLsm::Put(uint64_t key, const void* value) {
+  return PutEntry(key, value, /*tombstone=*/false);
+}
+
+Status MiniLsm::Delete(uint64_t key) {
+  return PutEntry(key, nullptr, /*tombstone=*/true);
+}
+
+Status MiniLsm::Get(uint64_t key, void* out) {
+  // Memtable, then L0 newest-first, then L1.
+  std::shared_ptr<MemTable> mem;
+  std::vector<std::shared_ptr<SsTable>> l0, l1;
+  {
+    std::shared_lock lock{tables_mutex_};
+    mem = active_;
+    l0 = l0_;
+    l1 = l1_;
+  }
+  LsmEntry entry;
+  if (mem->Get(key, &entry)) {
+    if (entry.tombstone) return Status::kNotFound;
+    std::memcpy(out, entry.value.data(), config_.value_size);
+    return Status::kOk;
+  }
+  for (auto it = l0.rbegin(); it != l0.rend(); ++it) {
+    Status s = (*it)->Get(key, &entry);
+    if (s == Status::kOk) {
+      if (entry.tombstone) return Status::kNotFound;
+      std::memcpy(out, entry.value.data(), config_.value_size);
+      return Status::kOk;
+    }
+    if (s == Status::kIoError) return s;
+  }
+  for (const auto& table : l1) {
+    Status s = table->Get(key, &entry);
+    if (s == Status::kOk) {
+      if (entry.tombstone) return Status::kNotFound;
+      std::memcpy(out, entry.value.data(), config_.value_size);
+      return Status::kOk;
+    }
+    if (s == Status::kIoError) return s;
+  }
+  return Status::kNotFound;
+}
+
+Status MiniLsm::Rmw(uint64_t key,
+                    const std::function<void(void*, bool)>& update) {
+  // RocksDB's merge is read-then-write; a striped lock provides the
+  // per-key atomicity the benchmark semantics require.
+  std::lock_guard<std::mutex> stripe{
+      rmw_stripes_[Mix64(key) % rmw_stripes_.size()]};
+  std::vector<uint8_t> buf(config_.value_size, 0);
+  Status s = Get(key, buf.data());
+  if (s == Status::kIoError) return s;
+  update(buf.data(), /*fresh=*/s == Status::kNotFound);
+  return Put(key, buf.data());
+}
+
+Status MiniLsm::MaybeRotateAndFlush() {
+  std::lock_guard<std::mutex> maintenance{maintenance_mutex_};
+  std::shared_ptr<MemTable> full;
+  {
+    std::unique_lock lock{tables_mutex_};
+    if (active_->ApproximateBytes() < config_.memtable_bytes) {
+      return Status::kOk;  // another thread already rotated
+    }
+    full = active_;
+    active_ = std::make_shared<MemTable>();
+  }
+  Status s = FlushMemtable(full);
+  if (s != Status::kOk) return s;
+  if (wal_ != nullptr) wal_->Truncate();
+  return MaybeCompact();
+}
+
+Status MiniLsm::FlushMemtable(const std::shared_ptr<MemTable>& mem) {
+  auto entries = mem->Snapshot();
+  if (entries.empty()) return Status::kOk;
+  std::unique_ptr<SsTable> table;
+  Status s = SsTable::Write(NextTablePath(), entries, config_.value_size,
+                            &table);
+  if (s != Status::kOk) return s;
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  bytes_flushed_.fetch_add(table->file_bytes(), std::memory_order_relaxed);
+  std::unique_lock lock{tables_mutex_};
+  l0_.push_back(std::move(table));
+  return Status::kOk;
+}
+
+Status MiniLsm::MaybeCompact() {
+  // Caller holds maintenance_mutex_.
+  std::vector<std::shared_ptr<SsTable>> l0, l1;
+  {
+    std::shared_lock lock{tables_mutex_};
+    if (l0_.size() < config_.l0_compaction_trigger) return Status::kOk;
+    l0 = l0_;
+    l1 = l1_;
+  }
+  // K-way merge of all runs, newest run wins per key; tombstones can be
+  // dropped because the result is the bottom level.
+  struct Cursor {
+    SsTable* table;
+    uint64_t index = 0;
+    uint64_t key = 0;
+    LsmEntry entry;
+    int priority;  // higher = newer
+    bool Load() {
+      if (index >= table->count()) return false;
+      return table->ReadEntry(index, &key, &entry) == Status::kOk;
+    }
+  };
+  std::vector<Cursor> cursors;
+  int priority = 0;
+  for (const auto& t : l1) cursors.push_back({t.get(), 0, 0, {}, priority++});
+  for (const auto& t : l0) cursors.push_back({t.get(), 0, 0, {}, priority++});
+  auto cmp = [](const Cursor* a, const Cursor* b) {
+    if (a->key != b->key) return a->key > b->key;   // min-heap by key
+    return a->priority < b->priority;               // newest first
+  };
+  std::priority_queue<Cursor*, std::vector<Cursor*>, decltype(cmp)> heap{cmp};
+  for (auto& c : cursors) {
+    if (c.Load()) heap.push(&c);
+  }
+  std::vector<std::pair<uint64_t, LsmEntry>> merged;
+  uint64_t last_key = 0;
+  bool have_last = false;
+  while (!heap.empty()) {
+    Cursor* c = heap.top();
+    heap.pop();
+    if (!have_last || c->key != last_key) {
+      // Newest version of this key (heap orders newer runs first).
+      if (!c->entry.tombstone) merged.emplace_back(c->key, c->entry);
+      last_key = c->key;
+      have_last = true;
+    }
+    ++c->index;
+    if (c->Load()) heap.push(c);
+  }
+  std::unique_ptr<SsTable> big;
+  if (!merged.empty()) {
+    Status s = SsTable::Write(NextTablePath(), merged, config_.value_size,
+                              &big);
+    if (s != Status::kOk) return s;
+  }
+  compactions_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::unique_lock lock{tables_mutex_};
+    // Remove exactly the runs we merged (new L0 runs may have appeared).
+    l0_.erase(l0_.begin(), l0_.begin() + l0.size());
+    l1_.clear();
+    if (big != nullptr) l1_.push_back(std::move(big));
+  }
+  // Unlink merged inputs; readers that still hold a shared_ptr keep their
+  // open descriptor (POSIX), and the space is reclaimed when the last
+  // reference drops and the destructor closes the fd.
+  for (const auto& t : l0) t->UnlinkFile();
+  for (const auto& t : l1) t->UnlinkFile();
+  return Status::kOk;
+}
+
+MiniLsm::Stats MiniLsm::GetStats() const {
+  Stats s;
+  s.flushes = flushes_.load(std::memory_order_relaxed);
+  s.compactions = compactions_.load(std::memory_order_relaxed);
+  s.bytes_flushed = bytes_flushed_.load(std::memory_order_relaxed);
+  std::shared_lock lock{tables_mutex_};
+  s.l0_tables = l0_.size();
+  s.l1_tables = l1_.size();
+  return s;
+}
+
+}  // namespace minilsm
+}  // namespace faster

@@ -1,0 +1,106 @@
+#ifndef FASTER_BASELINES_MINILSM_DB_H_
+#define FASTER_BASELINES_MINILSM_DB_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "baselines/minilsm/memtable.h"
+#include "baselines/minilsm/sstable.h"
+#include "core/status.h"
+
+namespace faster {
+namespace minilsm {
+
+struct LsmConfig {
+  /// Directory for SSTable and WAL files.
+  std::string dir = "/tmp/minilsm";
+  /// Fixed value size in bytes.
+  uint32_t value_size = 8;
+  /// Memtable rotation threshold.
+  uint64_t memtable_bytes = 8ull << 20;
+  /// Number of L0 runs that triggers a full compaction into L1.
+  uint32_t l0_compaction_trigger = 4;
+  /// Write-ahead logging (the paper's RocksDB configuration disables it;
+  /// kept for completeness and crash-recovery tests).
+  bool enable_wal = false;
+  /// fsync the WAL on every write (off = buffered, like the paper setup).
+  bool sync_wal = false;
+};
+
+/// MiniLsm: a log-structured merge-tree key-value store — the stand-in
+/// for RocksDB in the paper's evaluation (Sec. 7.1, Figs. 8-10).
+///
+/// Same design point as RocksDB for the paper's purposes: key-ordered,
+/// write-optimized via an in-memory memtable flushed to sorted runs,
+/// read-copy-update only (no in-place updates outside the memtable),
+/// larger-than-memory by construction, point reads pay bloom-filter +
+/// binary-search + file I/O across levels, and RMW ("merge") is
+/// read-then-write and therefore expensive — the behaviours Figs. 8-10
+/// contrast FASTER against.
+///
+/// Structure: active memtable -> immutable memtables -> L0 sorted runs
+/// (overlapping, searched newest-first) -> L1 (one merged run). Flush
+/// happens inline at rotation; compaction merges all runs when L0 reaches
+/// the trigger.
+class MiniLsm {
+ public:
+  explicit MiniLsm(const LsmConfig& config);
+  ~MiniLsm();
+
+  MiniLsm(const MiniLsm&) = delete;
+  MiniLsm& operator=(const MiniLsm&) = delete;
+
+  /// Blind write of `value` (config.value_size bytes).
+  Status Put(uint64_t key, const void* value);
+  /// Point lookup into `out` (config.value_size bytes).
+  Status Get(uint64_t key, void* out);
+  /// Deletes via tombstone.
+  Status Delete(uint64_t key);
+  /// Read-modify-write (RocksDB "merge" analogue): `update(value, fresh)`
+  /// mutates a value_size buffer; fresh means the key was absent.
+  Status Rmw(uint64_t key, const std::function<void(void*, bool)>& update);
+
+  struct Stats {
+    uint64_t flushes = 0;
+    uint64_t compactions = 0;
+    uint64_t l0_tables = 0;
+    uint64_t l1_tables = 0;
+    uint64_t bytes_flushed = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  class Wal;
+
+  Status PutEntry(uint64_t key, const void* value, bool tombstone);
+  /// Rotates + flushes the active memtable if over threshold.
+  Status MaybeRotateAndFlush();
+  Status FlushMemtable(const std::shared_ptr<MemTable>& mem);
+  Status MaybeCompact();
+  std::string NextTablePath();
+
+  LsmConfig config_;
+  mutable std::shared_mutex tables_mutex_;
+  std::shared_ptr<MemTable> active_;
+  std::vector<std::shared_ptr<SsTable>> l0_;  // newest at the back
+  std::vector<std::shared_ptr<SsTable>> l1_;
+  std::mutex maintenance_mutex_;  // serializes flush/compaction
+  std::unique_ptr<Wal> wal_;
+  std::array<std::mutex, 64> rmw_stripes_;
+  std::atomic<uint64_t> next_file_{0};
+  std::atomic<uint64_t> flushes_{0};
+  std::atomic<uint64_t> compactions_{0};
+  std::atomic<uint64_t> bytes_flushed_{0};
+};
+
+}  // namespace minilsm
+}  // namespace faster
+
+#endif  // FASTER_BASELINES_MINILSM_DB_H_

@@ -1,0 +1,44 @@
+#include "baselines/minilsm/memtable.h"
+
+#include <mutex>
+
+namespace faster {
+namespace minilsm {
+
+namespace {
+constexpr uint64_t kEntryOverhead = 48;  // map node + key bookkeeping
+}
+
+uint64_t MemTable::Put(uint64_t key, const void* value, uint32_t value_size) {
+  std::unique_lock lock{mutex_};
+  LsmEntry& e = map_[key];
+  if (e.value.empty() && !e.tombstone) bytes_ += kEntryOverhead + value_size;
+  e.value.assign(static_cast<const char*>(value), value_size);
+  e.tombstone = false;
+  return bytes_;
+}
+
+uint64_t MemTable::Delete(uint64_t key) {
+  std::unique_lock lock{mutex_};
+  LsmEntry& e = map_[key];
+  if (e.value.empty() && !e.tombstone) bytes_ += kEntryOverhead;
+  e.value.clear();
+  e.tombstone = true;
+  return bytes_;
+}
+
+bool MemTable::Get(uint64_t key, LsmEntry* out) const {
+  std::shared_lock lock{mutex_};
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+std::vector<std::pair<uint64_t, LsmEntry>> MemTable::Snapshot() const {
+  std::shared_lock lock{mutex_};
+  return {map_.begin(), map_.end()};
+}
+
+}  // namespace minilsm
+}  // namespace faster

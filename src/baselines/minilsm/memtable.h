@@ -1,0 +1,56 @@
+#ifndef FASTER_BASELINES_MINILSM_MEMTABLE_H_
+#define FASTER_BASELINES_MINILSM_MEMTABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace faster {
+namespace minilsm {
+
+/// One entry in a memtable or SSTable: a value or a tombstone.
+struct LsmEntry {
+  std::string value;
+  bool tombstone = false;
+};
+
+/// The in-memory write buffer of MiniLsm (RocksDB's level-0-in-memory
+/// component): an ordered map behind a reader-writer lock. Updates are
+/// read-copy-update into the map (the paper notes RocksDB supports
+/// in-place updates here but cannot exploit them for performance; our
+/// stand-in keeps the same ordered-structure cost on the write path).
+class MemTable {
+ public:
+  /// Inserts or overwrites; returns the table's approximate byte size
+  /// after the write.
+  uint64_t Put(uint64_t key, const void* value, uint32_t value_size);
+  /// Inserts a tombstone; returns approximate byte size after.
+  uint64_t Delete(uint64_t key);
+  /// Looks up `key`. Returns true if present (entry copied to `*out`,
+  /// including tombstones — the caller distinguishes).
+  bool Get(uint64_t key, LsmEntry* out) const;
+
+  uint64_t ApproximateBytes() const {
+    std::shared_lock lock{mutex_};
+    return bytes_;
+  }
+  uint64_t Count() const {
+    std::shared_lock lock{mutex_};
+    return map_.size();
+  }
+
+  /// Snapshots the contents in key order (used by flush).
+  std::vector<std::pair<uint64_t, LsmEntry>> Snapshot() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<uint64_t, LsmEntry> map_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace minilsm
+}  // namespace faster
+
+#endif  // FASTER_BASELINES_MINILSM_MEMTABLE_H_

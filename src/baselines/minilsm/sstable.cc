@@ -1,0 +1,211 @@
+#include "baselines/minilsm/sstable.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "core/key_hash.h"
+
+namespace faster {
+namespace minilsm {
+
+namespace {
+
+constexpr uint64_t kSsTableMagic = 0x4C534D5461626CULL;
+
+struct TableHeader {
+  uint64_t magic;
+  uint64_t count;
+  uint32_t value_size;
+  uint32_t bloom_probes;
+  uint64_t bloom_bytes;
+  uint64_t min_key;
+  uint64_t max_key;
+};
+
+bool PWriteAll(int fd, const void* data, size_t len, uint64_t offset) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    ssize_t n = ::pwrite(fd, p, len, static_cast<off_t>(offset));
+    if (n <= 0) return false;
+    p += n;
+    offset += static_cast<uint64_t>(n);
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool PReadAll(int fd, void* data, size_t len, uint64_t offset) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    ssize_t n = ::pread(fd, p, len, static_cast<off_t>(offset));
+    if (n <= 0) return false;
+    p += n;
+    offset += static_cast<uint64_t>(n);
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SsTable::~SsTable() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status SsTable::Write(
+    const std::string& path,
+    const std::vector<std::pair<uint64_t, LsmEntry>>& entries,
+    uint32_t value_size, std::unique_ptr<SsTable>* out) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::kIoError;
+
+  auto table = std::unique_ptr<SsTable>(new SsTable());
+  table->path_ = path;
+  table->fd_ = fd;
+  table->count_ = entries.size();
+  table->value_size_ = value_size;
+  table->bloom_ = std::make_unique<BloomFilter>(entries.size());
+  table->min_key_ = entries.empty() ? 0 : entries.front().first;
+  table->max_key_ = entries.empty() ? 0 : entries.back().first;
+
+  TableHeader header{kSsTableMagic,
+                     entries.size(),
+                     value_size,
+                     table->bloom_->num_probes(),
+                     0,  // patched below
+                     table->min_key_,
+                     table->max_key_};
+
+  const uint32_t entry_size = table->EntrySize();
+  table->entries_offset_ = sizeof(TableHeader);
+  std::vector<uint8_t> buf(entry_size);
+  // Stream entries through a modest write buffer.
+  std::vector<uint8_t> block;
+  block.reserve(1 << 20);
+  uint64_t offset = table->entries_offset_;
+  for (const auto& [key, entry] : entries) {
+    std::memset(buf.data(), 0, entry_size);
+    std::memcpy(buf.data(), &key, 8);
+    uint64_t tomb = entry.tombstone ? 1 : 0;
+    std::memcpy(buf.data() + 8, &tomb, 8);
+    if (!entry.tombstone) {
+      std::memcpy(buf.data() + 16, entry.value.data(),
+                  std::min<size_t>(entry.value.size(), value_size));
+    }
+    block.insert(block.end(), buf.begin(), buf.end());
+    if (block.size() >= (1 << 20)) {
+      if (!PWriteAll(fd, block.data(), block.size(), offset)) {
+        return Status::kIoError;
+      }
+      offset += block.size();
+      block.clear();
+    }
+    table->bloom_->Add(Mix64(key));
+  }
+  if (!block.empty()) {
+    if (!PWriteAll(fd, block.data(), block.size(), offset)) {
+      return Status::kIoError;
+    }
+    offset += block.size();
+  }
+  header.bloom_bytes = table->bloom_->bytes().size();
+  if (!PWriteAll(fd, table->bloom_->bytes().data(), header.bloom_bytes,
+                 offset)) {
+    return Status::kIoError;
+  }
+  if (!PWriteAll(fd, &header, sizeof(header), 0)) return Status::kIoError;
+  table->file_bytes_ = offset + header.bloom_bytes;
+  *out = std::move(table);
+  return Status::kOk;
+}
+
+Status SsTable::Open(const std::string& path, std::unique_ptr<SsTable>* out) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::kIoError;
+  TableHeader header;
+  if (!PReadAll(fd, &header, sizeof(header), 0) ||
+      header.magic != kSsTableMagic) {
+    ::close(fd);
+    return Status::kCorruption;
+  }
+  auto table = std::unique_ptr<SsTable>(new SsTable());
+  table->path_ = path;
+  table->fd_ = fd;
+  table->count_ = header.count;
+  table->value_size_ = header.value_size;
+  table->entries_offset_ = sizeof(TableHeader);
+  table->min_key_ = header.min_key;
+  table->max_key_ = header.max_key;
+  std::vector<uint8_t> bloom_bytes(header.bloom_bytes);
+  uint64_t bloom_offset =
+      table->entries_offset_ + header.count * table->EntrySize();
+  if (!PReadAll(fd, bloom_bytes.data(), bloom_bytes.size(), bloom_offset)) {
+    return Status::kCorruption;
+  }
+  table->bloom_ = std::make_unique<BloomFilter>(std::move(bloom_bytes),
+                                                header.bloom_probes);
+  table->file_bytes_ = bloom_offset + header.bloom_bytes;
+  *out = std::move(table);
+  return Status::kOk;
+}
+
+Status SsTable::Get(uint64_t key, LsmEntry* out) const {
+  if (count_ == 0 || key < min_key_ || key > max_key_) {
+    return Status::kNotFound;
+  }
+  if (!bloom_->MayContain(Mix64(key))) return Status::kNotFound;
+  // Binary search over fixed-size entries.
+  uint64_t lo = 0, hi = count_;
+  const uint32_t entry_size = EntrySize();
+  uint64_t probe_key = 0;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (!PReadAll(fd_, &probe_key, 8, entries_offset_ + mid * entry_size)) {
+      return Status::kIoError;
+    }
+    if (probe_key < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo >= count_) return Status::kNotFound;
+  uint64_t found_key = 0;
+  return ReadEntry(lo, &found_key, out) == Status::kOk && found_key == key
+             ? Status::kOk
+             : Status::kNotFound;
+}
+
+Status SsTable::ReadEntry(uint64_t i, uint64_t* key, LsmEntry* out) const {
+  const uint32_t entry_size = EntrySize();
+  std::vector<uint8_t> buf(entry_size);
+  if (!PReadAll(fd_, buf.data(), entry_size, entries_offset_ + i * entry_size)) {
+    return Status::kIoError;
+  }
+  std::memcpy(key, buf.data(), 8);
+  uint64_t tomb = 0;
+  std::memcpy(&tomb, buf.data() + 8, 8);
+  out->tombstone = tomb != 0;
+  if (out->tombstone) {
+    out->value.clear();
+  } else {
+    out->value.assign(reinterpret_cast<const char*>(buf.data()) + 16,
+                      value_size_);
+  }
+  return Status::kOk;
+}
+
+void SsTable::UnlinkFile() { ::unlink(path_.c_str()); }
+
+void SsTable::Destroy() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  ::unlink(path_.c_str());
+}
+
+}  // namespace minilsm
+}  // namespace faster

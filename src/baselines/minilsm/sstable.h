@@ -1,0 +1,83 @@
+#ifndef FASTER_BASELINES_MINILSM_SSTABLE_H_
+#define FASTER_BASELINES_MINILSM_SSTABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/minilsm/bloom.h"
+#include "baselines/minilsm/memtable.h"
+#include "core/status.h"
+
+namespace faster {
+namespace minilsm {
+
+/// An immutable sorted run on disk (RocksDB SSTable analogue).
+///
+/// On-disk layout (fixed-size values, so no per-block index is needed —
+/// point lookups binary-search the entry array directly with pread):
+///
+///   [Header]  magic, count, value_size, bloom_bytes, bloom_probes
+///   [Entries] count x { key:8, tombstone:8, value:value_size (8-aligned) }
+///   [Bloom]   bloom_bytes of filter bits
+///
+/// The bloom filter and the key range [min_key, max_key] are held in
+/// memory; entry lookups hit the file.
+class SsTable {
+ public:
+  ~SsTable();
+
+  SsTable(const SsTable&) = delete;
+  SsTable& operator=(const SsTable&) = delete;
+
+  /// Writes `entries` (sorted by key, deduplicated) to `path`.
+  static Status Write(const std::string& path,
+                      const std::vector<std::pair<uint64_t, LsmEntry>>& entries,
+                      uint32_t value_size,
+                      std::unique_ptr<SsTable>* out);
+
+  /// Opens an existing table file (reads header + bloom).
+  static Status Open(const std::string& path, std::unique_ptr<SsTable>* out);
+
+  /// Point lookup. Returns kOk (entry filled, possibly a tombstone),
+  /// kNotFound, or kIoError.
+  Status Get(uint64_t key, LsmEntry* out) const;
+
+  /// Reads entry `i` (for compaction iteration).
+  Status ReadEntry(uint64_t i, uint64_t* key, LsmEntry* out) const;
+
+  uint64_t count() const { return count_; }
+  uint64_t min_key() const { return min_key_; }
+  uint64_t max_key() const { return max_key_; }
+  uint64_t file_bytes() const { return file_bytes_; }
+  const std::string& path() const { return path_; }
+
+  /// Closes and deletes the underlying file.
+  void Destroy();
+
+  /// Unlinks the file but keeps the descriptor open: concurrent readers
+  /// holding this table keep working (POSIX semantics); space is freed
+  /// when the last reference drops.
+  void UnlinkFile();
+
+ private:
+  SsTable() = default;
+
+  uint32_t EntrySize() const { return 16 + ((value_size_ + 7) / 8) * 8; }
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t count_ = 0;
+  uint32_t value_size_ = 0;
+  uint64_t entries_offset_ = 0;
+  uint64_t min_key_ = 0;
+  uint64_t max_key_ = 0;
+  uint64_t file_bytes_ = 0;
+  std::unique_ptr<BloomFilter> bloom_;
+};
+
+}  // namespace minilsm
+}  // namespace faster
+
+#endif  // FASTER_BASELINES_MINILSM_SSTABLE_H_

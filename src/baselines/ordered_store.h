@@ -1,0 +1,112 @@
+#ifndef FASTER_BASELINES_ORDERED_STORE_H_
+#define FASTER_BASELINES_ORDERED_STORE_H_
+
+#include <cstdint>
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/key_hash.h"
+
+namespace faster {
+
+/// Baseline: a pure in-memory *range index* — the stand-in for Masstree in
+/// the paper's evaluation (Sec. 7.1). Same design point: an ordered
+/// in-memory structure that supports point and range operations, pays the
+/// comparison/ordering overhead on every point access, updates in place,
+/// and has no larger-than-memory story.
+///
+/// Keys are hash-partitioned across shards, each an ordered map behind a
+/// reader-writer lock; range scans lock all shards in shared mode and
+/// merge. (Masstree itself is a trie of B+-trees with optimistic
+/// concurrency; the substitution preserves the workload-visible shape —
+/// ordered point ops are several times more expensive than hashed ones —
+/// which is what Figs. 8-9 measure.)
+template <class Key, class Value, class Hasher = DefaultKeyHasher<Key>>
+class OrderedStore {
+ public:
+  explicit OrderedStore(uint64_t num_shards = 256) {
+    shards_.resize(num_shards);
+    for (auto& s : shards_) s = std::make_unique<Shard>();
+  }
+
+  bool Get(const Key& key, Value* out) const {
+    const Shard& shard = ShardFor(key);
+    std::shared_lock lock{shard.mutex};
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  void Put(const Key& key, const Value& value) {
+    Shard& shard = ShardFor(key);
+    std::unique_lock lock{shard.mutex};
+    shard.map[key] = value;
+  }
+
+  template <class Fn>
+  void Rmw(const Key& key, Fn&& update) {
+    Shard& shard = ShardFor(key);
+    std::unique_lock lock{shard.mutex};
+    auto [it, fresh] = shard.map.try_emplace(key, Value{});
+    update(it->second, fresh);
+  }
+
+  bool Erase(const Key& key) {
+    Shard& shard = ShardFor(key);
+    std::unique_lock lock{shard.mutex};
+    return shard.map.erase(key) > 0;
+  }
+
+  /// Range scan: visits every (key, value) with lo <= key < hi in key
+  /// order. `fn(key, value)`.
+  template <class Fn>
+  void Scan(const Key& lo, const Key& hi, Fn&& fn) const {
+    // Collect per shard (each shard is ordered but shards interleave), then
+    // merge. Point-lookup-optimized stores would not need this; the paper
+    // notes range indices pay complexity for exactly this capability.
+    std::vector<std::pair<Key, Value>> merged;
+    for (const auto& shard : shards_) {
+      std::shared_lock lock{shard->mutex};
+      for (auto it = shard->map.lower_bound(lo);
+           it != shard->map.end() && it->first < hi; ++it) {
+        merged.emplace_back(it->first, it->second);
+      }
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [k, v] : merged) fn(k, v);
+  }
+
+  uint64_t Size() const {
+    uint64_t n = 0;
+    for (const auto& s : shards_) {
+      std::shared_lock lock{s->mutex};
+      n += s->map.size();
+    }
+    return n;
+  }
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::map<Key, Value> map;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return *shards_[Hasher{}(key).control() % shards_.size()];
+  }
+  const Shard& ShardFor(const Key& key) const {
+    return *shards_[Hasher{}(key).control() % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace faster
+
+#endif  // FASTER_BASELINES_ORDERED_STORE_H_

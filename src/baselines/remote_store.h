@@ -1,0 +1,89 @@
+#ifndef FASTER_BASELINES_REMOTE_STORE_H_
+#define FASTER_BASELINES_REMOTE_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+
+namespace faster {
+
+/// Baseline: a single-threaded, network-accessed cache — the stand-in for
+/// Redis in the paper's evaluation (Sec. 7.2.4). The three properties the
+/// paper calls out are reproduced:
+///
+///  1. Not concurrent: one server thread executes all commands in order.
+///  2. In-memory only: a plain hash table, no storage tier.
+///  3. Accessed over a (local) transport: commands are serialized into a
+///     byte protocol, shipped over a Unix socketpair, parsed, executed,
+///     and the responses shipped back — so per-operation cost is dominated
+///     by the message hop, amortizable by pipelining (the `-P` flag of
+///     redis-benchmark that Sec. 7.2.4 sweeps).
+///
+/// Protocol: RESP-style inline text commands, as Redis itself accepts —
+/// requests are `SET <key> <value>\r\n` / `GET <key>\r\n`; responses are
+/// `+OK\r\n`, `:<value>\r\n`, or `$-1\r\n` (miss). Commands are parsed
+/// and responses formatted per operation, reproducing the serialization
+/// cost that dominates Redis' per-op time (Sec. 7.2.4).
+class RemoteStore {
+ public:
+  RemoteStore();
+  ~RemoteStore();
+
+  RemoteStore(const RemoteStore&) = delete;
+  RemoteStore& operator=(const RemoteStore&) = delete;
+
+  /// A client connection with its own socketpair to the server.
+  class Client {
+   public:
+    ~Client();
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /// Executes a pipelined batch: all requests are written before any
+    /// response is read (depth = ops.size()).
+    struct Op {
+      bool is_set;
+      uint64_t key;
+      uint64_t value;      // SET payload
+      uint64_t out = 0;    // GET result
+      bool found = false;  // GET hit
+    };
+    Status ExecuteBatch(std::vector<Op>* ops);
+
+   private:
+    friend class RemoteStore;
+    explicit Client(int fd) : fd_{fd} {}
+    int fd_;
+  };
+
+  /// Opens a new client connection.
+  std::unique_ptr<Client> Connect();
+
+  uint64_t commands_processed() const {
+    return commands_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void ServerLoop();
+
+  /// Like Redis, the store is string-keyed and string-valued (values are
+  /// decimal text); conversions happen per command.
+  std::unordered_map<std::string, std::string> table_;
+  std::thread server_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> commands_{0};
+  int epoll_fd_;
+  int wake_fds_[2];
+  std::vector<int> pending_clients_;
+  std::mutex clients_mutex_;
+};
+
+}  // namespace faster
+
+#endif  // FASTER_BASELINES_REMOTE_STORE_H_

@@ -1,0 +1,166 @@
+#ifndef FASTER_BASELINES_SHARD_HASH_MAP_H_
+#define FASTER_BASELINES_SHARD_HASH_MAP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/key_hash.h"
+
+namespace faster {
+
+/// Baseline: a pure in-memory concurrent hash map with in-place updates —
+/// the stand-in for the Intel TBB `concurrent_hash_map` used in the
+/// paper's evaluation (Sec. 7.1). It mirrors TBB's cost structure:
+/// per-bucket reader-writer spinlocks guarding chains of heap-allocated
+/// nodes, values stored in-line in the node and updated in place under
+/// the bucket's write lock (a TBB `accessor`), reads under the shared
+/// lock (a `const_accessor`).
+///
+/// Like TBB under the Zipf workload (Sec. 7.2.2-7.2.3), a skewed key
+/// distribution concentrates traffic on a few bucket locks; the map
+/// "falls over" under cross-socket contention exactly because every
+/// update serializes on the hot bucket's lock — the behaviour Fig. 9a
+/// shows.
+template <class Key, class Value, class Hasher = DefaultKeyHasher<Key>>
+class ShardHashMap {
+ public:
+  /// `expected_keys` sizes the bucket array (chains grow without bound, so
+  /// this is a performance knob only).
+  explicit ShardHashMap(uint64_t expected_keys, uint64_t num_buckets = 0) {
+    uint64_t want = num_buckets != 0 ? num_buckets : expected_keys;
+    uint64_t cap = 64;
+    while (cap < want) cap <<= 1;
+    buckets_ = std::make_unique<Bucket[]>(cap);
+    mask_ = cap - 1;
+  }
+
+  ~ShardHashMap() {
+    for (uint64_t i = 0; i <= mask_; ++i) {
+      Node* n = buckets_[i].head;
+      while (n != nullptr) {
+        Node* next = n->next;
+        delete n;
+        n = next;
+      }
+    }
+  }
+
+  ShardHashMap(const ShardHashMap&) = delete;
+  ShardHashMap& operator=(const ShardHashMap&) = delete;
+
+  /// Returns true and fills `*out` if the key is present (shared lock).
+  bool Get(const Key& key, Value* out) {
+    uint64_t h = Hasher{}(key).control();
+    Bucket& b = buckets_[h & mask_];
+    b.lock.LockShared();
+    for (Node* n = b.head; n != nullptr; n = n->next) {
+      if (n->key == key) {
+        *out = n->value;
+        b.lock.UnlockShared();
+        return true;
+      }
+    }
+    b.lock.UnlockShared();
+    return false;
+  }
+
+  /// Blind in-place update / insert (exclusive lock).
+  void Put(const Key& key, const Value& value) {
+    Rmw(key, [&](Value& v, bool) { v = value; });
+  }
+
+  /// Read-modify-write in place. `update(value, fresh)` receives
+  /// `fresh == true` when the key was just inserted.
+  template <class Fn>
+  void Rmw(const Key& key, Fn&& update) {
+    uint64_t h = Hasher{}(key).control();
+    Bucket& b = buckets_[h & mask_];
+    b.lock.Lock();
+    for (Node* n = b.head; n != nullptr; n = n->next) {
+      if (n->key == key) {
+        update(n->value, /*fresh=*/false);
+        b.lock.Unlock();
+        return;
+      }
+    }
+    Node* fresh = new Node{key, Value{}, b.head};
+    b.head = fresh;
+    update(fresh->value, /*fresh=*/true);
+    b.lock.Unlock();
+    size_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Removes the key; returns true if it was present.
+  bool Erase(const Key& key) {
+    uint64_t h = Hasher{}(key).control();
+    Bucket& b = buckets_[h & mask_];
+    b.lock.Lock();
+    Node** link = &b.head;
+    while (*link != nullptr) {
+      if ((*link)->key == key) {
+        Node* victim = *link;
+        *link = victim->next;
+        b.lock.Unlock();
+        delete victim;
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+      link = &(*link)->next;
+    }
+    b.lock.Unlock();
+    return false;
+  }
+
+  uint64_t Size() const { return size_.load(std::memory_order_relaxed); }
+
+ private:
+  /// Reader-writer spinlock (TBB's spin_rw_mutex design point):
+  /// state == -1 writer held; state >= 0 count of readers.
+  struct RwSpin {
+    std::atomic<int32_t> state{0};
+    void Lock() {
+      for (;;) {
+        int32_t expected = 0;
+        if (state.compare_exchange_weak(expected, -1,
+                                        std::memory_order_acquire)) {
+          return;
+        }
+        while (state.load(std::memory_order_relaxed) != 0) {
+        }
+      }
+    }
+    void Unlock() { state.store(0, std::memory_order_release); }
+    void LockShared() {
+      for (;;) {
+        int32_t s = state.load(std::memory_order_relaxed);
+        if (s >= 0 &&
+            state.compare_exchange_weak(s, s + 1,
+                                        std::memory_order_acquire)) {
+          return;
+        }
+      }
+    }
+    void UnlockShared() { state.fetch_sub(1, std::memory_order_release); }
+  };
+
+  struct Node {
+    Key key;
+    Value value;
+    Node* next;
+  };
+
+  struct alignas(64) Bucket {
+    RwSpin lock;
+    Node* head = nullptr;
+  };
+
+  std::unique_ptr<Bucket[]> buckets_;
+  uint64_t mask_;
+  std::atomic<uint64_t> size_{0};
+};
+
+}  // namespace faster
+
+#endif  // FASTER_BASELINES_SHARD_HASH_MAP_H_

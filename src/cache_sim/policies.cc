@@ -1,0 +1,155 @@
+#include "cache_sim/policies.h"
+
+namespace faster {
+
+// ---------------------------------------------------------------------------
+// FIFO
+// ---------------------------------------------------------------------------
+
+bool FifoPolicy::Access(uint64_t key) {
+  if (map_.count(key) != 0) return true;
+  if (map_.size() >= capacity_) {
+    map_.erase(queue_.front());
+    queue_.pop_front();
+  }
+  queue_.push_back(key);
+  map_.emplace(key, true);
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// LRU-1
+// ---------------------------------------------------------------------------
+
+bool LruPolicy::Access(uint64_t key) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    return true;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(order_.back());
+    order_.pop_back();
+  }
+  order_.push_front(key);
+  map_.emplace(key, order_.begin());
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// LRU-2 (LRU-K with K = 2)
+// ---------------------------------------------------------------------------
+
+bool Lru2Policy::Access(uint64_t key) {
+  ++clock_;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    History& h = it->second;
+    order_.erase({h.second_last, h.last, key});
+    h.second_last = h.last;
+    h.last = clock_;
+    order_.insert({h.second_last, h.last, key});
+    return true;
+  }
+  if (map_.size() >= capacity_) {
+    auto victim = order_.begin();
+    map_.erase(std::get<2>(*victim));
+    order_.erase(victim);
+  }
+  History h;
+  h.last = clock_;
+  h.second_last = 0;
+  map_.emplace(key, h);
+  order_.insert({h.second_last, h.last, key});
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// CLOCK (second-chance)
+// ---------------------------------------------------------------------------
+
+bool ClockPolicy::Access(uint64_t key) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    frames_[it->second].referenced = true;
+    return true;
+  }
+  if (frames_.size() < capacity_) {
+    map_.emplace(key, frames_.size());
+    frames_.push_back({key, false});
+    return false;
+  }
+  // Advance the hand, clearing reference bits, until an unreferenced frame
+  // is found.
+  for (;;) {
+    Frame& f = frames_[hand_];
+    if (f.referenced) {
+      f.referenced = false;
+      hand_ = (hand_ + 1) % frames_.size();
+      continue;
+    }
+    map_.erase(f.key);
+    f.key = key;
+    f.referenced = false;
+    map_.emplace(key, hand_);
+    hand_ = (hand_ + 1) % frames_.size();
+    return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HLOG (HybridLog caching behaviour, Sec. 6.4 / 7.5)
+// ---------------------------------------------------------------------------
+
+HlogPolicy::HlogPolicy(uint64_t capacity, double mutable_fraction)
+    : capacity_{capacity},
+      mutable_size_{static_cast<uint64_t>(
+          static_cast<double>(capacity) * mutable_fraction)} {
+  if (mutable_size_ == 0) mutable_size_ = 1;
+  if (mutable_size_ >= capacity_) mutable_size_ = capacity_ - 1;
+}
+
+void HlogPolicy::Append(uint64_t key) {
+  entries_.emplace_back(next_stamp_, key);
+  live_[key] = next_stamp_;
+  ++next_stamp_;
+  while (entries_.size() > capacity_) {
+    auto [stamp, old_key] = entries_.front();
+    entries_.pop_front();
+    auto it = live_.find(old_key);
+    if (it != live_.end() && it->second == stamp) {
+      live_.erase(it);  // the newest copy fell off the head: evicted
+    }
+    // Otherwise this was a stale (superseded) copy: just reclaim the slot.
+  }
+}
+
+bool HlogPolicy::Access(uint64_t key) {
+  auto it = live_.find(key);
+  if (it != live_.end()) {
+    bool in_mutable = it->second + mutable_size_ >= next_stamp_;
+    if (!in_mutable) {
+      // Read-only region: FASTER copies the record to the tail
+      // (read-copy-update) — the old copy lingers, shrinking the
+      // effective cache (Sec. 7.5).
+      Append(key);
+    }
+    return true;
+  }
+  Append(key);
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<CachePolicy> MakePolicy(const std::string& name,
+                                        uint64_t capacity) {
+  if (name == "FIFO") return std::make_unique<FifoPolicy>(capacity);
+  if (name == "LRU_1") return std::make_unique<LruPolicy>(capacity);
+  if (name == "LRU_2") return std::make_unique<Lru2Policy>(capacity);
+  if (name == "CLOCK") return std::make_unique<ClockPolicy>(capacity);
+  if (name == "HLOG") return std::make_unique<HlogPolicy>(capacity);
+  return nullptr;
+}
+
+}  // namespace faster

@@ -1,0 +1,137 @@
+#ifndef FASTER_CACHE_SIM_POLICIES_H_
+#define FASTER_CACHE_SIM_POLICIES_H_
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+namespace faster {
+
+/// A cache-replacement policy over a constant-sized key buffer, used by
+/// the Sec. 7.5 simulation study comparing HybridLog's implicit caching
+/// with classical protocols (FIFO, LRU, LRU-2, CLOCK).
+///
+/// `Access(key)` returns true on a hit; on a miss the policy admits the
+/// key, evicting per its rules when the buffer is full.
+class CachePolicy {
+ public:
+  virtual ~CachePolicy() = default;
+  virtual bool Access(uint64_t key) = 0;
+  virtual const char* Name() const = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+/// First-In First-Out: evicts the oldest admitted key regardless of use.
+class FifoPolicy : public CachePolicy {
+ public:
+  explicit FifoPolicy(uint64_t capacity) : capacity_{capacity} {}
+  bool Access(uint64_t key) override;
+  const char* Name() const override { return "FIFO"; }
+  uint64_t Size() const override { return map_.size(); }
+
+ private:
+  uint64_t capacity_;
+  std::deque<uint64_t> queue_;
+  std::unordered_map<uint64_t, bool> map_;
+};
+
+/// Least Recently Used (LRU-1): evicts the key unused the longest.
+class LruPolicy : public CachePolicy {
+ public:
+  explicit LruPolicy(uint64_t capacity) : capacity_{capacity} {}
+  bool Access(uint64_t key) override;
+  const char* Name() const override { return "LRU_1"; }
+  uint64_t Size() const override { return map_.size(); }
+
+ private:
+  uint64_t capacity_;
+  std::list<uint64_t> order_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+};
+
+/// LRU-K with K = 2 (O'Neil et al. [33]): evicts the key with the oldest
+/// second-to-last access (keys with fewer than 2 accesses are evicted
+/// first, by oldest last access).
+class Lru2Policy : public CachePolicy {
+ public:
+  explicit Lru2Policy(uint64_t capacity) : capacity_{capacity} {}
+  bool Access(uint64_t key) override;
+  const char* Name() const override { return "LRU_2"; }
+  uint64_t Size() const override { return map_.size(); }
+
+ private:
+  struct History {
+    uint64_t last = 0;
+    uint64_t second_last = 0;  // 0 = fewer than two accesses
+  };
+  uint64_t capacity_;
+  uint64_t clock_ = 0;
+  std::unordered_map<uint64_t, History> map_;
+  // Eviction order: least-recent penultimate access first (keys with < 2
+  // accesses sort before all others, ordered by last access).
+  std::set<std::tuple<uint64_t, uint64_t, uint64_t>> order_;
+};
+
+/// CLOCK (second-chance): a circular buffer of keys with reference bits.
+class ClockPolicy : public CachePolicy {
+ public:
+  explicit ClockPolicy(uint64_t capacity) : capacity_{capacity} {}
+  bool Access(uint64_t key) override;
+  const char* Name() const override { return "CLOCK"; }
+  uint64_t Size() const override { return map_.size(); }
+
+ private:
+  struct Frame {
+    uint64_t key;
+    bool referenced;
+  };
+  uint64_t capacity_;
+  std::vector<Frame> frames_;
+  uint64_t hand_ = 0;
+  std::unordered_map<uint64_t, uint64_t> map_;  // key -> frame index
+};
+
+/// HybridLog's implicit caching behaviour (HLOG, Sec. 6.4 / 7.5): the
+/// buffer is a log; a key hit in the mutable region stays put (in-place
+/// update); a key hit in the read-only region is *copied* to the tail
+/// (read-copy-update), leaving its old copy to be evicted — the
+/// "second chance". Keys falling off the head are evicted. Replicated
+/// copies of hot keys reduce the effective cache size, exactly the
+/// phenomenon Figs. 15-16 show.
+class HlogPolicy : public CachePolicy {
+ public:
+  /// `mutable_fraction` splits the buffer into mutable and read-only
+  /// regions (the paper's simulation keeps the read-only marker at a
+  /// constant lag from the tail).
+  HlogPolicy(uint64_t capacity, double mutable_fraction = 0.9);
+  bool Access(uint64_t key) override;
+  const char* Name() const override { return "HLOG"; }
+  uint64_t Size() const override { return live_.size(); }
+
+ private:
+  void Append(uint64_t key);
+
+  uint64_t capacity_;
+  uint64_t mutable_size_;
+  /// The log: (stamp, key) in append order; front = head, back = tail.
+  /// Stale copies (whose stamp is no longer the key's newest) still occupy
+  /// slots until they fall off the head — the replication effect.
+  std::deque<std::pair<uint64_t, uint64_t>> entries_;
+  /// key -> stamp of its newest copy.
+  std::unordered_map<uint64_t, uint64_t> live_;
+  uint64_t next_stamp_ = 0;
+};
+
+/// Factory by policy name index (for parameterized tests/benches).
+std::unique_ptr<CachePolicy> MakePolicy(const std::string& name,
+                                        uint64_t capacity);
+
+}  // namespace faster
+
+#endif  // FASTER_CACHE_SIM_POLICIES_H_

@@ -1,0 +1,33 @@
+#include "cache_sim/simulator.h"
+
+namespace faster {
+
+CacheSimResult RunCacheSim(const std::string& policy_name,
+                           Distribution distribution, uint64_t total_keys,
+                           double cache_ratio, uint64_t accesses,
+                           uint64_t warmup, uint64_t seed) {
+  uint64_t capacity = static_cast<uint64_t>(
+      static_cast<double>(total_keys) * cache_ratio);
+  if (capacity == 0) capacity = 1;
+  auto policy = MakePolicy(policy_name, capacity);
+  auto keys = MakeKeyGenerator(distribution, total_keys, seed);
+
+  for (uint64_t i = 0; i < warmup; ++i) {
+    policy->Access(keys->Next());
+  }
+  uint64_t misses = 0;
+  for (uint64_t i = 0; i < accesses; ++i) {
+    if (!policy->Access(keys->Next())) ++misses;
+  }
+
+  CacheSimResult r;
+  r.policy = policy_name;
+  r.distribution = distribution;
+  r.cache_ratio = cache_ratio;
+  r.accesses = accesses;
+  r.misses = misses;
+  r.miss_ratio = static_cast<double>(misses) / static_cast<double>(accesses);
+  return r;
+}
+
+}  // namespace faster

@@ -1,0 +1,33 @@
+#ifndef FASTER_CACHE_SIM_SIMULATOR_H_
+#define FASTER_CACHE_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache_sim/policies.h"
+#include "workload/keygen.h"
+
+namespace faster {
+
+/// The Sec. 7.5 simulation: drive a constant-sized key cache under a
+/// given access distribution and measure the miss ratio per policy.
+struct CacheSimResult {
+  std::string policy;
+  Distribution distribution;
+  double cache_ratio;  // cache size / total keys
+  uint64_t accesses;
+  uint64_t misses;
+  double miss_ratio;
+};
+
+/// Runs one (policy, distribution, cache size) cell of Figs. 14-16.
+/// `warmup` accesses prime the cache before measurement begins.
+CacheSimResult RunCacheSim(const std::string& policy_name,
+                           Distribution distribution, uint64_t total_keys,
+                           double cache_ratio, uint64_t accesses,
+                           uint64_t warmup, uint64_t seed);
+
+}  // namespace faster
+
+#endif  // FASTER_CACHE_SIM_SIMULATOR_H_

@@ -1,0 +1,128 @@
+#include "core/epoch.h"
+
+#include <cassert>
+
+namespace faster {
+
+namespace {
+// Epoch numbering starts at 1 so that kUnprotected (0) never aliases a real
+// epoch and so "safe epoch" can start at 0 (nothing safe yet).
+constexpr uint64_t kFirstEpoch = 1;
+}  // namespace
+
+LightEpoch::LightEpoch()
+    : current_epoch_{kFirstEpoch}, safe_to_reclaim_epoch_{0} {}
+
+LightEpoch::~LightEpoch() {
+  // Run any remaining actions; at destruction time no thread may be
+  // protected, so every registered epoch is safe.
+  Drain(UINT64_MAX - 2);
+}
+
+uint64_t LightEpoch::Protect() {
+  uint32_t tid = Thread::Id();
+  uint64_t current = current_epoch_.load(std::memory_order_acquire);
+  table_[tid].local_epoch.store(current, std::memory_order_seq_cst);
+  return current;
+}
+
+bool LightEpoch::IsProtected() const {
+  return table_[Thread::Id()].local_epoch.load(std::memory_order_relaxed) !=
+         kUnprotected;
+}
+
+uint64_t LightEpoch::Refresh() {
+  uint32_t tid = Thread::Id();
+  uint64_t current = current_epoch_.load(std::memory_order_acquire);
+  assert(table_[tid].local_epoch.load(std::memory_order_relaxed) !=
+         kUnprotected);
+  table_[tid].local_epoch.store(current, std::memory_order_seq_cst);
+  uint64_t safe = ComputeNewSafeToReclaimEpoch();
+  if (drain_count_.load(std::memory_order_acquire) > 0) {
+    Drain(safe);
+  }
+  return current;
+}
+
+void LightEpoch::Unprotect() {
+  table_[Thread::Id()].local_epoch.store(kUnprotected,
+                                         std::memory_order_release);
+}
+
+uint64_t LightEpoch::ComputeNewSafeToReclaimEpoch() {
+  uint64_t current = current_epoch_.load(std::memory_order_acquire);
+  // An epoch c is safe iff every protected thread has local epoch > c, so
+  // the maximal safe epoch is (min protected local epoch) - 1; if no thread
+  // is protected it is E - 1 (E itself can still gain new entrants).
+  uint64_t min_epoch = current;
+  uint32_t live = Thread::HighWaterMark();
+  for (uint32_t i = 0; i < live; ++i) {
+    uint64_t e = table_[i].local_epoch.load(std::memory_order_acquire);
+    if (e != kUnprotected && e < min_epoch) {
+      min_epoch = e;
+    }
+  }
+  uint64_t safe = min_epoch - 1;
+  // Monotonic update: never move the safe epoch backwards.
+  uint64_t prev = safe_to_reclaim_epoch_.load(std::memory_order_acquire);
+  while (prev < safe && !safe_to_reclaim_epoch_.compare_exchange_weak(
+                            prev, safe, std::memory_order_acq_rel)) {
+  }
+  return safe_to_reclaim_epoch_.load(std::memory_order_acquire);
+}
+
+uint64_t LightEpoch::BumpCurrentEpoch() {
+  return current_epoch_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+uint64_t LightEpoch::BumpCurrentEpoch(std::function<void()> action) {
+  // The action becomes runnable once the *prior* epoch (the value before
+  // the increment) is safe.
+  uint64_t prior = current_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  // Find a free slot in the drain list. The list is sized generously; if it
+  // is ever full we drain in-line until a slot frees up (this requires the
+  // caller to be epoch-protected so safety can advance).
+  for (;;) {
+    for (uint32_t i = 0; i < kDrainListSize; ++i) {
+      uint64_t expected = DrainEntry::kFree;
+      if (drain_list_[i].epoch.compare_exchange_strong(
+              expected, DrainEntry::kLocked, std::memory_order_acq_rel)) {
+        drain_list_[i].action = std::move(action);
+        drain_list_[i].epoch.store(prior, std::memory_order_release);
+        drain_count_.fetch_add(1, std::memory_order_acq_rel);
+        return prior + 1;
+      }
+    }
+    // List full: help drain.
+    Drain(ComputeNewSafeToReclaimEpoch());
+  }
+}
+
+void LightEpoch::Drain(uint64_t safe_epoch) {
+  uint32_t remaining = drain_count_.load(std::memory_order_acquire);
+  for (uint32_t i = 0; i < kDrainListSize && remaining > 0; ++i) {
+    uint64_t e = drain_list_[i].epoch.load(std::memory_order_acquire);
+    if (e <= safe_epoch) {
+      // Claim the slot; the CAS guarantees exactly-once execution even if
+      // several threads drain concurrently.
+      if (drain_list_[i].epoch.compare_exchange_strong(
+              e, DrainEntry::kLocked, std::memory_order_acq_rel)) {
+        std::function<void()> action = std::move(drain_list_[i].action);
+        drain_list_[i].action = nullptr;
+        drain_list_[i].epoch.store(DrainEntry::kFree,
+                                   std::memory_order_release);
+        remaining = drain_count_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+        action();
+      }
+    }
+  }
+}
+
+void LightEpoch::SpinWaitForSafety(uint64_t target) {
+  while (SafeToReclaimEpoch() < target ||
+         drain_count_.load(std::memory_order_acquire) > 0) {
+    Refresh();
+  }
+}
+
+}  // namespace faster

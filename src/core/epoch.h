@@ -1,0 +1,123 @@
+#ifndef FASTER_CORE_EPOCH_H_
+#define FASTER_CORE_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "core/thread.h"
+
+namespace faster {
+
+/// Epoch protection framework with trigger actions (Sec. 2.3-2.4).
+///
+/// The system maintains a shared atomic counter `E` (the current epoch).
+/// Every participating thread `T` keeps a thread-local copy `E_T` in a
+/// shared, cache-line-per-thread epoch table, refreshed at operation
+/// boundaries. An epoch `c` is *safe* once every live thread has
+/// `E_T > c`; the maximal safe epoch is tracked in `E_s` with the
+/// invariant `E_s < E_T <= E` for all `T`.
+///
+/// Beyond the basic scheme, `BumpCurrentEpoch(action)` increments `E` from
+/// `c` to `c+1` and registers `(c, action)` in a drain list; `action` runs
+/// exactly once, on whichever thread first observes that `c` became safe.
+/// FASTER uses this for page flushing, page eviction, safe-read-only-offset
+/// propagation (Sec. 6.2), index-resize phase changes (Appendix B), and
+/// memory reclamation.
+///
+/// Usage per thread (Sec. 2.5): `Protect()` once per session, `Refresh()`
+/// periodically (e.g., every 256 operations), `Unprotect()` at session end.
+class LightEpoch {
+ public:
+  /// Entries in the drain list of deferred (epoch, action) pairs.
+  static constexpr uint32_t kDrainListSize = 256;
+  /// Local epoch value meaning "thread not protected".
+  static constexpr uint64_t kUnprotected = 0;
+
+  LightEpoch();
+  ~LightEpoch();
+
+  LightEpoch(const LightEpoch&) = delete;
+  LightEpoch& operator=(const LightEpoch&) = delete;
+
+  /// Enter the epoch-protected region: reserve the calling thread's entry
+  /// and set its local epoch to the current epoch (paper: `Acquire`).
+  /// Returns the thread's current local epoch.
+  uint64_t Protect();
+
+  /// Update the calling thread's local epoch to the current epoch, advance
+  /// the safe epoch, and run any ready trigger actions (paper: `Refresh`).
+  uint64_t Refresh();
+
+  /// Leave the epoch-protected region (paper: `Release`).
+  void Unprotect();
+
+  /// True if the calling thread currently holds epoch protection.
+  bool IsProtected() const;
+
+  /// Increment the current epoch (no action). Returns the new epoch.
+  uint64_t BumpCurrentEpoch();
+
+  /// Increment the current epoch from `c` to `c+1` and register `action`
+  /// to run once epoch `c` is safe (paper: `BumpEpoch(Action)`).
+  uint64_t BumpCurrentEpoch(std::function<void()> action);
+
+  /// Current epoch `E`.
+  uint64_t CurrentEpoch() const {
+    return current_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Last computed maximal safe epoch `E_s` (may be stale; recomputed on
+  /// refresh and on drain).
+  uint64_t SafeToReclaimEpoch() const {
+    return safe_to_reclaim_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Recompute `E_s` by scanning the epoch table.
+  uint64_t ComputeNewSafeToReclaimEpoch();
+
+  /// True if `epoch` is safe, i.e., resources tagged with it can be freed.
+  bool IsSafeToReclaim(uint64_t epoch) {
+    return epoch <= SafeToReclaimEpoch();
+  }
+
+  /// Spin (refreshing) until epoch `target` is safe and all drain-list
+  /// actions registered up to it have run. Must be called while protected.
+  void SpinWaitForSafety(uint64_t target);
+
+  /// Number of drain-list actions currently outstanding (for tests).
+  uint32_t NumOutstandingActions() const {
+    return drain_count_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// One cache line per thread (avoids false sharing on refresh).
+  struct alignas(64) Entry {
+    std::atomic<uint64_t> local_epoch{kUnprotected};
+    uint8_t padding[56];
+  };
+  static_assert(sizeof(Entry) == 64);
+
+  /// A deferred action. `epoch` doubles as the slot's state machine:
+  /// kFree -> kLocked (being armed) -> <epoch value> -> kLocked (being
+  /// drained) -> kFree. CAS on `epoch` guarantees exactly-once execution.
+  struct DrainEntry {
+    static constexpr uint64_t kFree = UINT64_MAX;
+    static constexpr uint64_t kLocked = UINT64_MAX - 1;
+    std::atomic<uint64_t> epoch{kFree};
+    std::function<void()> action;
+  };
+
+  /// Try to run every drain-list action whose epoch is now safe.
+  void Drain(uint64_t safe_epoch);
+
+  alignas(64) std::atomic<uint64_t> current_epoch_;
+  alignas(64) std::atomic<uint64_t> safe_to_reclaim_epoch_;
+  Entry table_[Thread::kMaxThreads];
+  DrainEntry drain_list_[kDrainListSize];
+  std::atomic<uint32_t> drain_count_{0};
+};
+
+}  // namespace faster
+
+#endif  // FASTER_CORE_EPOCH_H_

@@ -1,0 +1,1333 @@
+#ifndef FASTER_CORE_FASTER_H_
+#define FASTER_CORE_FASTER_H_
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/address.h"
+#include "core/epoch.h"
+#include "core/functions.h"
+#include "core/hash_index.h"
+#include "core/hybrid_log.h"
+#include "core/key_hash.h"
+#include "core/record.h"
+#include "core/status.h"
+#include "core/thread.h"
+#include "device/device.h"
+
+namespace faster {
+
+/// FasterKv: the FASTER concurrent key-value store (the paper's primary
+/// contribution), combining the latch-free hash index (Sec. 3), the
+/// HybridLog record allocator (Sec. 5-6), and the epoch protection
+/// framework (Sec. 2.3) into a store supporting Read, Upsert (blind
+/// update), RMW (read-modify-write), and Delete with data larger than
+/// memory.
+///
+/// `F` is the user's Functions policy (see functions.h / Appendix E);
+/// `Hasher` maps keys to 64-bit hashes.
+///
+/// Threading model (Sec. 2.5): each thread calls `StartSession()` before
+/// issuing operations and `StopSession()` when done. Operations refresh
+/// the thread's epoch automatically every `Config::refresh_interval` ops;
+/// threads should call `CompletePending()` periodically to process
+/// operations that returned `Status::kPending` (asynchronous storage reads
+/// and fuzzy-region RMW retries, Sec. 6.2-6.3).
+template <class F, class Hasher = DefaultKeyHasher<typename F::Key>>
+class FasterKv {
+ public:
+  using Key = typename F::Key;
+  using Value = typename F::Value;
+  using Input = typename F::Input;
+  using Output = typename F::Output;
+  using RecordT = Record<Key, Value>;
+
+  static constexpr bool kMergeable = IsMergeable<F>;
+
+  /// Kinds of user operations, reported to the completion callback.
+  enum class UserOp : uint8_t { kRead, kRmw };
+
+  /// Appendix E: FASTER invokes CompletionCallback with the user-provided
+  /// context associated with a pending operation, when completed. The
+  /// callback runs on the issuing thread, inside CompletePending().
+  using CompletionCallback = void (*)(UserOp op, Status result,
+                                      void* user_context);
+
+  struct Config {
+    /// Number of hash buckets (rounded to a power of two). The paper sizes
+    /// this at #keys/2 (each bucket holds 7 entries).
+    uint64_t table_size = uint64_t{1} << 16;
+    /// HybridLog sizing: in-memory buffer and mutable-region fraction.
+    LogConfig log;
+    /// If true, disable in-place updates entirely: every update appends to
+    /// the tail (the Sec. 5 append-only strawman; used for Fig. 11).
+    bool force_rcu = false;
+    /// Refresh the epoch every this many operations (Sec. 2.5 uses 256).
+    uint32_t refresh_interval = 256;
+    /// Tag width in the hash index (1..15 bits; Sec. 7.2.2).
+    uint32_t tag_bits = 15;
+    /// Enable the read cache for read-hot records (Appendix D): a second
+    /// HybridLog instance, never flushed, holding copies of records read
+    /// from storage; index entries may point into it (high address bit).
+    /// Not supported for mergeable (CRDT) stores.
+    bool enable_read_cache = false;
+    /// Sizing of the read-cache log (memory_size_bytes and the mutable /
+    /// read-only split, which controls the cache's second-chance degree).
+    LogConfig read_cache;
+    /// Invoked when an operation that returned kPending completes
+    /// (Appendix E's CompletionCallback). May be null.
+    CompletionCallback completion_callback = nullptr;
+  };
+
+  /// `device` must outlive the store.
+  FasterKv(const Config& config, IDevice* device)
+      : config_{config},
+        epoch_{},
+        index_{config.table_size, &epoch_, config.tag_bits},
+        hlog_{config.log, device, &epoch_},
+        thread_states_(Thread::kMaxThreads) {
+    if (config_.enable_read_cache && !kMergeable) {
+      LogConfig rc_cfg = config_.read_cache;
+      rc_cfg.read_cache_mode = true;  // evict without flushing
+      rc_log_ = std::make_unique<HybridLog>(rc_cfg, device, &epoch_);
+      rc_log_->SetEvictionCallback(
+          [this](Address from, Address to) { RcEvict(from, to); });
+    }
+  }
+
+  ~FasterKv() {
+    // Outstanding epoch trigger actions (page flush/close, safe-read-only
+    // propagation) reference the log and index; run them before members
+    // are destroyed. All sessions must have stopped by now.
+    epoch_.Protect();
+    epoch_.SpinWaitForSafety(epoch_.CurrentEpoch() - 1);
+    epoch_.Unprotect();
+    // Make sure no device callback can touch thread_states_ afterwards.
+    hlog_.device()->Drain();
+  }
+
+  FasterKv(const FasterKv&) = delete;
+  FasterKv& operator=(const FasterKv&) = delete;
+
+  // -------------------------------------------------------------------
+  // Sessions (Sec. 2.5).
+  // -------------------------------------------------------------------
+
+  /// Registers the calling thread with the epoch protection framework.
+  void StartSession() { epoch_.Protect(); }
+
+  /// Completes outstanding work for this thread and deregisters it.
+  void StopSession() {
+    CompletePending(/*wait=*/true);
+    epoch_.Unprotect();
+  }
+
+  /// Moves the calling thread to the current epoch and runs ready trigger
+  /// actions. Called automatically every `refresh_interval` operations.
+  void Refresh() { epoch_.Refresh(); }
+
+  // -------------------------------------------------------------------
+  // Operations (Sec. 2.2; Algorithms 2-4).
+  // -------------------------------------------------------------------
+
+  /// Reads the value for `key` into `*output` (via F::SingleReader or
+  /// F::ConcurrentReader depending on the record's region, Alg. 2).
+  /// Returns kPending if the record lives on storage; `output` must then
+  /// stay valid until the operation completes via CompletePending(),
+  /// which reports `user_context` through the completion callback
+  /// (Appendix E).
+  Status Read(const Key& key, const Input& input, Output* output,
+              void* user_context = nullptr) {
+    ThreadState& ts = AutoRefresh();
+    ++ts.reads;
+    KeyHash hash = Hasher{}(key);
+    for (;;) {
+      typename HashIndex::OpScope scope{index_, hash};
+      HashIndex::FindResult fr;
+      if (!index_.FindEntry(scope, hash, &fr)) {
+        return Status::kNotFound;
+      }
+      Address addr;
+      RecordT* rc_rec = nullptr;
+      if (!ResolveEntry(fr, &addr, &rc_rec)) {
+        // The cache page was evicted but the entry is not yet redirected;
+        // drive the epoch and retry (Appendix D).
+        epoch_.Refresh();
+        continue;
+      }
+      if (rc_rec != nullptr && rc_rec->key == key) {
+        // Read-cache hit. A hit in the cache's read-only region earns the
+        // record a second chance at the cache tail (Appendix D).
+        if (StripRc(fr.entry.address()) < rc_log_->read_only_address()) {
+          RcSecondChance(key, hash, rc_rec, fr);
+        }
+        F::SingleReader(key, input, rc_rec->value, *output);
+        ++ts.rc_hits;
+        return Status::kOk;
+      }
+      Address begin = hlog_.begin_address();
+      if (!addr.IsValid() || addr < begin) {
+        if (rc_rec == nullptr) {
+          // Stale entry left behind by log truncation (Appendix C).
+          index_.TryDeleteEntry(&fr);
+        }
+        return Status::kNotFound;
+      }
+      if constexpr (kMergeable) {
+        return MergeableRead(ts, key, hash, addr, output);
+      }
+      Address head = hlog_.head_address();
+      Address min_mem = std::max(head, begin);
+      RecordT* rec = nullptr;
+      addr = TraceBack(key, addr, min_mem, &rec);
+      if (rec != nullptr) {
+        if (rec->info().tombstone()) return Status::kNotFound;
+        if (addr < hlog_.safe_read_only_address()) {
+          F::SingleReader(key, input, rec->value, *output);
+        } else {
+          F::ConcurrentReader(key, input, rec->value, *output);
+        }
+        return Status::kOk;
+      }
+      if (!addr.IsValid() || addr < begin) return Status::kNotFound;
+      // The chain continues on storage: go asynchronous (Sec. 5.3).
+      return IssuePendingIo(ts, OpType::kRead, key, hash, input, output,
+                            addr, user_context);
+    }
+  }
+
+  /// Blind upsert (Alg. 3): replaces the value for `key`, in place if the
+  /// newest record is in the mutable region, otherwise by appending a new
+  /// record. Never performs storage reads. Always completes synchronously.
+  Status Upsert(const Key& key, const Value& value) {
+    ThreadState& ts = AutoRefresh();
+    ++ts.upserts;
+    KeyHash hash = Hasher{}(key);
+    for (;;) {
+      typename HashIndex::OpScope scope{index_, hash};
+      HashIndex::FindResult fr;
+      index_.FindOrCreateEntry(scope, hash, &fr);
+      Address addr;
+      RecordT* rc_rec = nullptr;
+      if (!ResolveEntry(fr, &addr, &rc_rec)) {
+        epoch_.Refresh();
+        continue;
+      }
+      Address begin = hlog_.begin_address();
+      Address head = hlog_.head_address();
+      RecordT* rec = nullptr;
+      if (rc_rec == nullptr && addr.IsValid() && addr >= begin &&
+          addr >= head) {
+        Address found = TraceBack(key, addr, std::max(head, begin), &rec);
+        if (rec != nullptr && !rec->info().tombstone() && !config_.force_rcu &&
+            found >= hlog_.read_only_address()) {
+          // Mutable region: in-place update (Table 1 row 4).
+          F::ConcurrentWriter(key, value, rec->value);
+          return Status::kOk;
+        }
+      }
+      // Every other region (read-only, fuzzy, on disk, absent, or behind a
+      // read-cache entry): append a new record — blind updates need not
+      // read the old value (Table 2). The new record's chain skips any
+      // cache record (its copy lives on the primary log already).
+      Address new_addr = TryAllocateRecord();
+      if (!new_addr.IsValid()) continue;  // Epoch refreshed; restart.
+      RecordT* new_rec = RecordAt(new_addr);
+      new_rec->key = key;
+      F::SingleWriter(key, value, new_rec->value);
+      new_rec->set_info(RecordInfo{addr, false, false});
+      if (index_.TryUpdateEntry(&fr, new_addr)) {
+        ++ts.appended_records;
+        // Appendix C: flag the superseded in-memory version for GC.
+        if (rec != nullptr) rec->SetOverwritten();
+        return Status::kOk;
+      }
+      new_rec->SetInvalid();  // Lost the CAS; record is garbage.
+    }
+  }
+
+  /// Read-modify-write (Alg. 4): updates the value using F's updaters.
+  /// May return kPending (storage read, or deferred retry when the record
+  /// falls in the fuzzy region, Sec. 6.2-6.3); completion is reported via
+  /// the completion callback with `user_context` (Appendix E).
+  Status Rmw(const Key& key, const Input& input,
+             void* user_context = nullptr) {
+    ThreadState& ts = AutoRefresh();
+    ++ts.rmws;
+    KeyHash hash = Hasher{}(key);
+    RmwOutcome oc = RmwInMemory(ts, key, hash, input, DiskState::kNone,
+                                nullptr, Address::Invalid());
+    switch (oc.kind) {
+      case RmwOutcome::kDone:
+        return oc.status;
+      case RmwOutcome::kIo:
+        return IssuePendingIo(ts, OpType::kRmw, key, hash, input, nullptr,
+                              oc.io_address, user_context);
+      case RmwOutcome::kFuzzy: {
+        // Fuzzy region (Sec. 6.2): defer to the pending list; retried at
+        // CompletePending once the safe read-only offset catches up.
+        ++ts.fuzzy_rmws;
+        auto* ctx = new PendingContext(this, OpType::kRmw, key, hash, input,
+                                       nullptr, Thread::Id());
+        ctx->user_context = user_context;
+        ts.retries.push_back(ctx);
+        return Status::kPending;
+      }
+    }
+    return Status::kAborted;  // unreachable
+  }
+
+  /// Deletes `key` (Sec. 4 / Sec. 5.3): sets the tombstone bit in place in
+  /// the mutable region, otherwise appends a tombstone record.
+  Status Delete(const Key& key) {
+    ThreadState& ts = AutoRefresh();
+    ++ts.deletes;
+    KeyHash hash = Hasher{}(key);
+    for (;;) {
+      typename HashIndex::OpScope scope{index_, hash};
+      HashIndex::FindResult fr;
+      if (!index_.FindEntry(scope, hash, &fr)) return Status::kNotFound;
+      Address addr;
+      RecordT* rc_rec = nullptr;
+      if (!ResolveEntry(fr, &addr, &rc_rec)) {
+        epoch_.Refresh();
+        continue;
+      }
+      Address begin = hlog_.begin_address();
+      if (!addr.IsValid() || addr < begin) {
+        if (rc_rec != nullptr) {
+          // The cached key's only version was truncated away.
+          index_.TryUpdateEntry(&fr, addr);
+          return Status::kNotFound;
+        }
+        index_.TryDeleteEntry(&fr);
+        return Status::kNotFound;
+      }
+      Address head = hlog_.head_address();
+      RecordT* rec = nullptr;
+      Address found = Address::Invalid();
+      if (addr >= head) {
+        found = TraceBack(key, addr, std::max(head, begin), &rec);
+      } else {
+        found = addr;  // chain starts on disk
+      }
+      if (rec != nullptr) {
+        if (rec->info().tombstone()) return Status::kNotFound;
+        if (!config_.force_rcu && found >= hlog_.read_only_address()) {
+          rec->SetTombstone();
+          return Status::kOk;
+        }
+      } else if (!found.IsValid() || found < begin) {
+        return Status::kNotFound;  // key definitely absent in memory & log
+      }
+      // Read-only / fuzzy / on-disk: append a tombstone record (blind).
+      Address new_addr = TryAllocateRecord();
+      if (!new_addr.IsValid()) continue;
+      RecordT* new_rec = RecordAt(new_addr);
+      new_rec->key = key;
+      new_rec->value = Value{};
+      new_rec->set_info(RecordInfo{addr, false, /*tombstone=*/true});
+      if (index_.TryUpdateEntry(&fr, new_addr)) {
+        ++ts.appended_records;
+        if (rec != nullptr) rec->SetOverwritten();  // Appendix C
+        return Status::kOk;
+      }
+      new_rec->SetInvalid();
+    }
+  }
+
+  /// Processes this thread's pending work: storage-read completions and
+  /// fuzzy-region RMW retries. If `wait`, blocks (refreshing the epoch)
+  /// until everything this thread issued has completed. Returns true if
+  /// nothing remains pending.
+  bool CompletePending(bool wait = false) {
+    ThreadState& ts = thread_states_[Thread::Id()];
+    for (;;) {
+      ProcessRetries(ts);
+      ProcessCompletions(ts);
+      bool done = ts.outstanding_ios == 0 && ts.retries.empty();
+      if (done || !wait) return done;
+      epoch_.Refresh();
+      std::this_thread::yield();
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Checkpointing and recovery (Sec. 6.5).
+  // -------------------------------------------------------------------
+
+  /// Takes a fuzzy checkpoint into `dir` (created if needed): records the
+  /// tail t1, snapshots the index without locks, records t2, then moves
+  /// the read-only offset to the tail and waits for the flush. Requires an
+  /// active session; other threads may keep operating (the checkpoint does
+  /// not quiesce the store).
+  Status Checkpoint(const std::string& dir) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    Address t1 = hlog_.tail_address();
+    int fd = ::open((dir + "/index.dat").c_str(),
+                    O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return Status::kIoError;
+    HashIndex::EntryTransform transform;
+    if (rc_log_ != nullptr) {
+      // Appendix D: persisted index entries must point at the primary log,
+      // so cached addresses are swung back to the address they displaced.
+      transform = [this](const std::atomic<uint64_t>& slot) -> uint64_t {
+        for (;;) {
+          HashBucketEntry e{slot.load(std::memory_order_acquire)};
+          if (e.tentative()) return 0;
+          Address a = e.address();
+          if (!InReadCache(a)) return e.control();
+          Address rc = StripRc(a);
+          if (rc >= rc_log_->head_address()) {
+            Address prev = RcRecordAt(rc)->info().previous_address();
+            return HashBucketEntry{prev, e.tag(), false}.control();
+          }
+          // Eviction redirect in flight: drive the epoch and re-read.
+          epoch_.Refresh();
+          std::this_thread::yield();
+        }
+      };
+    }
+    Status s = index_.WriteCheckpoint(fd, transform);
+    ::close(fd);
+    if (s != Status::kOk) return s;
+    Address t2 = hlog_.tail_address();
+    // Flush the log through t2 (and beyond, to the current tail).
+    hlog_.ShiftReadOnlyToTail(/*wait=*/true);
+    if (hlog_.io_error()) return Status::kIoError;
+    CheckpointMetadata meta{kCheckpointMagic, t1.control(), t2.control(),
+                            hlog_.begin_address().control(),
+                            RecordT::size()};
+    fd = ::open((dir + "/meta.dat").c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                0644);
+    if (fd < 0) return Status::kIoError;
+    bool ok = ::write(fd, &meta, sizeof(meta)) == sizeof(meta);
+    ::close(fd);
+    return ok ? Status::kOk : Status::kIoError;
+  }
+
+  /// Recovers a freshly constructed store from a checkpoint in `dir`. The
+  /// device must contain the flushed log. Restores the fuzzy index, then
+  /// repairs it by scanning log records in [t1, t2) in order (Sec. 6.5).
+  /// Must be called before any session starts.
+  Status Recover(const std::string& dir) {
+    CheckpointMetadata meta;
+    int fd = ::open((dir + "/meta.dat").c_str(), O_RDONLY);
+    if (fd < 0) return Status::kIoError;
+    bool ok = ::read(fd, &meta, sizeof(meta)) == sizeof(meta);
+    ::close(fd);
+    if (!ok) return Status::kIoError;
+    if (meta.magic != kCheckpointMagic || meta.record_size != RecordT::size()) {
+      return Status::kCorruption;
+    }
+    fd = ::open((dir + "/index.dat").c_str(), O_RDONLY);
+    if (fd < 0) return Status::kIoError;
+    Status s = index_.ReadCheckpoint(fd);
+    ::close(fd);
+    if (s != Status::kOk) return s;
+
+    Address t1{meta.t1}, t2{meta.t2}, begin{meta.begin};
+    hlog_.RecoverTo(begin, t2);
+
+    // Repair pass: every index update during the fuzzy snapshot interval
+    // corresponds to a record in [t1, t2); replaying them in order leaves
+    // each entry pointing at the newest record below t2 for its tag.
+    Status scan_status = Status::kOk;
+    epoch_.Protect();
+    ScanDiskRange(t1, t2, [&](Address addr, const RecordT& rec) {
+      if (rec.info().invalid()) return;
+      KeyHash hash = Hasher{}(rec.key);
+      typename HashIndex::OpScope scope{index_, hash};
+      HashIndex::FindResult fr;
+      index_.FindOrCreateEntry(scope, hash, &fr);
+      while (fr.entry.address() < addr) {
+        if (index_.TryUpdateEntry(&fr, addr)) break;
+      }
+    });
+    epoch_.Unprotect();
+    return scan_status;
+  }
+
+  // -------------------------------------------------------------------
+  // Log management.
+  // -------------------------------------------------------------------
+
+  /// Expiration-based garbage collection (Appendix C): truncates the log
+  /// below `new_begin`. Stale index entries are deleted lazily as
+  /// operations encounter them.
+  bool ShiftBeginAddress(Address new_begin) {
+    return hlog_.ShiftBeginAddress(new_begin);
+  }
+
+  /// Doubles the hash index on-line (Appendix B). Requires an active
+  /// session; all live sessions must keep issuing operations (or Refresh)
+  /// for the grow to complete.
+  void GrowIndex() { index_.Grow(); }
+
+  /// Roll-to-tail log compaction (Appendix C): scans [begin, until),
+  /// copies records that are still the newest version of their key to the
+  /// tail, then truncates the log below `until`. Safe against concurrent
+  /// operations (copies install via compare-and-swap and retry if the key
+  /// is updated mid-copy). Records carrying the overwrite bit skip the
+  /// liveness check entirely — the common case for hot-then-cold data.
+  /// Requires an active session. Not supported for mergeable stores
+  /// (deltas cannot be relocated independently).
+  struct CompactionStats {
+    uint64_t scanned = 0;
+    uint64_t dead_by_overwrite_bit = 0;
+    uint64_t dead_by_trace = 0;
+    uint64_t copied = 0;
+  };
+  Status CompactLog(Address until, CompactionStats* stats = nullptr) {
+    static_assert(!kMergeable || sizeof(F) >= 0);
+    if constexpr (kMergeable) {
+      return Status::kInvalid;
+    }
+    CompactionStats local;
+    Address begin = hlog_.begin_address();
+    until = std::min(until, hlog_.safe_read_only_address());
+    if (until <= begin) return Status::kOk;
+    Status result = Status::kOk;
+    // Each record is copied into a local buffer before processing: the
+    // copy step below may refresh the epoch (page rollover), after which
+    // pointers into log frames can dangle (frames recycle under us).
+    alignas(8) uint8_t buf[sizeof(RecordT)];
+    Address addr = begin;
+    while (addr < until) {
+      if (addr.offset() + RecordT::size() > Address::kPageSize) {
+        addr = addr.NextPageStart();
+        continue;
+      }
+      if (addr >= hlog_.head_address()) {
+        std::memcpy(buf, RecordAt(addr), RecordT::size());
+      } else if (hlog_.ReadFromDiskSync(addr, RecordT::size(), buf) !=
+                 Status::kOk) {
+        result = Status::kIoError;
+        break;
+      }
+      const RecordT& rec = *reinterpret_cast<const RecordT*>(buf);
+      RecordInfo info = rec.info();
+      if (!info.in_use()) {
+        addr = addr.NextPageStart();  // page padding
+        continue;
+      }
+      ++local.scanned;
+      if (!info.invalid() && !info.tombstone()) {
+        if (info.overwritten()) {
+          ++local.dead_by_overwrite_bit;
+        } else if (CompactOneRecord(addr, rec)) {
+          ++local.copied;
+        } else {
+          ++local.dead_by_trace;
+        }
+      }
+      addr = addr + RecordT::size();
+    }
+    hlog_.ShiftBeginAddress(until);
+    if (stats != nullptr) *stats = local;
+    return result;
+  }
+
+  /// Scans log records in [from, to) in log order (Appendix F), invoking
+  /// `fn(Address, const RecordT&)` for every in-use record, including
+  /// invalid and tombstone records (callers filter via RecordInfo).
+  /// Requires an active session.
+  template <class Fn>
+  void ScanLog(Address from, Address to, Fn&& fn) {
+    Address begin = std::max(from, hlog_.begin_address());
+    Address end = std::min(to, hlog_.tail_address());
+    Address head = hlog_.head_address();
+    if (begin < head) {
+      ScanDiskRange(begin, std::min(end, head), fn);
+    }
+    // In-memory portion.
+    Address addr = std::max(begin, head);
+    while (addr < end) {
+      if (addr.offset() + RecordT::size() > Address::kPageSize) {
+        addr = addr.NextPageStart();
+        continue;
+      }
+      const RecordT* rec = RecordAt(addr);
+      if (!rec->info().in_use()) {
+        // Zero header: page padding; skip to the next page.
+        addr = addr.NextPageStart();
+        continue;
+      }
+      fn(addr, *rec);
+      addr = addr + RecordT::size();
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Introspection.
+  // -------------------------------------------------------------------
+
+  /// Aggregated operation statistics across all threads.
+  struct Stats {
+    uint64_t reads = 0, upserts = 0, rmws = 0, deletes = 0;
+    uint64_t fuzzy_rmws = 0;       // RMWs deferred in the fuzzy region
+    uint64_t pending_ios = 0;      // storage reads issued
+    uint64_t completed_pending = 0;
+    uint64_t appended_records = 0;
+    uint64_t read_cache_hits = 0;  // reads served by the read cache
+  };
+  Stats GetStats() const {
+    Stats s;
+    for (const ThreadState& ts : thread_states_) {
+      s.reads += ts.reads;
+      s.upserts += ts.upserts;
+      s.rmws += ts.rmws;
+      s.deletes += ts.deletes;
+      s.fuzzy_rmws += ts.fuzzy_rmws;
+      s.pending_ios += ts.ios_issued;
+      s.completed_pending += ts.completed;
+      s.appended_records += ts.appended_records;
+      s.read_cache_hits += ts.rc_hits;
+    }
+    return s;
+  }
+
+  HybridLog& hlog() { return hlog_; }
+  HashIndex& index() { return index_; }
+  LightEpoch& epoch() { return epoch_; }
+  const Config& config() const { return config_; }
+
+ private:
+  enum class OpType : uint8_t { kRead, kRmw };
+  enum class DiskState : uint8_t { kNone, kValue, kAbsent };
+
+  /// Context carried by an operation that went pending (Sec. 5.3): enough
+  /// to resume after the asynchronous storage read (or fuzzy retry).
+  struct PendingContext {
+    PendingContext(FasterKv* s, OpType o, const Key& k, KeyHash h,
+                   const Input& in, Output* out, uint32_t own)
+        : store{s}, op{o}, key{k}, hash{h}, input{in}, output{out},
+          owner{own} {}
+
+    FasterKv* store;
+    OpType op;
+    Key key;
+    KeyHash hash;
+    Input input;
+    Output* output;
+    void* user_context = nullptr;
+    uint32_t owner;
+    Address address = Address::Invalid();     // record being read
+    Address chain_bottom = Address::Invalid();  // first disk address of chain
+    Status io_status = Status::kOk;
+    // CRDT read reconciliation state (Sec. 6.3).
+    Value merge_acc{};
+    bool merge_found = false;
+    alignas(8) uint8_t buffer[sizeof(RecordT)];
+
+    const RecordT* record() const {
+      return reinterpret_cast<const RecordT*>(buffer);
+    }
+  };
+
+  struct alignas(64) ThreadState {
+    // Completion queue, filled by device I/O threads.
+    std::mutex mutex;
+    std::vector<PendingContext*> completions;
+    // Fuzzy-region RMW retries (owner thread only).
+    std::vector<PendingContext*> retries;
+    uint64_t outstanding_ios = 0;
+    uint32_t ops_since_refresh = 0;
+    // Statistics.
+    uint64_t reads = 0, upserts = 0, rmws = 0, deletes = 0;
+    uint64_t fuzzy_rmws = 0, ios_issued = 0, completed = 0;
+    uint64_t appended_records = 0;
+    uint64_t rc_hits = 0;
+  };
+
+  RecordT* RecordAt(Address addr) const {
+    return reinterpret_cast<RecordT*>(hlog_.Get(addr));
+  }
+
+  // -------------------------------------------------------------------
+  // Read cache (Appendix D). Cached records live in a second HybridLog;
+  // index entries pointing into it carry the high address bit. A cache
+  // record's `previous_address` preserves the primary-log chain head it
+  // displaced.
+  // -------------------------------------------------------------------
+
+  static constexpr uint64_t kRcBit = uint64_t{1} << 47;
+  static bool InReadCache(Address a) { return (a.control() & kRcBit) != 0; }
+  static Address StripRc(Address a) { return Address{a.control() & ~kRcBit}; }
+  static Address TagRc(Address a) { return Address{a.control() | kRcBit}; }
+
+  RecordT* RcRecordAt(Address addr) const {
+    return reinterpret_cast<RecordT*>(rc_log_->Get(addr));
+  }
+
+  /// Resolves an index entry to the primary-log chain start, surfacing the
+  /// resident read-cache record if the entry points into the cache.
+  /// Returns false if the cache page was evicted but the entry has not
+  /// been redirected yet (caller refreshes and restarts).
+  bool ResolveEntry(const HashIndex::FindResult& fr, Address* start,
+                    RecordT** rc_rec) const {
+    *rc_rec = nullptr;
+    Address a = fr.entry.address();
+    if (rc_log_ == nullptr || !InReadCache(a)) {
+      *start = a;
+      return true;
+    }
+    Address rc = StripRc(a);
+    if (rc < rc_log_->head_address()) {
+      return false;  // eviction redirect in flight
+    }
+    RecordT* rec = RcRecordAt(rc);
+    *rc_rec = rec;
+    *start = rec->info().previous_address();
+    return true;
+  }
+
+  /// Allocates one record in the read cache; a single page-rollover retry,
+  /// then gives up (cache insertion is best-effort).
+  Address TryAllocateRcRecord() {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      uint64_t closed_page = 0;
+      Address addr = rc_log_->Allocate(RecordT::size(), &closed_page);
+      if (addr.IsValid()) return addr;
+      if (!rc_log_->NewPage(closed_page)) {
+        epoch_.Refresh();
+        return Address::Invalid();
+      }
+    }
+    return Address::Invalid();
+  }
+
+  /// Inserts a value read from storage into the read cache (best-effort).
+  void TryInsertToCache(const Key& key, KeyHash hash, const Value& value) {
+    typename HashIndex::OpScope scope{index_, hash};
+    HashIndex::FindResult fr;
+    if (!index_.FindEntry(scope, hash, &fr)) return;
+    Address a = fr.entry.address();
+    if (InReadCache(a)) return;            // someone cached it already
+    if (!a.IsValid() || a >= hlog_.head_address()) return;  // newer in memory
+    Address rc_addr = TryAllocateRcRecord();
+    if (!rc_addr.IsValid()) return;
+    RecordT* rec = RcRecordAt(rc_addr);
+    rec->key = key;
+    rec->value = value;
+    rec->set_info(RecordInfo{a, false, false, false, /*read_cache=*/true});
+    if (!index_.TryUpdateEntry(&fr, TagRc(rc_addr))) {
+      rec->SetInvalid();
+    }
+  }
+
+  /// Second chance (Appendix D): a cache hit in the cache's read-only
+  /// region copies the record to the cache tail, exactly like the primary
+  /// HybridLog's shaping behaviour.
+  void RcSecondChance(const Key& key, KeyHash hash, RecordT* rc_rec,
+                      const HashIndex::FindResult& fr) {
+    Address new_addr = TryAllocateRcRecord();
+    if (!new_addr.IsValid()) return;
+    RecordT* rec = RcRecordAt(new_addr);
+    rec->key = key;
+    rec->value = rc_rec->value;
+    rec->set_info(RecordInfo{rc_rec->info().previous_address(), false, false,
+                             false, /*read_cache=*/true});
+    HashIndex::FindResult mutable_fr = fr;
+    if (!index_.TryUpdateEntry(&mutable_fr, TagRc(new_addr))) {
+      rec->SetInvalid();
+    }
+  }
+
+  /// Eviction redirect: runs under epoch safety when cache pages fall off
+  /// the cache's head; swings index entries pointing at evicted cache
+  /// records back to the primary-log addresses they displaced.
+  void RcEvict(Address from, Address to) {
+    Address addr = from;
+    while (addr < to) {
+      if (addr.offset() + RecordT::size() > Address::kPageSize) {
+        addr = addr.NextPageStart();
+        continue;
+      }
+      RecordT* rec = RcRecordAt(addr);
+      if (!rec->info().in_use()) {
+        addr = addr.NextPageStart();  // page padding
+        continue;
+      }
+      if (!rec->info().invalid()) {
+        KeyHash hash = Hasher{}(rec->key);
+        typename HashIndex::OpScope scope{index_, hash};
+        HashIndex::FindResult fr;
+        if (index_.FindEntry(scope, hash, &fr) &&
+            fr.entry.address() == TagRc(addr)) {
+          index_.TryUpdateEntry(&fr, rec->info().previous_address());
+        }
+      }
+      addr = addr + RecordT::size();
+    }
+  }
+
+  ThreadState& AutoRefresh() {
+    ThreadState& ts = thread_states_[Thread::Id()];
+    if (++ts.ops_since_refresh >= config_.refresh_interval) {
+      ts.ops_since_refresh = 0;
+      epoch_.Refresh();
+    }
+    return ts;
+  }
+
+  /// Walks the in-memory record chain from `from` (>= `min_mem`) looking
+  /// for `key`. On match sets `*rec` and returns the record's address; on
+  /// miss returns the first address below `min_mem` (or invalid).
+  Address TraceBack(const Key& key, Address from, Address min_mem,
+                    RecordT** rec) const {
+    Address addr = from;
+    while (addr.IsValid() && addr >= min_mem) {
+      RecordT* r = RecordAt(addr);
+      if (r->key == key) {
+        *rec = r;
+        return addr;
+      }
+      addr = r->info().previous_address();
+    }
+    *rec = nullptr;
+    return addr;
+  }
+
+  /// Synchronously finds the newest record address for `key` starting at
+  /// `start`, following the chain through memory and storage (used by
+  /// compaction's liveness check). Returns the invalid address if the key
+  /// has no record at or above `begin`; sets `*tombstone` accordingly.
+  Address TraceNewestSync(const Key& key, Address start, bool* tombstone) {
+    Address begin = hlog_.begin_address();
+    Address head = hlog_.head_address();
+    Address addr = start;
+    alignas(8) uint8_t buf[sizeof(RecordT)];
+    while (addr.IsValid() && addr >= begin) {
+      const RecordT* rec;
+      if (addr >= head) {
+        rec = RecordAt(addr);
+      } else {
+        if (hlog_.ReadFromDiskSync(addr, RecordT::size(), buf) !=
+            Status::kOk) {
+          break;
+        }
+        rec = reinterpret_cast<const RecordT*>(buf);
+      }
+      if (rec->key == key) {
+        *tombstone = rec->info().tombstone();
+        return addr;
+      }
+      addr = rec->info().previous_address();
+    }
+    *tombstone = false;
+    return Address::Invalid();
+  }
+
+  /// Copies a (potentially live) record to the tail if it is still the
+  /// newest version of its key; returns true if a copy was installed,
+  /// false if the record turned out to be dead.
+  bool CompactOneRecord(Address addr, const RecordT& rec) {
+    KeyHash hash = Hasher{}(rec.key);
+    for (;;) {
+      typename HashIndex::OpScope scope{index_, hash};
+      HashIndex::FindResult fr;
+      if (!index_.FindEntry(scope, hash, &fr)) return false;
+      Address start;
+      RecordT* rc_rec = nullptr;
+      if (!ResolveEntry(fr, &start, &rc_rec)) {
+        epoch_.Refresh();
+        continue;
+      }
+      (void)rc_rec;  // liveness is decided on the primary chain below
+      bool tombstone = false;
+      Address newest = TraceNewestSync(rec.key, start, &tombstone);
+      if (newest != addr || tombstone) return false;  // dead (or deleted)
+      Address new_addr = TryAllocateRecord();
+      if (!new_addr.IsValid()) continue;  // epoch refreshed; re-verify
+      RecordT* new_rec = RecordAt(new_addr);
+      new_rec->key = rec.key;
+      new_rec->value = rec.value;
+      new_rec->set_info(RecordInfo{start, false, false});
+      if (index_.TryUpdateEntry(&fr, new_addr)) return true;
+      new_rec->SetInvalid();  // raced with an update; re-verify liveness
+    }
+  }
+
+  /// One-shot allocation (Alg. 1 wrapper). Returns an invalid address if
+  /// the epoch had to be refreshed (page rollover); the caller must
+  /// restart its operation, since any record pointers it held may have
+  /// been invalidated by the refresh.
+  Address TryAllocateRecord() {
+    uint64_t closed_page = 0;
+    Address addr = hlog_.Allocate(RecordT::size(), &closed_page);
+    if (addr.IsValid()) return addr;
+    while (!hlog_.NewPage(closed_page)) {
+      // Next frame not recyclable yet: drive the epoch (and flushes).
+      epoch_.Refresh();
+      std::this_thread::yield();
+    }
+    epoch_.Refresh();
+    return Address::Invalid();
+  }
+
+  struct RmwOutcome {
+    enum Kind { kDone, kIo, kFuzzy } kind;
+    Status status = Status::kOk;
+    Address io_address = Address::Invalid();
+  };
+
+  /// The in-memory portion of RMW (Alg. 4). `disk_state`/`disk_value`
+  /// carry the result of a completed storage read for chain bottom
+  /// `disk_bottom` (continuation path); kNone on the initial attempt.
+  RmwOutcome RmwInMemory(ThreadState& ts, const Key& key, KeyHash hash,
+                         const Input& input, DiskState disk_state,
+                         const Value* disk_value, Address disk_bottom) {
+    for (;;) {
+      typename HashIndex::OpScope scope{index_, hash};
+      HashIndex::FindResult fr;
+      index_.FindOrCreateEntry(scope, hash, &fr);
+      Address addr;
+      RecordT* rc_rec = nullptr;
+      if (!ResolveEntry(fr, &addr, &rc_rec)) {
+        epoch_.Refresh();
+        continue;
+      }
+      if (rc_rec != nullptr && rc_rec->key == key) {
+        // Read-cache hit (Appendix D): the cached copy is the newest
+        // version, so RMW can copy-update from it without a storage read.
+        // The new record's chain skips the cache record.
+        if (AppendRecordWithPrev(ts, key, input, &fr, RecordKind::kCopy,
+                                 &rc_rec->value, addr)) {
+          return {RmwOutcome::kDone, Status::kOk, {}};
+        }
+        continue;
+      }
+      Address begin = hlog_.begin_address();
+      Address head = hlog_.head_address();
+      RecordT* rec = nullptr;
+      Address found = Address::Invalid();
+      if (addr.IsValid() && addr >= begin) {
+        if (addr >= head) {
+          found = TraceBack(key, addr, std::max(head, begin), &rec);
+        } else {
+          found = addr;  // chain starts on disk
+        }
+      }
+      if (rec != nullptr && !rec->info().tombstone()) {
+        if (!config_.force_rcu && found >= hlog_.read_only_address()) {
+          // Mutable region: in-place update (Table 2 bottom row).
+          F::InPlaceUpdater(key, input, rec->value);
+          return {RmwOutcome::kDone, Status::kOk, {}};
+        }
+        if (!config_.force_rcu && found >= hlog_.safe_read_only_address()) {
+          // Fuzzy region (Sec. 6.2): an in-place update elsewhere could be
+          // lost if we copied now. (In force_rcu mode no update is ever
+          // in-place, so the lost-update anomaly cannot occur and RCU is
+          // safe anywhere — the Sec. 5 append-only strawman.)
+          if constexpr (kMergeable) {
+            // CRDT (Sec. 6.3): append a delta record instead of waiting.
+            if (AppendRecord(ts, key, input, &fr, RecordKind::kDelta,
+                             nullptr)) {
+              return {RmwOutcome::kDone, Status::kOk, {}};
+            }
+            continue;
+          }
+          return {RmwOutcome::kFuzzy, Status::kPending, {}};
+        }
+        // Safe read-only region: read-copy-update to the tail.
+        if (AppendRecord(ts, key, input, &fr,
+                         kMergeable ? RecordKind::kDelta : RecordKind::kCopy,
+                         &rec->value)) {
+          if constexpr (!kMergeable) rec->SetOverwritten();  // Appendix C
+          return {RmwOutcome::kDone, Status::kOk, {}};
+        }
+        continue;
+      }
+      if (rec != nullptr) {
+        // Newest record is a tombstone: treat the key as absent.
+        if (AppendRecord(ts, key, input, &fr, RecordKind::kInitial, nullptr)) {
+          return {RmwOutcome::kDone, Status::kOk, {}};
+        }
+        continue;
+      }
+      if (found.IsValid() && found >= begin) {
+        // Chain bottoms out on storage.
+        if constexpr (kMergeable) {
+          // CRDTs never read the old value: append a delta (Table 2).
+          if (AppendRecord(ts, key, input, &fr, RecordKind::kDelta,
+                           nullptr)) {
+            return {RmwOutcome::kDone, Status::kOk, {}};
+          }
+          continue;
+        }
+        if (disk_state != DiskState::kNone && found == disk_bottom) {
+          // Continuation: we already resolved this chain bottom.
+          bool ok = (disk_state == DiskState::kValue)
+                        ? AppendRecord(ts, key, input, &fr, RecordKind::kCopy,
+                                       disk_value)
+                        : AppendRecord(ts, key, input, &fr,
+                                       RecordKind::kInitial, nullptr);
+          if (ok) return {RmwOutcome::kDone, Status::kOk, {}};
+          continue;
+        }
+        return {RmwOutcome::kIo, Status::kPending, found};
+      }
+      // Key absent: create the initial record.
+      if (AppendRecord(ts, key, input, &fr, RecordKind::kInitial, nullptr)) {
+        return {RmwOutcome::kDone, Status::kOk, {}};
+      }
+    }
+  }
+
+  enum class RecordKind : uint8_t { kInitial, kCopy, kDelta };
+
+  /// Allocates and links a new RMW record at the tail. Returns false if
+  /// the operation must restart (allocation refreshed the epoch, or the
+  /// index CAS failed). `old_value` is required for kCopy.
+  bool AppendRecord(ThreadState& ts, const Key& key, const Input& input,
+                    HashIndex::FindResult* fr, RecordKind kind,
+                    const Value* old_value) {
+    return AppendRecordWithPrev(ts, key, input, fr, kind, old_value,
+                                fr->entry.address());
+  }
+
+  /// As AppendRecord, but with an explicit previous-address for the new
+  /// record (the read cache skips the cache record in the chain).
+  bool AppendRecordWithPrev(ThreadState& ts, const Key& key,
+                            const Input& input, HashIndex::FindResult* fr,
+                            RecordKind kind, const Value* old_value,
+                            Address prev) {
+    Address new_addr = TryAllocateRecord();
+    if (!new_addr.IsValid()) return false;
+    RecordT* new_rec = RecordAt(new_addr);
+    new_rec->key = key;
+    switch (kind) {
+      case RecordKind::kInitial:
+      case RecordKind::kDelta:
+        new_rec->value = Value{};
+        F::InitialUpdater(key, input, new_rec->value);
+        break;
+      case RecordKind::kCopy:
+        F::CopyUpdater(key, input, *old_value, new_rec->value);
+        break;
+    }
+    new_rec->set_info(
+        RecordInfo{prev, false, false, kind == RecordKind::kDelta});
+    if (index_.TryUpdateEntry(fr, new_addr)) {
+      ++ts.appended_records;
+      return true;
+    }
+    new_rec->SetInvalid();
+    return false;
+  }
+
+  // -------------------------------------------------------------------
+  // Pending-operation machinery (Sec. 5.3).
+  // -------------------------------------------------------------------
+
+  Status IssuePendingIo(ThreadState& ts, OpType op, const Key& key,
+                        KeyHash hash, const Input& input, Output* output,
+                        Address addr, void* user_context = nullptr) {
+    auto* ctx =
+        new PendingContext(this, op, key, hash, input, output, Thread::Id());
+    ctx->user_context = user_context;
+    ctx->address = addr;
+    ctx->chain_bottom = addr;
+    ++ts.outstanding_ios;
+    ++ts.ios_issued;
+    hlog_.AsyncGetFromDisk(addr, RecordT::size(), ctx->buffer,
+                           &FasterKv::IoCallback, ctx);
+    return Status::kPending;
+  }
+
+  /// Re-issues a follow-the-chain read for an already-pending context.
+  void ReissueIo(PendingContext* ctx, Address addr) {
+    ctx->address = addr;
+    ThreadState& ts = thread_states_[ctx->owner];
+    ++ts.ios_issued;
+    hlog_.AsyncGetFromDisk(addr, RecordT::size(), ctx->buffer,
+                           &FasterKv::IoCallback, ctx);
+  }
+
+  static void IoCallback(void* context, Status result, uint32_t /*bytes*/) {
+    auto* ctx = static_cast<PendingContext*>(context);
+    ctx->io_status = result;
+    ThreadState& ts = ctx->store->thread_states_[ctx->owner];
+    std::lock_guard<std::mutex> lock{ts.mutex};
+    ts.completions.push_back(ctx);
+  }
+
+  void FinishPending(ThreadState& ts, PendingContext* ctx, Status result) {
+    ++ts.completed;
+    --ts.outstanding_ios;
+    NotifyCompletion(ctx, result);
+    delete ctx;
+  }
+
+  void NotifyCompletion(PendingContext* ctx, Status result) {
+    if (config_.completion_callback != nullptr) {
+      config_.completion_callback(
+          ctx->op == OpType::kRead ? UserOp::kRead : UserOp::kRmw, result,
+          ctx->user_context);
+    }
+  }
+
+  void ProcessCompletions(ThreadState& ts) {
+    std::vector<PendingContext*> ready;
+    {
+      std::lock_guard<std::mutex> lock{ts.mutex};
+      ready.swap(ts.completions);
+    }
+    for (PendingContext* ctx : ready) {
+      if (ctx->io_status != Status::kOk) {
+        FinishPending(ts, ctx, Status::kIoError);
+        continue;
+      }
+      const RecordT* rec = ctx->record();
+      RecordInfo info = rec->info();
+      Address begin = hlog_.begin_address();
+      if (!info.in_use() || info.invalid()) {
+        // Invalid record (lost CAS) or padding: follow the chain.
+        Address prev = info.in_use() ? info.previous_address()
+                                     : Address::Invalid();
+        if (prev.IsValid() && prev >= begin) {
+          ReissueIo(ctx, prev);
+        } else {
+          CompleteChainMiss(ts, ctx);
+        }
+        continue;
+      }
+      if (!(rec->key == ctx->key)) {
+        Address prev = info.previous_address();
+        if (prev.IsValid() && prev >= begin) {
+          ReissueIo(ctx, prev);
+        } else {
+          CompleteChainMiss(ts, ctx);
+        }
+        continue;
+      }
+      // Key matched on storage.
+      if (ctx->op == OpType::kRead) {
+        if constexpr (kMergeable) {
+          CompleteMergeStep(ts, ctx, rec);
+          continue;
+        }
+        if (info.tombstone()) {
+          FinishPending(ts, ctx, Status::kNotFound);
+        } else {
+          F::SingleReader(ctx->key, ctx->input, rec->value, *ctx->output);
+          if (rc_log_ != nullptr) {
+            // Read-hot records earn a spot in the read cache (Appendix D).
+            TryInsertToCache(ctx->key, ctx->hash, rec->value);
+          }
+          FinishPending(ts, ctx, Status::kOk);
+        }
+        continue;
+      }
+      // RMW continuation.
+      DiskState state =
+          info.tombstone() ? DiskState::kAbsent : DiskState::kValue;
+      RmwContinue(ts, ctx, state, &rec->value);
+    }
+  }
+
+  /// The disk chain ran out without finding the key.
+  void CompleteChainMiss(ThreadState& ts, PendingContext* ctx) {
+    if (ctx->op == OpType::kRead) {
+      if constexpr (kMergeable) {
+        CompleteMergeFinal(ts, ctx);
+        return;
+      }
+      FinishPending(ts, ctx, Status::kNotFound);
+      return;
+    }
+    RmwContinue(ts, ctx, DiskState::kAbsent, nullptr);
+  }
+
+  void RmwContinue(ThreadState& ts, PendingContext* ctx, DiskState state,
+                   const Value* disk_value) {
+    RmwOutcome oc = RmwInMemory(ts, ctx->key, ctx->hash, ctx->input, state,
+                                disk_value, ctx->chain_bottom);
+    switch (oc.kind) {
+      case RmwOutcome::kDone:
+        FinishPending(ts, ctx, oc.status);
+        return;
+      case RmwOutcome::kIo:
+        // The chain bottom changed while we were reading; chase it.
+        ctx->chain_bottom = oc.io_address;
+        ReissueIo(ctx, oc.io_address);
+        return;
+      case RmwOutcome::kFuzzy:
+        // The record migrated into the fuzzy region; fall back to the
+        // retry list (the context stops being an outstanding I/O).
+        ++ts.fuzzy_rmws;
+        --ts.outstanding_ios;
+        ctx->chain_bottom = Address::Invalid();
+        ts.retries.push_back(ctx);
+        return;
+    }
+  }
+
+  void ProcessRetries(ThreadState& ts) {
+    if (ts.retries.empty()) return;
+    std::vector<PendingContext*> work;
+    work.swap(ts.retries);
+    for (PendingContext* ctx : work) {
+      RmwOutcome oc = RmwInMemory(ts, ctx->key, ctx->hash, ctx->input,
+                                  DiskState::kNone, nullptr,
+                                  Address::Invalid());
+      switch (oc.kind) {
+        case RmwOutcome::kDone:
+          ++ts.completed;
+          NotifyCompletion(ctx, oc.status);
+          delete ctx;
+          break;
+        case RmwOutcome::kIo:
+          ctx->chain_bottom = oc.io_address;
+          ++ts.outstanding_ios;
+          ReissueIo(ctx, oc.io_address);
+          break;
+        case RmwOutcome::kFuzzy:
+          ts.retries.push_back(ctx);  // still fuzzy; try again later
+          break;
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------
+  // Mergeable (CRDT) reads: reconcile all delta records (Sec. 6.3).
+  // -------------------------------------------------------------------
+
+  Status MergeableRead(ThreadState& ts, const Key& key, KeyHash hash,
+                       Address addr, Output* output) {
+    static_assert(!kMergeable || std::is_same_v<Value, Output>,
+                  "mergeable stores require Output == Value");
+    Value acc{};
+    bool found = false;
+    Address begin = hlog_.begin_address();
+    Address head = hlog_.head_address();
+    Address min_mem = std::max(head, begin);
+    // Merge every matching in-memory record, newest to oldest.
+    while (addr.IsValid() && addr >= min_mem) {
+      RecordT* r = RecordAt(addr);
+      if (r->key == key) {
+        if (r->info().tombstone()) {
+          // Older records are dead; finish with what we have.
+          if (found) {
+            *output = acc;
+            return Status::kOk;
+          }
+          return Status::kNotFound;
+        }
+        F::Merge(acc, r->value);
+        found = true;
+      }
+      addr = r->info().previous_address();
+    }
+    if (!addr.IsValid() || addr < begin) {
+      if (!found) return Status::kNotFound;
+      *output = acc;
+      return Status::kOk;
+    }
+    // Continue reconciliation on storage.
+    auto* ctx = new PendingContext(this, OpType::kRead, key, hash, Input{},
+                                   output, Thread::Id());
+    ctx->merge_acc = acc;
+    ctx->merge_found = found;
+    ctx->address = addr;
+    ctx->chain_bottom = addr;
+    ++ts.outstanding_ios;
+    ++ts.ios_issued;
+    hlog_.AsyncGetFromDisk(addr, RecordT::size(), ctx->buffer,
+                           &FasterKv::IoCallback, ctx);
+    return Status::kPending;
+  }
+
+  void CompleteMergeStep(ThreadState& ts, PendingContext* ctx,
+                         const RecordT* rec) {
+    RecordInfo info = rec->info();
+    if (info.tombstone()) {
+      CompleteMergeFinal(ts, ctx);
+      return;
+    }
+    F::Merge(ctx->merge_acc, rec->value);
+    ctx->merge_found = true;
+    Address prev = info.previous_address();
+    if (prev.IsValid() && prev >= hlog_.begin_address()) {
+      ReissueIo(ctx, prev);
+      return;
+    }
+    CompleteMergeFinal(ts, ctx);
+  }
+
+  void CompleteMergeFinal(ThreadState& ts, PendingContext* ctx) {
+    if constexpr (kMergeable) {
+      if (ctx->merge_found) {
+        *ctx->output = ctx->merge_acc;
+        FinishPending(ts, ctx, Status::kOk);
+        return;
+      }
+    }
+    FinishPending(ts, ctx, Status::kNotFound);
+  }
+
+  // -------------------------------------------------------------------
+  // Disk scanning (recovery repair pass and Appendix F log analytics).
+  // -------------------------------------------------------------------
+
+  template <class Fn>
+  void ScanDiskRange(Address from, Address to, Fn&& fn) {
+    std::vector<uint8_t> page(Address::kPageSize);
+    Address addr = from;
+    uint64_t loaded_page = UINT64_MAX;
+    while (addr < to) {
+      if (addr.offset() + RecordT::size() > Address::kPageSize) {
+        addr = addr.NextPageStart();
+        continue;
+      }
+      if (addr.page() != loaded_page) {
+        if (hlog_.ReadFromDiskSync(addr.PageStart(), Address::kPageSize,
+                                   page.data()) != Status::kOk) {
+          return;
+        }
+        loaded_page = addr.page();
+      }
+      const auto* rec =
+          reinterpret_cast<const RecordT*>(page.data() + addr.offset());
+      if (!rec->info().in_use()) {
+        addr = addr.NextPageStart();  // padding
+        continue;
+      }
+      fn(addr, *rec);
+      addr = addr + RecordT::size();
+    }
+  }
+
+  struct CheckpointMetadata {
+    uint64_t magic;
+    uint64_t t1;
+    uint64_t t2;
+    uint64_t begin;
+    uint32_t record_size;
+  };
+  static constexpr uint64_t kCheckpointMagic = 0xFA57C8EC4B01ULL;
+
+  Config config_;
+  LightEpoch epoch_;
+  HashIndex index_;
+  HybridLog hlog_;
+  std::unique_ptr<HybridLog> rc_log_;  // read cache (Appendix D), optional
+  std::vector<ThreadState> thread_states_;
+};
+
+}  // namespace faster
+
+#endif  // FASTER_CORE_FASTER_H_

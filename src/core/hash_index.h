@@ -1,0 +1,202 @@
+#ifndef FASTER_CORE_HASH_INDEX_H_
+#define FASTER_CORE_HASH_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/epoch.h"
+#include "core/hash_bucket.h"
+#include "core/key_hash.h"
+#include "core/status.h"
+
+namespace faster {
+
+/// The FASTER hash index (Sec. 3): a concurrent, latch-free, resizable
+/// array of cache-line-sized hash buckets. The index stores no keys — only
+/// 8-byte entries carrying a 15-bit tag and a 48-bit record address — so it
+/// stays small enough to remain entirely in memory.
+///
+/// Invariant (Sec. 3.2): each (bucket, tag) pair has at most one
+/// non-tentative entry. Inserts maintain this with the latch-free
+/// two-phase algorithm using the tentative bit.
+///
+/// Resizing (Appendix B): the index can be grown (doubled) on-line. During
+/// a grow, operations cooperate through a three-phase state machine
+/// (stable → prepare-to-resize → resizing) coordinated by the epoch
+/// framework, with a per-chunk pin array guarding migration. Every index
+/// operation must therefore be bracketed by an `OpScope`, which resolves
+/// the correct table version and holds the chunk pin for the duration of
+/// the operation (find through CAS).
+class HashIndex {
+ public:
+  /// Result of locating (or creating) an entry: the atomic slot (for later
+  /// CAS) and the entry value observed.
+  struct FindResult {
+    std::atomic<uint64_t>* slot = nullptr;
+    HashBucketEntry entry;
+  };
+
+  /// RAII bracket around one index operation. Resolves which table version
+  /// the operation runs against and, during a resize, pins the bucket's
+  /// chunk (prepare phase) or helps migrate it (resizing phase).
+  class OpScope {
+   public:
+    OpScope(HashIndex& index, KeyHash hash);
+    ~OpScope();
+    OpScope(const OpScope&) = delete;
+    OpScope& operator=(const OpScope&) = delete;
+
+   private:
+    friend class HashIndex;
+    HashIndex& index_;
+    HashBucket* table_;
+    uint64_t table_size_;
+    int64_t pinned_chunk_;  // -1 if not pinned
+  };
+
+  /// Creates an index with `table_size` buckets (rounded up to a power of
+  /// two, minimum 64). `epoch` must outlive the index. `tag_bits` (1..15)
+  /// controls how many tag bits entries carry — Sec. 7.2.2 measures the
+  /// robustness of FASTER to smaller tags (larger address sizes).
+  HashIndex(uint64_t table_size, LightEpoch* epoch, uint32_t tag_bits = 15);
+  ~HashIndex();
+
+  HashIndex(const HashIndex&) = delete;
+  HashIndex& operator=(const HashIndex&) = delete;
+
+  /// Finds the non-tentative entry matching `hash`'s tag, if any.
+  /// Returns false if no such entry exists.
+  bool FindEntry(const OpScope& scope, KeyHash hash, FindResult* out) const;
+
+  /// Finds the entry matching `hash`'s tag, creating one (with an invalid
+  /// address) via the two-phase tentative insert if absent.
+  void FindOrCreateEntry(const OpScope& scope, KeyHash hash, FindResult* out);
+
+  /// CAS the slot in `result` from the observed entry to a new entry with
+  /// `address` and the same tag. On success updates `result->entry`; on
+  /// failure reloads the current value into `result->entry`.
+  bool TryUpdateEntry(FindResult* result, Address address);
+
+  /// CAS the slot in `result` from the observed entry to empty (0).
+  bool TryDeleteEntry(FindResult* result);
+
+  /// Number of buckets in the active version.
+  uint64_t size() const {
+    return table_size_[resize_info().version];
+  }
+
+  /// Counts non-empty entries (O(table); for tests and stats).
+  uint64_t NumUsedEntries() const;
+
+  /// Calls `fn(HashBucketEntry)` for every non-tentative, non-empty entry
+  /// in the active table. Not safe against concurrent resizing; intended
+  /// for teardown, stats, and single-threaded maintenance.
+  template <class Fn>
+  void ForEachEntry(Fn&& fn) const {
+    ResizeInfo info = resize_info();
+    const HashBucket* table = tables_[info.version];
+    uint64_t size = table_size_[info.version];
+    for (uint64_t i = 0; i < size; ++i) {
+      for (const HashBucket* b = &table[i]; b != nullptr;
+           b = reinterpret_cast<const HashBucket*>(
+               b->overflow.load(std::memory_order_acquire))) {
+        for (uint32_t j = 0; j < HashBucket::kNumEntries; ++j) {
+          HashBucketEntry e{b->entries[j].load(std::memory_order_acquire)};
+          if (!e.IsUnused() && !e.tentative()) fn(e);
+        }
+      }
+    }
+  }
+
+  /// Doubles the index on-line (Appendix B). Must be called from an
+  /// epoch-protected thread; concurrent operations cooperate. Blocks until
+  /// the grow completes.
+  void Grow();
+
+  /// True while a grow is in progress.
+  bool IsResizing() const {
+    return resize_info().phase != Phase::kStable;
+  }
+
+  /// Serializes the active table (fuzzy: entries are read atomically but
+  /// the snapshot is not point-in-time consistent; see Sec. 6.5). Must not
+  /// be called during a grow. `transform`, if provided, maps each slot to
+  /// the entry value to persist (the read cache uses it to swing cached
+  /// addresses back to the primary log, Appendix D); the default drops
+  /// tentative entries and persists the rest verbatim.
+  using EntryTransform =
+      std::function<uint64_t(const std::atomic<uint64_t>&)>;
+  Status WriteCheckpoint(int fd, const EntryTransform& transform = {}) const;
+  /// Restores a table written by WriteCheckpoint. The index must be
+  /// otherwise idle.
+  Status ReadCheckpoint(int fd);
+
+ private:
+  enum class Phase : uint8_t { kStable = 0, kPrepare = 1, kResizing = 2 };
+
+  /// Packed resize state: active version (0/1) and phase.
+  struct ResizeInfo {
+    Phase phase;
+    uint8_t version;
+  };
+
+  static constexpr uint64_t kChunkSize = 4096;  // buckets per resize chunk
+
+  ResizeInfo resize_info() const {
+    uint16_t v = resize_state_.load(std::memory_order_acquire);
+    return ResizeInfo{static_cast<Phase>(v & 0xff),
+                      static_cast<uint8_t>(v >> 8)};
+  }
+  void set_resize_state(Phase phase, uint8_t version) {
+    resize_state_.store(static_cast<uint16_t>(phase) |
+                            (static_cast<uint16_t>(version) << 8),
+                        std::memory_order_release);
+  }
+
+  /// Allocates a zeroed, cache-aligned bucket array.
+  static HashBucket* AllocateTable(uint64_t num_buckets);
+
+  /// Overflow-bucket allocation for table version `version`.
+  HashBucket* AllocateOverflowBucket(uint8_t version);
+
+  /// Walks a bucket chain looking for `tag`; returns slot/value of the
+  /// non-tentative match, and optionally the first free slot seen.
+  bool ScanChain(HashBucket* bucket, uint16_t tag, FindResult* match,
+                 std::atomic<uint64_t>** free_slot, uint8_t version);
+
+  /// Migrates chunk `chunk` from the old to the new table. Caller must
+  /// have claimed the chunk via the pin array.
+  void MigrateChunk(uint64_t chunk);
+  /// Ensures `chunk` has been migrated, helping if necessary.
+  void EnsureMigrated(uint64_t chunk);
+
+  /// Masks KeyHash tags down to the configured width.
+  uint16_t EffectiveTag(KeyHash hash) const {
+    return static_cast<uint16_t>(hash.Tag() & tag_mask_);
+  }
+
+  LightEpoch* epoch_;
+  uint16_t tag_mask_ = 0x7fff;
+  HashBucket* tables_[2] = {nullptr, nullptr};
+  uint64_t table_size_[2] = {0, 0};
+  std::atomic<uint16_t> resize_state_;
+
+  // Resize machinery (Appendix B).
+  std::vector<std::unique_ptr<std::atomic<int64_t>>> pins_;
+  std::vector<std::unique_ptr<std::atomic<bool>>> migrated_;
+  std::atomic<uint64_t> num_migrated_chunks_{0};
+  uint64_t num_chunks_ = 0;
+  std::mutex grow_mutex_;  // serializes concurrent Grow() callers only
+
+  // Overflow bucket pools, per version.
+  mutable std::mutex overflow_mutex_;
+  std::vector<HashBucket*> overflow_pool_[2];
+};
+
+}  // namespace faster
+
+#endif  // FASTER_CORE_HASH_INDEX_H_

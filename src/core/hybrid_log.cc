@@ -1,0 +1,294 @@
+#include "core/hybrid_log.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+namespace faster {
+
+namespace {
+// The first 64 bytes of the address space are reserved so that no record
+// ever has logical address 0 (the invalid address / list terminator).
+constexpr uint64_t kFirstAddress = 64;
+}  // namespace
+
+HybridLog::HybridLog(const LogConfig& config, IDevice* device,
+                     LightEpoch* epoch)
+    : device_{device},
+      epoch_{epoch},
+      read_cache_mode_{config.read_cache_mode},
+      tail_page_offset_{kFirstAddress},
+      begin_address_{kFirstAddress},
+      head_address_{kFirstAddress},
+      read_only_address_{kFirstAddress},
+      safe_read_only_address_{kFirstAddress},
+      flushed_until_{kFirstAddress},
+      flush_issued_{Address{kFirstAddress}} {
+  buffer_pages_ = std::max<uint64_t>(config.memory_size_bytes >>
+                                         Address::kOffsetBits,
+                                     2);
+  double mf = std::min(std::max(config.mutable_fraction, 0.0), 1.0);
+  // The mutable region is `ro_lag_pages_` pages behind the tail; it must
+  // leave at least one page of read-only runway so pages can become
+  // flushable before their frames are needed again.
+  ro_lag_pages_ = static_cast<uint64_t>(mf * static_cast<double>(buffer_pages_));
+  if (ro_lag_pages_ >= buffer_pages_) ro_lag_pages_ = buffer_pages_ - 1;
+
+  frames_.resize(buffer_pages_);
+  for (uint64_t i = 0; i < buffer_pages_; ++i) {
+    frames_[i] = static_cast<uint8_t*>(
+        std::aligned_alloc(4096, Address::kPageSize));
+    std::memset(frames_[i], 0, Address::kPageSize);
+    closed_page_.push_back(std::make_unique<std::atomic<int64_t>>(-1));
+  }
+}
+
+HybridLog::~HybridLog() {
+  device_->Drain();
+  for (uint8_t* f : frames_) std::free(f);
+}
+
+bool HybridLog::MonotonicUpdate(std::atomic<uint64_t>& a, Address desired,
+                                Address* winner) {
+  uint64_t current = a.load(std::memory_order_acquire);
+  while (current < desired.control()) {
+    if (a.compare_exchange_weak(current, desired.control(),
+                                std::memory_order_acq_rel)) {
+      if (winner != nullptr) *winner = desired;
+      return true;
+    }
+  }
+  if (winner != nullptr) *winner = Address{current};
+  return false;
+}
+
+Address HybridLog::tail_address() const {
+  uint64_t tpo = tail_page_offset_.load(std::memory_order_acquire);
+  uint64_t page = tpo >> 32;
+  uint64_t offset = std::min<uint64_t>(tpo & 0xffffffffull,
+                                       Address::kPageSize);
+  return Address{(page << Address::kOffsetBits) + offset};
+}
+
+Address HybridLog::Allocate(uint32_t size, uint64_t* closed_page) {
+  assert(size % 8 == 0 && size > 0 && size <= Address::kPageSize);
+  uint64_t tpo = tail_page_offset_.fetch_add(size, std::memory_order_acq_rel);
+  uint64_t page = tpo >> 32;
+  uint64_t offset = tpo & 0xffffffffull;
+  if (offset + size <= Address::kPageSize) {
+    return Address{page, offset};
+  }
+  // This allocation (and any later one) overflowed the page; the caller
+  // must close it via NewPage and retry.
+  *closed_page = page;
+  return Address::Invalid();
+}
+
+bool HybridLog::NewPage(uint64_t old_page) {
+  // Page transitions are rare (once per page); a mutex keeps the
+  // frame-recycling logic simple without touching the allocation fast path.
+  std::lock_guard<std::recursive_mutex> lock{flush_mutex_};
+
+  uint64_t tpo = tail_page_offset_.load(std::memory_order_acquire);
+  if ((tpo >> 32) != old_page) {
+    return true;  // Another thread already opened the next page.
+  }
+  uint64_t new_page = old_page + 1;
+
+  // Shift the read-only offset to maintain its lag from the tail
+  // (Sec. 6.1); propagate to the safe read-only offset via an epoch
+  // trigger (Sec. 6.2) which also makes the newly immutable pages
+  // eligible for flushing.
+  if (new_page > ro_lag_pages_) {
+    Address desired_ro{(new_page - ro_lag_pages_) << Address::kOffsetBits};
+    Address winner;
+    if (MonotonicUpdate(read_only_address_, desired_ro, &winner)) {
+      epoch_->BumpCurrentEpoch(
+          [this, winner]() { UpdateSafeReadOnly(winner); });
+    }
+  }
+
+  // Shift the head if the buffer would otherwise overflow; pages may only
+  // be evicted once they are flushed (Sec. 5.2).
+  if (new_page >= buffer_pages_) {
+    uint64_t desired_head_page = new_page - buffer_pages_ + 1;
+    uint64_t flushed_page = read_cache_mode_
+                                ? desired_head_page
+                                : Load(flushed_until_).page();
+    uint64_t new_head_page = std::min(desired_head_page, flushed_page);
+    Address new_head{new_head_page << Address::kOffsetBits};
+    Address old_head = Load(head_address_);
+    Address winner;
+    if (MonotonicUpdate(head_address_, new_head, &winner)) {
+      uint64_t from_page = old_head.page();
+      uint64_t to_page = winner.page();
+      epoch_->BumpCurrentEpoch([this, from_page, to_page]() {
+        // The epoch is safe: no thread still reads these pages. Let the
+        // eviction callback (read cache, Appendix D) inspect them before
+        // the frames become recyclable.
+        if (eviction_callback_ != nullptr) {
+          eviction_callback_(Address{from_page << Address::kOffsetBits},
+                             Address{to_page << Address::kOffsetBits});
+        }
+        for (uint64_t p = from_page; p < to_page; ++p) {
+          closed_page_[p % buffer_pages_]->store(
+              static_cast<int64_t>(p), std::memory_order_release);
+        }
+      });
+    }
+    if (new_head_page < desired_head_page) {
+      return false;  // Flush frontier not far enough yet; caller refreshes.
+    }
+  }
+
+  // The new page's frame must have had its previous tenant evicted.
+  uint64_t frame = new_page % buffer_pages_;
+  if (new_page >= buffer_pages_ &&
+      closed_page_[frame]->load(std::memory_order_acquire) !=
+          static_cast<int64_t>(new_page - buffer_pages_)) {
+    return false;  // Eviction trigger hasn't run; caller refreshes.
+  }
+
+  std::memset(frames_[frame], 0, Address::kPageSize);
+  uint64_t expected = tail_page_offset_.load(std::memory_order_acquire);
+  while ((expected >> 32) == old_page) {
+    uint64_t desired = new_page << 32;
+    if (tail_page_offset_.compare_exchange_weak(expected, desired,
+                                                std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return true;
+}
+
+void HybridLog::UpdateSafeReadOnly(Address new_safe) {
+  std::lock_guard<std::recursive_mutex> lock{flush_mutex_};
+  UpdateSafeReadOnlyLocked(new_safe);
+}
+
+void HybridLog::UpdateSafeReadOnlyLocked(Address new_safe) {
+  Address winner;
+  MonotonicUpdate(safe_read_only_address_, new_safe, &winner);
+  if (read_cache_mode_) {
+    // Read-cache pages are never flushed (their records already live on
+    // the primary log); the flush frontier trivially follows the safe
+    // read-only offset so eviction can proceed.
+    MonotonicUpdate(flushed_until_, winner);
+    return;
+  }
+  IssueFlushesLocked(winner);
+}
+
+void HybridLog::IssueFlushesLocked(Address limit) {
+  while (flush_issued_ < limit) {
+    Address chunk_end = std::min(limit, flush_issued_.NextPageStart());
+    auto* ctx = new FlushContext{this, flush_issued_, chunk_end};
+    uint32_t len = static_cast<uint32_t>(chunk_end - flush_issued_);
+    device_->WriteAsync(Get(flush_issued_), flush_issued_.control(), len,
+                        &HybridLog::FlushCallback, ctx);
+    flush_issued_ = chunk_end;
+  }
+}
+
+void HybridLog::FlushCallback(void* context, Status result, uint32_t) {
+  auto* ctx = static_cast<FlushContext*>(context);
+  // I/O errors are recorded but the frontier still advances so the log
+  // cannot deadlock; callers that care (checkpoint) check io_error().
+  if (result != Status::kOk) {
+    ctx->log->io_error_.store(true, std::memory_order_release);
+  }
+  ctx->log->CompleteFlush(ctx->start, ctx->end);
+  delete ctx;
+}
+
+void HybridLog::CompleteFlush(Address start, Address end) {
+  std::lock_guard<std::recursive_mutex> lock{flush_mutex_};
+  completed_flushes_[start.control()] = end.control();
+  // Advance the flush frontier across contiguous completed chunks.
+  uint64_t frontier = flushed_until_.load(std::memory_order_acquire);
+  for (;;) {
+    auto it = completed_flushes_.find(frontier);
+    if (it == completed_flushes_.end()) break;
+    frontier = it->second;
+    completed_flushes_.erase(it);
+  }
+  MonotonicUpdate(flushed_until_, Address{frontier});
+}
+
+Status HybridLog::AsyncGetFromDisk(Address address, uint32_t size, void* dst,
+                                   IoCallback callback, void* context) {
+  return device_->ReadAsync(address.control(), dst, size, callback, context);
+}
+
+Status HybridLog::ReadFromDiskSync(Address address, uint32_t size, void* dst) {
+  std::atomic<int> done{0};
+  Status result = Status::kOk;
+  struct SyncCtx {
+    std::atomic<int>* done;
+    Status* result;
+  } ctx{&done, &result};
+  device_->ReadAsync(
+      address.control(), dst, size,
+      [](void* c, Status s, uint32_t) {
+        auto* sc = static_cast<SyncCtx*>(c);
+        *sc->result = s;
+        sc->done->store(1, std::memory_order_release);
+      },
+      &ctx);
+  while (done.load(std::memory_order_acquire) == 0) {
+    std::this_thread::yield();
+  }
+  return result;
+}
+
+Address HybridLog::ShiftReadOnlyToTail(bool wait) {
+  Address tail = tail_address();
+  Address winner;
+  if (MonotonicUpdate(read_only_address_, tail, &winner)) {
+    epoch_->BumpCurrentEpoch(
+        [this, winner]() { UpdateSafeReadOnly(winner); });
+  }
+  if (wait) {
+    while (Load(flushed_until_) < tail) {
+      epoch_->Refresh();
+      std::this_thread::yield();
+    }
+  }
+  return tail;
+}
+
+bool HybridLog::ShiftBeginAddress(Address new_begin) {
+  return MonotonicUpdate(begin_address_, new_begin);
+}
+
+void HybridLog::RecoverTo(Address begin, Address tail) {
+  begin_address_.store(begin.control(), std::memory_order_release);
+  head_address_.store(tail.control(), std::memory_order_release);
+  read_only_address_.store(tail.control(), std::memory_order_release);
+  safe_read_only_address_.store(tail.control(), std::memory_order_release);
+  flushed_until_.store(tail.control(), std::memory_order_release);
+  {
+    std::lock_guard<std::recursive_mutex> lock{flush_mutex_};
+    flush_issued_ = tail;
+    completed_flushes_.clear();
+  }
+  // Mark every frame's previous tenant as evicted so allocation can resume
+  // at `tail` (possibly mid-page): frame f's last pre-tail page is treated
+  // as closed.
+  uint64_t tail_page = tail.page();
+  for (uint64_t f = 0; f < buffer_pages_; ++f) {
+    int64_t last;
+    uint64_t mod = tail_page % buffer_pages_;
+    uint64_t delta = (mod >= f) ? (mod - f) : (mod + buffer_pages_ - f);
+    int64_t p = static_cast<int64_t>(tail_page) - static_cast<int64_t>(delta);
+    if (f == mod) p -= static_cast<int64_t>(buffer_pages_);
+    last = p;
+    closed_page_[f]->store(last < 0 ? -1 : last, std::memory_order_release);
+  }
+  std::memset(frames_[tail_page % buffer_pages_], 0, Address::kPageSize);
+  tail_page_offset_.store((tail_page << 32) | tail.offset(),
+                          std::memory_order_release);
+}
+
+}  // namespace faster

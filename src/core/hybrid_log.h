@@ -1,0 +1,191 @@
+#ifndef FASTER_CORE_HYBRID_LOG_H_
+#define FASTER_CORE_HYBRID_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/address.h"
+#include "core/epoch.h"
+#include "core/status.h"
+#include "device/device.h"
+
+namespace faster {
+
+/// Configuration for a HybridLog instance.
+struct LogConfig {
+  /// Capacity of the in-memory circular buffer, in bytes (rounded down to
+  /// whole pages; minimum 2 pages).
+  uint64_t memory_size_bytes = 1ull << 26;  // 64 MB
+  /// Fraction of the in-memory buffer operated as the mutable (in-place
+  /// update) region; the remainder is the read-only region (Sec. 6.4).
+  /// The paper finds 0.9 a good default.
+  double mutable_fraction = 0.9;
+  /// If true, pages evicted from memory are never flushed (used by the
+  /// read cache of Appendix D, whose records already live on the main log).
+  bool read_cache_mode = false;
+};
+
+/// HybridLog: the log-structured record allocator spanning memory and
+/// storage (Sec. 5 and 6).
+///
+/// The 48-bit logical address space is divided into four regions by three
+/// monotonically increasing markers:
+///
+///   begin ... [stable, on disk) ... head ... [read-only) ... safe-RO ...
+///   [fuzzy) ... read-only offset ... [mutable, in-place updates) ... tail
+///
+/// The tail portion `[head, tail)` lives in a bounded circular buffer of
+/// page frames. Records below the read-only offset are never updated in
+/// place; once the *safe* read-only offset (propagated via epoch trigger
+/// actions, Sec. 6.2) passes a page, the page is immutable for every
+/// thread and is flushed asynchronously; once flushed and evicted (closed
+/// via another epoch trigger), its frame is recycled for a new tail page.
+///
+/// This class owns addresses and bytes only; record semantics (headers,
+/// keys, linked lists) belong to the store layered on top.
+class HybridLog {
+ public:
+  /// `device` and `epoch` must outlive the log.
+  HybridLog(const LogConfig& config, IDevice* device, LightEpoch* epoch);
+  ~HybridLog();
+
+  HybridLog(const HybridLog&) = delete;
+  HybridLog& operator=(const HybridLog&) = delete;
+
+  /// Allocates `size` bytes at the tail (Alg. 1). `size` must be 8-byte
+  /// aligned and at most one page. On success returns the record address.
+  /// If the current page overflowed, returns an invalid address and sets
+  /// `*closed_page` to the page that must be closed; the caller should
+  /// invoke `NewPage(closed_page)`, `epoch->Refresh()`, and retry.
+  Address Allocate(uint32_t size, uint64_t* closed_page);
+
+  /// Closes `old_page` and opens `old_page + 1`, advancing the head and
+  /// read-only offsets as needed. Returns false if the new page's frame is
+  /// not yet recyclable (flush or eviction still pending); the caller
+  /// should refresh its epoch and retry.
+  bool NewPage(uint64_t old_page);
+
+  /// Physical pointer for an in-memory logical address (caller must have
+  /// checked `address >= head_address()` under epoch protection).
+  uint8_t* Get(Address address) const {
+    return frames_[address.page() % buffer_pages_] + address.offset();
+  }
+
+  Address begin_address() const { return Load(begin_address_); }
+  Address head_address() const { return Load(head_address_); }
+  Address read_only_address() const { return Load(read_only_address_); }
+  Address safe_read_only_address() const {
+    return Load(safe_read_only_address_);
+  }
+  Address flushed_until_address() const { return Load(flushed_until_); }
+
+  /// Current tail address (next allocation point), clamped to the page end
+  /// during a page transition.
+  Address tail_address() const;
+
+  /// Asynchronously reads `size` bytes at logical address `address` from
+  /// the device (stable region).
+  Status AsyncGetFromDisk(Address address, uint32_t size, void* dst,
+                          IoCallback callback, void* context);
+
+  /// Synchronously reads from the stable region (recovery / log scan).
+  Status ReadFromDiskSync(Address address, uint32_t size, void* dst);
+
+  /// Moves the read-only offset to the current tail and (once the epoch
+  /// permits) flushes everything below it. If `wait`, blocks (refreshing
+  /// the epoch) until `flushed_until >= tail`; requires epoch protection.
+  /// Returns the tail address the log will be durable up to.
+  Address ShiftReadOnlyToTail(bool wait);
+
+  /// Truncates the log: addresses below `new_begin` become invalid
+  /// (expiration-based garbage collection, Appendix C).
+  bool ShiftBeginAddress(Address new_begin);
+
+  /// For recovery: positions all markers for an empty in-memory tail at
+  /// `tail`, with everything below it on disk.
+  void RecoverTo(Address begin, Address tail);
+
+  /// Registers a callback invoked (under epoch safety, before the frames
+  /// are recycled) for every address range [from, to) evicted from memory
+  /// when the head advances. Used by the read cache (Appendix D) to
+  /// redirect index entries back to the primary log. Must be set before
+  /// any allocation.
+  void SetEvictionCallback(std::function<void(Address, Address)> cb) {
+    eviction_callback_ = std::move(cb);
+  }
+
+  /// Number of page frames in the circular buffer.
+  uint64_t buffer_pages() const { return buffer_pages_; }
+  /// Pages of read-only lag between the read-only offset and the tail.
+  uint64_t read_only_lag_pages() const { return ro_lag_pages_; }
+
+  LightEpoch* epoch() { return epoch_; }
+  IDevice* device() { return device_; }
+
+  /// True if any asynchronous flush reported an error.
+  bool io_error() const { return io_error_.load(std::memory_order_acquire); }
+
+ private:
+  static Address Load(const std::atomic<uint64_t>& a) {
+    return Address{a.load(std::memory_order_acquire)};
+  }
+  /// Monotonic (never-backward) update; returns true if we advanced it.
+  static bool MonotonicUpdate(std::atomic<uint64_t>& a, Address desired,
+                              Address* winner = nullptr);
+
+  /// Epoch-trigger target: propagate the read-only offset to the safe
+  /// read-only offset and issue flushes for newly immutable bytes.
+  void UpdateSafeReadOnly(Address new_safe);
+  void UpdateSafeReadOnlyLocked(Address new_safe);
+  /// Issues device writes for [flush_issued_, limit). Caller holds
+  /// flush_mutex_.
+  void IssueFlushesLocked(Address limit);
+  /// Flush-completion bookkeeping: advance flushed_until_ contiguously.
+  void CompleteFlush(Address start, Address end);
+
+  struct FlushContext {
+    HybridLog* log;
+    Address start;
+    Address end;
+  };
+  static void FlushCallback(void* context, Status result, uint32_t bytes);
+
+  IDevice* device_;
+  LightEpoch* epoch_;
+  std::function<void(Address, Address)> eviction_callback_;
+  uint64_t buffer_pages_;
+  uint64_t ro_lag_pages_;
+  bool read_cache_mode_;
+
+  std::vector<uint8_t*> frames_;
+  /// closed_page_[f]: the latest page whose eviction from frame f has
+  /// completed; frame f may host page P iff P < buffer_pages_ or
+  /// closed_page_[f] == P - buffer_pages_.
+  std::vector<std::unique_ptr<std::atomic<int64_t>>> closed_page_;
+
+  /// Packed (page << 32 | offset); offset may transiently exceed the page
+  /// size while a page transition is in progress.
+  alignas(64) std::atomic<uint64_t> tail_page_offset_;
+  alignas(64) std::atomic<uint64_t> begin_address_;
+  alignas(64) std::atomic<uint64_t> head_address_;
+  alignas(64) std::atomic<uint64_t> read_only_address_;
+  alignas(64) std::atomic<uint64_t> safe_read_only_address_;
+  alignas(64) std::atomic<uint64_t> flushed_until_;
+
+  // Flush issuance/completion state (off the fast path). Recursive because
+  // an epoch drain triggered inside NewPage (which holds the mutex) may run
+  // the safe-read-only trigger action inline.
+  std::recursive_mutex flush_mutex_;
+  Address flush_issued_;
+  std::map<uint64_t, uint64_t> completed_flushes_;  // start -> end
+  std::atomic<bool> io_error_{false};
+};
+
+}  // namespace faster
+
+#endif  // FASTER_CORE_HYBRID_LOG_H_

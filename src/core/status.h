@@ -1,0 +1,54 @@
+#ifndef FASTER_CORE_STATUS_H_
+#define FASTER_CORE_STATUS_H_
+
+#include <cstdint>
+
+namespace faster {
+
+/// Result of a user-facing store operation or an internal subsystem call.
+///
+/// FASTER follows the database-library convention of status-code error
+/// handling on every operation path (exceptions are reserved for
+/// unrecoverable construction failures). `Status::kPending` is not an
+/// error: it means the operation went asynchronous (e.g., the record lives
+/// on storage) and will be completed by a later `CompletePending()` call on
+/// the issuing thread.
+enum class Status : uint8_t {
+  /// The operation completed successfully.
+  kOk = 0,
+  /// A read/RMW/delete did not find the key (or found a tombstone).
+  kNotFound = 1,
+  /// The operation requires asynchronous I/O (or deferred retry in the
+  /// fuzzy region) and has been queued; call `CompletePending()`.
+  kPending = 2,
+  /// The operation lost a race and could not be retried internally.
+  kAborted = 3,
+  /// Allocation failed (log out of space or malloc failure).
+  kOutOfMemory = 4,
+  /// A storage I/O failed.
+  kIoError = 5,
+  /// Invalid argument or store state for this call.
+  kInvalid = 6,
+  /// Checkpoint/recovery metadata was malformed or missing.
+  kCorruption = 7,
+};
+
+/// Human-readable name for a status code (for logs and test failure
+/// messages).
+inline const char* StatusName(Status s) {
+  switch (s) {
+    case Status::kOk: return "Ok";
+    case Status::kNotFound: return "NotFound";
+    case Status::kPending: return "Pending";
+    case Status::kAborted: return "Aborted";
+    case Status::kOutOfMemory: return "OutOfMemory";
+    case Status::kIoError: return "IoError";
+    case Status::kInvalid: return "Invalid";
+    case Status::kCorruption: return "Corruption";
+  }
+  return "Unknown";
+}
+
+}  // namespace faster
+
+#endif  // FASTER_CORE_STATUS_H_

@@ -1,0 +1,61 @@
+#include "core/thread.h"
+
+#include <cassert>
+
+namespace faster {
+
+std::atomic<bool> Thread::in_use_[Thread::kMaxThreads] = {};
+std::atomic<uint32_t> Thread::high_water_{0};
+
+namespace {
+
+/// RAII holder living in thread-local storage; releases the slot when the
+/// thread exits.
+struct ThreadIdHolder {
+  uint32_t id = Thread::kInvalidId;
+  ~ThreadIdHolder();
+};
+
+thread_local ThreadIdHolder t_holder;
+
+}  // namespace
+
+uint32_t Thread::Acquire() {
+  for (uint32_t i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (in_use_[i].compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+      uint32_t hw = high_water_.load(std::memory_order_relaxed);
+      while (i + 1 > hw &&
+             !high_water_.compare_exchange_weak(hw, i + 1,
+                                                std::memory_order_relaxed)) {
+      }
+      return i;
+    }
+  }
+  assert(false && "Too many live threads for faster::Thread");
+  return kInvalidId;
+}
+
+void Thread::Release(uint32_t id) {
+  if (id < kMaxThreads) {
+    in_use_[id].store(false, std::memory_order_release);
+  }
+}
+
+uint32_t Thread::Id() {
+  if (t_holder.id == kInvalidId) {
+    t_holder.id = Acquire();
+  }
+  return t_holder.id;
+}
+
+uint32_t Thread::HighWaterMark() {
+  return high_water_.load(std::memory_order_acquire);
+}
+
+namespace {
+ThreadIdHolder::~ThreadIdHolder() { Thread::Release(id); }
+}  // namespace
+
+}  // namespace faster

@@ -1,0 +1,40 @@
+#ifndef FASTER_CORE_THREAD_H_
+#define FASTER_CORE_THREAD_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace faster {
+
+/// Process-wide registry of small, dense thread ids.
+///
+/// The epoch table (Sec. 2.3) and the per-thread pending queues need an
+/// index in a fixed-size array, one cache line per thread. `Thread::Id()`
+/// lazily assigns the calling thread the lowest free slot and releases it
+/// when the thread exits, so ids stay dense even as worker threads come
+/// and go.
+class Thread {
+ public:
+  /// Maximum number of simultaneously live threads using FASTER.
+  static constexpr uint32_t kMaxThreads = 128;
+  static constexpr uint32_t kInvalidId = UINT32_MAX;
+
+  /// Dense id of the calling thread, assigned on first use.
+  static uint32_t Id();
+
+  /// Number of ids ever handed out (high-water mark); used by tests.
+  static uint32_t HighWaterMark();
+
+  /// Releases a slot (called automatically at thread exit).
+  static void Release(uint32_t id);
+
+ private:
+  static uint32_t Acquire();
+
+  static std::atomic<bool> in_use_[kMaxThreads];
+  static std::atomic<uint32_t> high_water_;
+};
+
+}  // namespace faster
+
+#endif  // FASTER_CORE_THREAD_H_

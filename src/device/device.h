@@ -1,0 +1,46 @@
+#ifndef FASTER_DEVICE_DEVICE_H_
+#define FASTER_DEVICE_DEVICE_H_
+
+#include <cstdint>
+
+#include "core/status.h"
+
+namespace faster {
+
+/// Completion callback for asynchronous device I/O. Invoked exactly once
+/// per issued operation, possibly on an internal I/O thread; `context` is
+/// the caller's opaque pointer, `result` the outcome, `bytes` the number of
+/// bytes transferred.
+using IoCallback = void (*)(void* context, Status result, uint32_t bytes);
+
+/// Abstract block device backing the HybridLog's stable region (Sec. 5.2).
+///
+/// The log issues sector-aligned page flushes (write) and record-sized
+/// random reads (read). Both are asynchronous: the call returns after
+/// enqueueing and the callback fires on completion. Implementations:
+/// `FileDevice` (POSIX file + I/O thread pool), `MemoryDevice` (in-RAM,
+/// deterministic latency, used for tests and scaled-down benchmarks), and
+/// `NullDevice` (discards writes, for pure in-memory experiments).
+class IDevice {
+ public:
+  virtual ~IDevice() = default;
+
+  /// Asynchronously writes `[src, src+len)` to device offset `offset`.
+  virtual Status WriteAsync(const void* src, uint64_t offset, uint32_t len,
+                            IoCallback callback, void* context) = 0;
+
+  /// Asynchronously reads `len` bytes from device offset `offset` into
+  /// `dst` (caller-owned, must outlive the operation).
+  virtual Status ReadAsync(uint64_t offset, void* dst, uint32_t len,
+                           IoCallback callback, void* context) = 0;
+
+  /// Blocks until every operation issued before this call has completed.
+  virtual void Drain() = 0;
+
+  /// Total bytes ever written (monotonic; used to measure log growth).
+  virtual uint64_t bytes_written() const = 0;
+};
+
+}  // namespace faster
+
+#endif  // FASTER_DEVICE_DEVICE_H_

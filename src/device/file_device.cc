@@ -1,0 +1,72 @@
+#include "device/file_device.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+namespace faster {
+
+FileDevice::FileDevice(const std::string& path, uint32_t num_io_threads)
+    : path_{path},
+      fd_{::open(path.c_str(), O_RDWR | O_CREAT, 0644)},
+      pool_{std::make_unique<IoThreadPool>(num_io_threads)} {
+  if (fd_ < 0) {
+    throw std::runtime_error("FileDevice: cannot open " + path);
+  }
+}
+
+FileDevice::~FileDevice() {
+  pool_->Drain();
+  pool_.reset();
+  ::close(fd_);
+}
+
+Status FileDevice::WriteAsync(const void* src, uint64_t offset, uint32_t len,
+                              IoCallback callback, void* context) {
+  pool_->Submit([this, src, offset, len, callback, context] {
+    const char* p = static_cast<const char*>(src);
+    uint64_t off = offset;
+    uint32_t remaining = len;
+    while (remaining > 0) {
+      ssize_t n = ::pwrite(fd_, p, remaining, static_cast<off_t>(off));
+      if (n <= 0) {
+        callback(context, Status::kIoError, len - remaining);
+        return;
+      }
+      p += n;
+      off += static_cast<uint64_t>(n);
+      remaining -= static_cast<uint32_t>(n);
+    }
+    bytes_written_.fetch_add(len, std::memory_order_relaxed);
+    callback(context, Status::kOk, len);
+  });
+  return Status::kOk;
+}
+
+Status FileDevice::ReadAsync(uint64_t offset, void* dst, uint32_t len,
+                             IoCallback callback, void* context) {
+  pool_->Submit([this, dst, offset, len, callback, context] {
+    char* p = static_cast<char*>(dst);
+    uint64_t off = offset;
+    uint32_t remaining = len;
+    while (remaining > 0) {
+      ssize_t n = ::pread(fd_, p, remaining, static_cast<off_t>(off));
+      if (n <= 0) {
+        callback(context, Status::kIoError, len - remaining);
+        return;
+      }
+      p += n;
+      off += static_cast<uint64_t>(n);
+      remaining -= static_cast<uint32_t>(n);
+    }
+    callback(context, Status::kOk, len);
+  });
+  return Status::kOk;
+}
+
+void FileDevice::Drain() { pool_->Drain(); }
+
+}  // namespace faster

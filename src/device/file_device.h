@@ -1,0 +1,44 @@
+#ifndef FASTER_DEVICE_FILE_DEVICE_H_
+#define FASTER_DEVICE_FILE_DEVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "device/device.h"
+#include "device/io_thread_pool.h"
+
+namespace faster {
+
+/// Log device backed by a POSIX file, with asynchronous reads/writes
+/// executed on an I/O thread pool (pread/pwrite at absolute offsets).
+/// The paper points FASTER at a file on an NVMe SSD; this is the same
+/// arrangement on whatever filesystem hosts `path`.
+class FileDevice : public IDevice {
+ public:
+  /// Opens (creating if needed) `path`. `num_io_threads` pool threads
+  /// service requests.
+  FileDevice(const std::string& path, uint32_t num_io_threads = 2);
+  ~FileDevice() override;
+
+  Status WriteAsync(const void* src, uint64_t offset, uint32_t len,
+                    IoCallback callback, void* context) override;
+  Status ReadAsync(uint64_t offset, void* dst, uint32_t len,
+                   IoCallback callback, void* context) override;
+  void Drain() override;
+  uint64_t bytes_written() const override {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_;
+  std::unique_ptr<IoThreadPool> pool_;
+  std::atomic<uint64_t> bytes_written_{0};
+};
+
+}  // namespace faster
+
+#endif  // FASTER_DEVICE_FILE_DEVICE_H_

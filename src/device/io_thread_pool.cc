@@ -1,0 +1,51 @@
+#include "device/io_thread_pool.h"
+
+namespace faster {
+
+IoThreadPool::IoThreadPool(uint32_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+IoThreadPool::~IoThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void IoThreadPool::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void IoThreadPool::Drain() {
+  std::unique_lock<std::mutex> lock{mutex_};
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void IoThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock{mutex_};
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_ && queue_.empty()) return;
+    std::function<void()> job = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    job();
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace faster

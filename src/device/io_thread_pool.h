@@ -1,0 +1,46 @@
+#ifndef FASTER_DEVICE_IO_THREAD_POOL_H_
+#define FASTER_DEVICE_IO_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace faster {
+
+/// A small worker pool that executes queued I/O jobs off the store's
+/// operation threads, emulating the asynchronous I/O stack (Windows
+/// overlapped I/O in the paper's implementation) on plain POSIX calls.
+class IoThreadPool {
+ public:
+  explicit IoThreadPool(uint32_t num_threads);
+  ~IoThreadPool();
+
+  IoThreadPool(const IoThreadPool&) = delete;
+  IoThreadPool& operator=(const IoThreadPool&) = delete;
+
+  /// Enqueue a job; runs on some pool thread.
+  void Submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void Drain();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  uint32_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace faster
+
+#endif  // FASTER_DEVICE_IO_THREAD_POOL_H_

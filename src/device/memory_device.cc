@@ -1,0 +1,87 @@
+#include "device/memory_device.h"
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace faster {
+
+MemoryDevice::MemoryDevice(uint32_t num_io_threads,
+                           uint32_t simulated_latency_us)
+    : pool_{std::make_unique<IoThreadPool>(num_io_threads)},
+      latency_us_{simulated_latency_us} {}
+
+MemoryDevice::~MemoryDevice() { pool_->Drain(); }
+
+uint8_t* MemoryDevice::SegmentFor(uint64_t offset, bool create) {
+  uint64_t idx = offset >> kSegmentBits;
+  std::lock_guard<std::mutex> lock{segments_mutex_};
+  if (idx >= segments_.size()) {
+    if (!create) return nullptr;
+    segments_.resize(idx + 1);
+  }
+  if (segments_[idx] == nullptr) {
+    if (!create) return nullptr;
+    segments_[idx] = std::make_unique<uint8_t[]>(kSegmentSize);
+  }
+  return segments_[idx].get();
+}
+
+Status MemoryDevice::WriteAsync(const void* src, uint64_t offset, uint32_t len,
+                                IoCallback callback, void* context) {
+  pool_->Submit([this, src, offset, len, callback, context] {
+    if (latency_us_ > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(latency_us_));
+    }
+    const auto* p = static_cast<const uint8_t*>(src);
+    uint64_t off = offset;
+    uint32_t remaining = len;
+    while (remaining > 0) {
+      uint8_t* seg = SegmentFor(off, /*create=*/true);
+      uint64_t seg_off = off & (kSegmentSize - 1);
+      uint32_t chunk = static_cast<uint32_t>(
+          std::min<uint64_t>(remaining, kSegmentSize - seg_off));
+      std::memcpy(seg + seg_off, p, chunk);
+      p += chunk;
+      off += chunk;
+      remaining -= chunk;
+    }
+    bytes_written_.fetch_add(len, std::memory_order_relaxed);
+    callback(context, Status::kOk, len);
+  });
+  return Status::kOk;
+}
+
+Status MemoryDevice::ReadSync(uint64_t offset, void* dst, uint32_t len) {
+  auto* p = static_cast<uint8_t*>(dst);
+  uint64_t off = offset;
+  uint32_t remaining = len;
+  while (remaining > 0) {
+    uint8_t* seg = SegmentFor(off, /*create=*/false);
+    if (seg == nullptr) return Status::kIoError;
+    uint64_t seg_off = off & (kSegmentSize - 1);
+    uint32_t chunk = static_cast<uint32_t>(
+        std::min<uint64_t>(remaining, kSegmentSize - seg_off));
+    std::memcpy(p, seg + seg_off, chunk);
+    p += chunk;
+    off += chunk;
+    remaining -= chunk;
+  }
+  return Status::kOk;
+}
+
+Status MemoryDevice::ReadAsync(uint64_t offset, void* dst, uint32_t len,
+                               IoCallback callback, void* context) {
+  pool_->Submit([this, dst, offset, len, callback, context] {
+    if (latency_us_ > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(latency_us_));
+    }
+    Status s = ReadSync(offset, dst, len);
+    callback(context, s, s == Status::kOk ? len : 0);
+  });
+  return Status::kOk;
+}
+
+void MemoryDevice::Drain() { pool_->Drain(); }
+
+}  // namespace faster

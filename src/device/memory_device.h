@@ -1,0 +1,82 @@
+#ifndef FASTER_DEVICE_MEMORY_DEVICE_H_
+#define FASTER_DEVICE_MEMORY_DEVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "device/device.h"
+#include "device/io_thread_pool.h"
+
+namespace faster {
+
+/// In-RAM device: stores flushed pages in heap segments keyed by offset.
+///
+/// Substitution note (see DESIGN.md §2): the paper's evaluation ran the log
+/// on a FusionIO NVMe SSD. In this container we cannot reproduce that
+/// hardware; `MemoryDevice` preserves the entire asynchronous software path
+/// (request contexts, pending queues, completion callbacks, thread-pool
+/// hand-off) while giving deterministic I/O latency, so larger-than-memory
+/// experiments measure FASTER's code paths rather than container disk
+/// noise. `simulated_latency_us` can add per-operation latency to model a
+/// slower device.
+class MemoryDevice : public IDevice {
+ public:
+  explicit MemoryDevice(uint32_t num_io_threads = 2,
+                        uint32_t simulated_latency_us = 0);
+  ~MemoryDevice() override;
+
+  Status WriteAsync(const void* src, uint64_t offset, uint32_t len,
+                    IoCallback callback, void* context) override;
+  Status ReadAsync(uint64_t offset, void* dst, uint32_t len,
+                   IoCallback callback, void* context) override;
+  void Drain() override;
+  uint64_t bytes_written() const override {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+
+  /// Synchronous read used by recovery and the log-scan iterator.
+  Status ReadSync(uint64_t offset, void* dst, uint32_t len);
+
+ private:
+  static constexpr uint64_t kSegmentBits = 22;  // 4 MB segments
+  static constexpr uint64_t kSegmentSize = uint64_t{1} << kSegmentBits;
+
+  uint8_t* SegmentFor(uint64_t offset, bool create);
+
+  std::unique_ptr<IoThreadPool> pool_;
+  uint32_t latency_us_;
+  std::mutex segments_mutex_;
+  std::vector<std::unique_ptr<uint8_t[]>> segments_;
+  std::atomic<uint64_t> bytes_written_{0};
+};
+
+/// Device that discards writes and fails reads; models "no storage" for
+/// pure in-memory configurations where the log never spills.
+class NullDevice : public IDevice {
+ public:
+  Status WriteAsync(const void* /*src*/, uint64_t /*offset*/, uint32_t len,
+                    IoCallback callback, void* context) override {
+    bytes_written_.fetch_add(len, std::memory_order_relaxed);
+    callback(context, Status::kOk, len);
+    return Status::kOk;
+  }
+  Status ReadAsync(uint64_t /*offset*/, void* /*dst*/, uint32_t /*len*/,
+                   IoCallback callback, void* context) override {
+    callback(context, Status::kIoError, 0);
+    return Status::kOk;
+  }
+  void Drain() override {}
+  uint64_t bytes_written() const override {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> bytes_written_{0};
+};
+
+}  // namespace faster
+
+#endif  // FASTER_DEVICE_MEMORY_DEVICE_H_

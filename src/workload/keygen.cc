@@ -1,0 +1,18 @@
+#include "workload/keygen.h"
+
+namespace faster {
+
+std::unique_ptr<KeyGenerator> MakeKeyGenerator(Distribution d, uint64_t n,
+                                               uint64_t seed) {
+  switch (d) {
+    case Distribution::kUniform:
+      return std::make_unique<UniformKeyGenerator>(n, seed);
+    case Distribution::kZipfian:
+      return std::make_unique<ZipfKeyGenerator>(n, seed);
+    case Distribution::kHotSet:
+      return std::make_unique<HotSetKeyGenerator>(n, seed);
+  }
+  return nullptr;
+}
+
+}  // namespace faster

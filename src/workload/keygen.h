@@ -1,0 +1,108 @@
+#ifndef FASTER_WORKLOAD_KEYGEN_H_
+#define FASTER_WORKLOAD_KEYGEN_H_
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+
+#include "workload/zipf.h"
+
+namespace faster {
+
+/// Key access distributions used in the paper's evaluation (Sec. 7.1):
+/// uniform, Zipfian (theta = 0.99), and a shifting hot-set distribution
+/// modelling users starting and stopping sessions.
+enum class Distribution { kUniform, kZipfian, kHotSet };
+
+inline const char* DistributionName(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform: return "uniform";
+    case Distribution::kZipfian: return "zipf";
+    case Distribution::kHotSet: return "hotset";
+  }
+  return "?";
+}
+
+/// Generates keys in [0, n) under a chosen distribution.
+class KeyGenerator {
+ public:
+  virtual ~KeyGenerator() = default;
+  virtual uint64_t Next() = 0;
+  virtual uint64_t n() const = 0;
+};
+
+class UniformKeyGenerator : public KeyGenerator {
+ public:
+  UniformKeyGenerator(uint64_t n, uint64_t seed) : n_{n}, rng_{seed} {}
+  uint64_t Next() override { return rng_() % n_; }
+  uint64_t n() const override { return n_; }
+
+ private:
+  uint64_t n_;
+  std::mt19937_64 rng_;
+};
+
+class ZipfKeyGenerator : public KeyGenerator {
+ public:
+  ZipfKeyGenerator(uint64_t n, uint64_t seed, double theta = 0.99)
+      : gen_{n, theta, seed} {}
+  uint64_t Next() override { return gen_.Next(); }
+  uint64_t n() const override { return gen_.n(); }
+
+ private:
+  ScrambledZipfianGenerator gen_;
+};
+
+/// The paper's hot-set distribution (Sec. 7.1, 7.5): a hot set of
+/// `n * hot_fraction` keys receives `hot_probability` of the accesses
+/// (both uniform within their set); the hot set drifts through the key
+/// space over time — items move from cold to hot, stay hot for a while,
+/// and become cold again.
+class HotSetKeyGenerator : public KeyGenerator {
+ public:
+  HotSetKeyGenerator(uint64_t n, uint64_t seed, double hot_fraction = 0.2,
+                     double hot_probability = 0.9,
+                     uint64_t shift_every = 1u << 16)
+      : n_{n},
+        hot_size_{static_cast<uint64_t>(static_cast<double>(n) *
+                                        hot_fraction)},
+        hot_probability_{hot_probability},
+        shift_every_{shift_every},
+        rng_{seed} {
+    if (hot_size_ == 0) hot_size_ = 1;
+  }
+
+  uint64_t Next() override {
+    if (++draws_ % shift_every_ == 0) {
+      // Drift: the window slides by 1% of its size.
+      hot_start_ = (hot_start_ + hot_size_ / 100 + 1) % n_;
+    }
+    double p = static_cast<double>(rng_() >> 11) * (1.0 / 9007199254740992.0);
+    if (p < hot_probability_) {
+      return (hot_start_ + rng_() % hot_size_) % n_;
+    }
+    // Cold: anywhere outside the hot window.
+    uint64_t cold = rng_() % (n_ - hot_size_);
+    return (hot_start_ + hot_size_ + cold) % n_;
+  }
+
+  uint64_t n() const override { return n_; }
+
+ private:
+  uint64_t n_;
+  uint64_t hot_size_;
+  double hot_probability_;
+  uint64_t shift_every_;
+  uint64_t hot_start_ = 0;
+  uint64_t draws_ = 0;
+  std::mt19937_64 rng_;
+};
+
+/// Factory.
+std::unique_ptr<KeyGenerator> MakeKeyGenerator(Distribution d, uint64_t n,
+                                               uint64_t seed);
+
+}  // namespace faster
+
+#endif  // FASTER_WORKLOAD_KEYGEN_H_

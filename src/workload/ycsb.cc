@@ -1,0 +1,18 @@
+#include "workload/ycsb.h"
+
+namespace faster {
+
+MixCounts CountMix(const WorkloadSpec& spec, uint64_t samples, uint64_t seed) {
+  OpGenerator gen{spec, seed};
+  MixCounts counts;
+  for (uint64_t i = 0; i < samples; ++i) {
+    switch (gen.Next().kind) {
+      case OpKind::kRead: ++counts.reads; break;
+      case OpKind::kUpsert: ++counts.upserts; break;
+      case OpKind::kRmw: ++counts.rmws; break;
+    }
+  }
+  return counts;
+}
+
+}  // namespace faster

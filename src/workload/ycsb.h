@@ -1,0 +1,156 @@
+#ifndef FASTER_WORKLOAD_YCSB_H_
+#define FASTER_WORKLOAD_YCSB_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "workload/keygen.h"
+
+namespace faster {
+
+/// Operation kinds in the extended YCSB-A workload of Sec. 7.1: reads,
+/// blind updates (upserts), and read-modify-writes. A workload "R:BU"
+/// means R% reads and BU% blind updates; "0:100 RMW" replaces the blind
+/// updates with RMWs.
+enum class OpKind : uint8_t { kRead, kUpsert, kRmw };
+
+/// An extended YCSB-A workload mix (Sec. 7.1).
+struct WorkloadSpec {
+  uint64_t num_keys = uint64_t{1} << 20;
+  Distribution distribution = Distribution::kUniform;
+  double read_fraction = 0.5;  // fraction of ops that are reads
+  double rmw_fraction = 0.0;   // fraction of ops that are RMWs
+  // remainder are blind updates (upserts)
+
+  std::string Name() const {
+    int reads = static_cast<int>(read_fraction * 100 + 0.5);
+    int rmws = static_cast<int>(rmw_fraction * 100 + 0.5);
+    std::string mix = rmws > 0 ? std::to_string(reads) + ":" +
+                                     std::to_string(rmws) + "RMW"
+                               : std::to_string(reads) + ":" +
+                                     std::to_string(100 - reads);
+    return mix + "/" + DistributionName(distribution);
+  }
+
+  static WorkloadSpec Ycsb(double reads, double rmws, Distribution d,
+                           uint64_t keys) {
+    WorkloadSpec s;
+    s.read_fraction = reads;
+    s.rmw_fraction = rmws;
+    s.distribution = d;
+    s.num_keys = keys;
+    return s;
+  }
+};
+
+/// Per-thread operation stream for a workload spec.
+class OpGenerator {
+ public:
+  struct Op {
+    OpKind kind;
+    uint64_t key;
+  };
+
+  OpGenerator(const WorkloadSpec& spec, uint64_t seed)
+      : spec_{spec},
+        keys_{MakeKeyGenerator(spec.distribution, spec.num_keys, seed)},
+        rng_{seed ^ 0x9e3779b97f4a7c15ull} {}
+
+  Op Next() {
+    double p = static_cast<double>(rng_() >> 11) * (1.0 / 9007199254740992.0);
+    OpKind kind;
+    if (p < spec_.read_fraction) {
+      kind = OpKind::kRead;
+    } else if (p < spec_.read_fraction + spec_.rmw_fraction) {
+      kind = OpKind::kRmw;
+    } else {
+      kind = OpKind::kUpsert;
+    }
+    return {kind, keys_->Next()};
+  }
+
+ private:
+  WorkloadSpec spec_;
+  std::unique_ptr<KeyGenerator> keys_;
+  std::mt19937_64 rng_;
+};
+
+/// Result of a timed multi-threaded run.
+struct RunResult {
+  uint64_t total_ops = 0;
+  double seconds = 0;
+  double mops = 0;  // million ops/sec
+};
+
+/// Drives `adapter` with `num_threads` worker threads for ~`seconds`
+/// seconds of the given workload (the paper runs each test for 30 s; the
+/// scaled-down harness defaults to shorter runs).
+///
+/// Adapter concept:
+///   void Begin();                 // per-thread session start
+///   void End();                   // per-thread session end
+///   void DoRead(uint64_t key);
+///   void DoUpsert(uint64_t key, uint64_t value_seed);
+///   void DoRmw(uint64_t key);
+///   void Idle();                  // periodic (CompletePending etc.)
+template <class Adapter>
+RunResult RunWorkload(Adapter& adapter, const WorkloadSpec& spec,
+                      uint32_t num_threads, double seconds,
+                      uint64_t seed = 1) {
+  std::atomic<uint64_t> total_ops{0};
+  std::atomic<bool> stop{false};
+  auto worker = [&](uint32_t tid) {
+    OpGenerator gen{spec, seed + tid * 7919};
+    adapter.Begin();
+    uint64_t ops = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (int i = 0; i < 256; ++i) {
+        auto op = gen.Next();
+        switch (op.kind) {
+          case OpKind::kRead:
+            adapter.DoRead(op.key);
+            break;
+          case OpKind::kUpsert:
+            adapter.DoUpsert(op.key, ops);
+            break;
+          case OpKind::kRmw:
+            adapter.DoRmw(op.key);
+            break;
+        }
+        ++ops;
+      }
+      adapter.Idle();
+    }
+    adapter.End();
+    total_ops.fetch_add(ops, std::memory_order_relaxed);
+  };
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  auto end = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.total_ops = total_ops.load();
+  r.seconds = std::chrono::duration<double>(end - start).count();
+  r.mops = static_cast<double>(r.total_ops) / r.seconds / 1e6;
+  return r;
+}
+
+/// Computes the exact fraction of operations of each kind for validation.
+struct MixCounts {
+  uint64_t reads = 0, upserts = 0, rmws = 0;
+};
+MixCounts CountMix(const WorkloadSpec& spec, uint64_t samples, uint64_t seed);
+
+}  // namespace faster
+
+#endif  // FASTER_WORKLOAD_YCSB_H_

@@ -1,0 +1,42 @@
+#include "workload/zipf.h"
+
+#include <cmath>
+
+#include "core/key_hash.h"
+
+namespace faster {
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_{n}, theta_{theta}, rng_{seed} {
+  zetan_ = Zeta(n, theta);
+  zeta2theta_ = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+uint64_t ZipfianGenerator::Next() {
+  double u = uniform_(rng_);
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  return static_cast<uint64_t>(
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+}
+
+uint64_t ScrambledZipfianGenerator::Next() {
+  // Offset before mixing so that rank 0 does not map to key 0
+  // (Mix64(0) == 0, which would leave the hottest key unscrambled).
+  return Mix64(zipf_.Next() + 0x9E3779B97F4A7C15ull) % n_;
+}
+
+}  // namespace faster

@@ -1,0 +1,55 @@
+#ifndef FASTER_WORKLOAD_ZIPF_H_
+#define FASTER_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <random>
+
+namespace faster {
+
+/// Zipfian-distributed integers in [0, n) with parameter theta, following
+/// the Gray et al. "Quickly generating billion-record synthetic databases"
+/// construction used by YCSB. The paper's skewed experiments use
+/// theta = 0.99 (Sec. 7.1).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta, uint64_t seed);
+
+  /// Next rank: 0 is the most popular item.
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> uniform_{0.0, 1.0};
+};
+
+/// Zipfian ranks scrambled over the key space (YCSB's
+/// ScrambledZipfianGenerator): popularity is Zipf but popular keys are
+/// spread uniformly across [0, n), avoiding accidental locality between
+/// hot keys.
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+      : n_{n}, zipf_{n, theta, seed} {}
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace faster
+
+#endif  // FASTER_WORKLOAD_ZIPF_H_

@@ -1,0 +1,128 @@
+#include "core/address.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hash_bucket.h"
+#include "core/key_hash.h"
+#include "core/record.h"
+
+namespace faster {
+namespace {
+
+TEST(AddressTest, InvalidIsZero) {
+  Address a;
+  EXPECT_FALSE(a.IsValid());
+  EXPECT_EQ(a.control(), 0u);
+  EXPECT_EQ(Address::Invalid(), a);
+}
+
+TEST(AddressTest, PageOffsetRoundTrip) {
+  Address a{5, 1234};
+  EXPECT_EQ(a.page(), 5u);
+  EXPECT_EQ(a.offset(), 1234u);
+  EXPECT_EQ(a.control(), (5ull << Address::kOffsetBits) + 1234);
+}
+
+TEST(AddressTest, PageBoundaries) {
+  Address a{7, Address::kMaxOffset};
+  EXPECT_EQ(a.PageStart(), (Address{7, 0}));
+  EXPECT_EQ(a.NextPageStart(), (Address{8, 0}));
+  EXPECT_EQ((a + 1).page(), 8u);
+  EXPECT_EQ((a + 1).offset(), 0u);
+}
+
+TEST(AddressTest, Ordering) {
+  EXPECT_LT(Address(1, 100), Address(1, 101));
+  EXPECT_LT(Address(1, Address::kMaxOffset), Address(2, 0));
+  EXPECT_GE(Address(3, 0), Address(2, Address::kMaxOffset));
+}
+
+TEST(AddressTest, ArithmeticDifference) {
+  Address a{2, 100};
+  Address b{2, 60};
+  EXPECT_EQ(a - b, 40u);
+  EXPECT_EQ((b + 40), a);
+}
+
+TEST(AddressTest, MaxAddressFitsIn48Bits) {
+  Address a{Address::kMaxAddress};
+  EXPECT_EQ(a.page(), Address::kMaxPage);
+  EXPECT_EQ(a.offset(), Address::kMaxOffset);
+}
+
+TEST(HashBucketEntryTest, FieldPacking) {
+  Address addr{42, 99};
+  HashBucketEntry e{addr, 0x7abc, true};
+  EXPECT_EQ(e.address(), addr);
+  EXPECT_EQ(e.tag(), 0x7abc);
+  EXPECT_TRUE(e.tentative());
+  HashBucketEntry f = e.Finalized();
+  EXPECT_EQ(f.address(), addr);
+  EXPECT_EQ(f.tag(), 0x7abc);
+  EXPECT_FALSE(f.tentative());
+}
+
+TEST(HashBucketEntryTest, ZeroIsUnused) {
+  HashBucketEntry e;
+  EXPECT_TRUE(e.IsUnused());
+  HashBucketEntry f{Address{1, 0}, 0, false};
+  EXPECT_FALSE(f.IsUnused());
+}
+
+TEST(KeyHashTest, TagAndBucketAreDisjointBits) {
+  KeyHash h{0xFFFF000000000123ull};
+  EXPECT_EQ(h.Bucket(1024), 0x123u & 1023u);
+  EXPECT_EQ(h.Tag(), 0xFFFF000000000123ull >> 49);
+}
+
+TEST(KeyHashTest, Mix64Avalanches) {
+  // Neighboring keys should land in different buckets essentially always.
+  int same = 0;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    KeyHash a{Mix64(k)}, b{Mix64(k + 1)};
+    if (a.Bucket(1 << 20) == b.Bucket(1 << 20)) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(RecordInfoTest, FieldPacking) {
+  RecordInfo info{Address{3, 77}, false, true, true, false};
+  EXPECT_EQ(info.previous_address(), (Address{3, 77}));
+  EXPECT_FALSE(info.invalid());
+  EXPECT_TRUE(info.tombstone());
+  EXPECT_TRUE(info.in_use());
+  EXPECT_TRUE(info.delta());
+  EXPECT_FALSE(info.read_cache());
+}
+
+TEST(RecordInfoTest, ZeroHeaderIsNotInUse) {
+  RecordInfo info{0};
+  EXPECT_FALSE(info.in_use());
+}
+
+TEST(RecordTest, SizeIsAligned) {
+  using R = Record<uint64_t, uint64_t>;
+  EXPECT_EQ(R::size() % 8, 0u);
+  EXPECT_EQ(R::size(), 24u);
+  struct Value100 {
+    uint8_t bytes[100];
+  };
+  using R100 = Record<uint64_t, Value100>;
+  EXPECT_EQ(R100::size() % 8, 0u);
+  EXPECT_GE(R100::size(), 8u + 8u + 100u);
+}
+
+TEST(RecordTest, InvalidAndTombstoneBits) {
+  Record<uint64_t, uint64_t> rec;
+  rec.set_info(RecordInfo{Address{1, 0}, false, false});
+  EXPECT_FALSE(rec.info().invalid());
+  rec.SetInvalid();
+  EXPECT_TRUE(rec.info().invalid());
+  EXPECT_FALSE(rec.info().tombstone());
+  rec.SetTombstone();
+  EXPECT_TRUE(rec.info().tombstone());
+  EXPECT_EQ(rec.info().previous_address(), (Address{1, 0}));
+}
+
+}  // namespace
+}  // namespace faster

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "baselines/ordered_store.h"
+#include "baselines/remote_store.h"
+#include "baselines/shard_hash_map.h"
+
+namespace faster {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ShardHashMap (Intel TBB stand-in)
+// ---------------------------------------------------------------------------
+
+TEST(ShardHashMapTest, PutGetRoundTrip) {
+  ShardHashMap<uint64_t, uint64_t> map{1024, 16};
+  map.Put(1, 100);
+  uint64_t out = 0;
+  ASSERT_TRUE(map.Get(1, &out));
+  EXPECT_EQ(out, 100u);
+  EXPECT_FALSE(map.Get(2, &out));
+}
+
+TEST(ShardHashMapTest, PutOverwrites) {
+  ShardHashMap<uint64_t, uint64_t> map{1024, 16};
+  map.Put(1, 100);
+  map.Put(1, 200);
+  uint64_t out = 0;
+  ASSERT_TRUE(map.Get(1, &out));
+  EXPECT_EQ(out, 200u);
+  EXPECT_EQ(map.Size(), 1u);
+}
+
+TEST(ShardHashMapTest, EraseAndReuse) {
+  ShardHashMap<uint64_t, uint64_t> map{1024, 16};
+  map.Put(1, 100);
+  EXPECT_TRUE(map.Erase(1));
+  EXPECT_FALSE(map.Erase(1));
+  uint64_t out = 0;
+  EXPECT_FALSE(map.Get(1, &out));
+  map.Put(1, 300);
+  ASSERT_TRUE(map.Get(1, &out));
+  EXPECT_EQ(out, 300u);
+}
+
+TEST(ShardHashMapTest, GrowsBeyondInitialCapacity) {
+  ShardHashMap<uint64_t, uint64_t> map{16, 4};  // deliberately undersized
+  constexpr uint64_t kKeys = 10000;
+  for (uint64_t k = 0; k < kKeys; ++k) map.Put(k, k + 1);
+  EXPECT_EQ(map.Size(), kKeys);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    uint64_t out = 0;
+    ASSERT_TRUE(map.Get(k, &out)) << k;
+    ASSERT_EQ(out, k + 1);
+  }
+}
+
+TEST(ShardHashMapTest, ConcurrentRmwSum) {
+  ShardHashMap<uint64_t, uint64_t> map{1024, 64};
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng(t);
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        map.Rmw(rng() % 16, [](uint64_t& v, bool fresh) {
+          if (fresh) v = 0;
+          ++v;
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  uint64_t total = 0;
+  for (uint64_t k = 0; k < 16; ++k) {
+    uint64_t out = 0;
+    if (map.Get(k, &out)) total += out;
+  }
+  EXPECT_EQ(total, kThreads * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// OrderedStore (Masstree stand-in)
+// ---------------------------------------------------------------------------
+
+TEST(OrderedStoreTest, PutGetErase) {
+  OrderedStore<uint64_t, uint64_t> store;
+  store.Put(5, 50);
+  uint64_t out = 0;
+  ASSERT_TRUE(store.Get(5, &out));
+  EXPECT_EQ(out, 50u);
+  EXPECT_TRUE(store.Erase(5));
+  EXPECT_FALSE(store.Get(5, &out));
+}
+
+TEST(OrderedStoreTest, RangeScanIsOrderedAndBounded) {
+  OrderedStore<uint64_t, uint64_t> store;
+  for (uint64_t k = 0; k < 100; ++k) store.Put(k, k * 2);
+  std::vector<uint64_t> keys;
+  store.Scan(10, 20, [&](uint64_t k, uint64_t v) {
+    keys.push_back(k);
+    EXPECT_EQ(v, k * 2);
+  });
+  ASSERT_EQ(keys.size(), 10u);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i], 10 + i);  // ordered
+  }
+}
+
+TEST(OrderedStoreTest, ConcurrentRmwSum) {
+  OrderedStore<uint64_t, uint64_t> store;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 25000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        store.Rmw(i % 8, [](uint64_t& v, bool fresh) {
+          if (fresh) v = 0;
+          ++v;
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  uint64_t total = 0;
+  for (uint64_t k = 0; k < 8; ++k) {
+    uint64_t out = 0;
+    if (store.Get(k, &out)) total += out;
+  }
+  EXPECT_EQ(total, kThreads * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// RemoteStore (Redis stand-in)
+// ---------------------------------------------------------------------------
+
+TEST(RemoteStoreTest, SetGetThroughPipeline) {
+  RemoteStore store;
+  auto client = store.Connect();
+  ASSERT_NE(client, nullptr);
+
+  std::vector<RemoteStore::Client::Op> batch;
+  batch.push_back({true, 1, 100, 0, false});
+  batch.push_back({true, 2, 200, 0, false});
+  batch.push_back({false, 1, 0, 0, false});
+  batch.push_back({false, 2, 0, 0, false});
+  batch.push_back({false, 3, 0, 0, false});
+  ASSERT_EQ(client->ExecuteBatch(&batch), Status::kOk);
+  EXPECT_TRUE(batch[2].found);
+  EXPECT_EQ(batch[2].out, 100u);
+  EXPECT_TRUE(batch[3].found);
+  EXPECT_EQ(batch[3].out, 200u);
+  EXPECT_FALSE(batch[4].found);
+  EXPECT_EQ(store.commands_processed(), 5u);
+}
+
+TEST(RemoteStoreTest, LargePipelineDepth) {
+  RemoteStore store;
+  auto client = store.Connect();
+  constexpr int kDepth = 200;
+  std::vector<RemoteStore::Client::Op> sets;
+  for (int i = 0; i < kDepth; ++i) {
+    sets.push_back({true, static_cast<uint64_t>(i),
+                    static_cast<uint64_t>(i * 3), 0, false});
+  }
+  ASSERT_EQ(client->ExecuteBatch(&sets), Status::kOk);
+  std::vector<RemoteStore::Client::Op> gets;
+  for (int i = 0; i < kDepth; ++i) {
+    gets.push_back({false, static_cast<uint64_t>(i), 0, 0, false});
+  }
+  ASSERT_EQ(client->ExecuteBatch(&gets), Status::kOk);
+  for (int i = 0; i < kDepth; ++i) {
+    ASSERT_TRUE(gets[i].found) << i;
+    ASSERT_EQ(gets[i].out, static_cast<uint64_t>(i * 3));
+  }
+}
+
+TEST(RemoteStoreTest, MultipleClients) {
+  RemoteStore store;
+  auto c1 = store.Connect();
+  auto c2 = store.Connect();
+  std::vector<RemoteStore::Client::Op> put{{true, 7, 77, 0, false}};
+  ASSERT_EQ(c1->ExecuteBatch(&put), Status::kOk);
+  std::vector<RemoteStore::Client::Op> get{{false, 7, 0, 0, false}};
+  ASSERT_EQ(c2->ExecuteBatch(&get), Status::kOk);
+  EXPECT_TRUE(get[0].found);
+  EXPECT_EQ(get[0].out, 77u);
+}
+
+}  // namespace
+}  // namespace faster

@@ -1,0 +1,152 @@
+#include "cache_sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace faster {
+namespace {
+
+TEST(CachePolicyTest, FifoEvictsOldest) {
+  FifoPolicy fifo{2};
+  EXPECT_FALSE(fifo.Access(1));
+  EXPECT_FALSE(fifo.Access(2));
+  EXPECT_TRUE(fifo.Access(1));   // still resident
+  EXPECT_FALSE(fifo.Access(3));  // evicts 1 (oldest, despite recent use)
+  EXPECT_FALSE(fifo.Access(1));
+}
+
+TEST(CachePolicyTest, LruEvictsLeastRecentlyUsed) {
+  LruPolicy lru{2};
+  lru.Access(1);
+  lru.Access(2);
+  EXPECT_TRUE(lru.Access(1));   // 1 becomes most recent
+  EXPECT_FALSE(lru.Access(3));  // evicts 2
+  EXPECT_TRUE(lru.Access(1));
+  EXPECT_FALSE(lru.Access(2));
+}
+
+TEST(CachePolicyTest, Lru2PrefersKeysWithHistory) {
+  Lru2Policy lru2{2};
+  lru2.Access(1);
+  lru2.Access(1);  // key 1 has two accesses
+  lru2.Access(2);  // key 2 has one
+  EXPECT_FALSE(lru2.Access(3));  // evicts 2 (no penultimate access)
+  EXPECT_TRUE(lru2.Access(1));
+}
+
+TEST(CachePolicyTest, ClockGivesSecondChance) {
+  ClockPolicy clock{2};
+  clock.Access(1);
+  clock.Access(2);
+  EXPECT_TRUE(clock.Access(1));  // sets reference bit on 1
+  EXPECT_FALSE(clock.Access(3));  // hand skips 1 (referenced), evicts 2
+  EXPECT_TRUE(clock.Access(1));
+  EXPECT_FALSE(clock.Access(2));
+}
+
+TEST(CachePolicyTest, HlogHitInMutableRegionDoesNotReplicate) {
+  HlogPolicy hlog{10, 0.9};  // mutable = 9 slots
+  hlog.Access(1);
+  EXPECT_TRUE(hlog.Access(1));  // in mutable region: in-place, no copy
+  EXPECT_EQ(hlog.Size(), 1u);
+}
+
+TEST(CachePolicyTest, HlogCopiesFromReadOnlyRegion) {
+  HlogPolicy hlog{10, 0.5};  // mutable = 5
+  hlog.Access(1);
+  // Push key 1 into the read-only region with 5 other keys.
+  for (uint64_t k = 2; k <= 6; ++k) hlog.Access(k);
+  // Key 1 is now outside the mutable region: a hit copies it to the tail.
+  EXPECT_TRUE(hlog.Access(1));
+  // Two copies of key 1 occupy slots until the old one falls off.
+  EXPECT_EQ(hlog.Size(), 6u);  // 6 live keys
+}
+
+TEST(CachePolicyTest, HlogEvictsFromHead) {
+  HlogPolicy hlog{4, 0.5};
+  for (uint64_t k = 1; k <= 4; ++k) hlog.Access(k);
+  EXPECT_FALSE(hlog.Access(5));  // evicts key 1
+  EXPECT_FALSE(hlog.Access(1));
+}
+
+TEST(CachePolicyTest, FactoryMakesAllPolicies) {
+  for (const char* name : {"FIFO", "LRU_1", "LRU_2", "CLOCK", "HLOG"}) {
+    auto p = MakePolicy(name, 16);
+    ASSERT_NE(p, nullptr) << name;
+    EXPECT_STREQ(p->Name(), name);
+    p->Access(1);
+    EXPECT_TRUE(p->Access(1));
+  }
+  EXPECT_EQ(MakePolicy("NOPE", 16), nullptr);
+}
+
+// Property sweep across policies: miss ratio must be 1.0 for cold uniform
+// traffic over a huge key space, and ~0 for a single hot key.
+class PolicySweepTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PolicySweepTest, SingleHotKeyAlwaysHits) {
+  auto policy = MakePolicy(GetParam(), 64);
+  policy->Access(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(policy->Access(42));
+  }
+}
+
+TEST_P(PolicySweepTest, CapacityIsRespected) {
+  auto policy = MakePolicy(GetParam(), 32);
+  for (uint64_t k = 0; k < 10000; ++k) policy->Access(k);
+  EXPECT_LE(policy->Size(), 32u);
+}
+
+TEST_P(PolicySweepTest, MissRatioDecreasesWithCacheSize) {
+  // Zipf traffic: a bigger cache can only help.
+  double prev = 1.1;
+  for (double ratio : {1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2}) {
+    auto r = RunCacheSim(GetParam(), Distribution::kZipfian, 1 << 14, ratio,
+                         1 << 16, 1 << 15, 11);
+    EXPECT_LE(r.miss_ratio, prev + 0.02)
+        << GetParam() << " at ratio " << ratio;
+    prev = r.miss_ratio;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicySweepTest,
+                         ::testing::Values("FIFO", "LRU_1", "LRU_2", "CLOCK",
+                                           "HLOG"),
+                         [](const auto& info) { return info.param; });
+
+// The paper's qualitative findings (Sec. 7.5): under Zipf, HLOG misses
+// more than LRU (replication shrinks the cache) but beats FIFO (second
+// chance); under uniform traffic all policies are close.
+TEST(CacheSimTest, HlogBetweenFifoAndLruUnderZipf) {
+  constexpr uint64_t kKeys = 1 << 15;
+  auto run = [&](const std::string& p) {
+    return RunCacheSim(p, Distribution::kZipfian, kKeys, 1.0 / 8, 1 << 17,
+                       1 << 16, 3)
+        .miss_ratio;
+  };
+  double fifo = run("FIFO");
+  double lru = run("LRU_1");
+  double hlog = run("HLOG");
+  EXPECT_LT(hlog, fifo + 0.005);  // second chance helps vs. FIFO
+  EXPECT_GT(hlog, lru - 0.005);   // replication hurts vs. LRU
+}
+
+TEST(CacheSimTest, UniformMakesAllPoliciesSimilar) {
+  constexpr uint64_t kKeys = 1 << 15;
+  std::vector<double> ratios;
+  for (const char* p : {"FIFO", "LRU_1", "CLOCK", "HLOG"}) {
+    ratios.push_back(RunCacheSim(p, Distribution::kUniform, kKeys, 1.0 / 4,
+                                 1 << 17, 1 << 16, 5)
+                         .miss_ratio);
+  }
+  for (double r : ratios) {
+    EXPECT_NEAR(r, ratios[0], 0.03);
+  }
+}
+
+}  // namespace
+}  // namespace faster

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "device/file_device.h"
+#include "device/io_thread_pool.h"
+#include "device/memory_device.h"
+
+namespace faster {
+namespace {
+
+struct SyncIo {
+  std::atomic<int> done{0};
+  Status status = Status::kOk;
+  static void Callback(void* ctx, Status s, uint32_t) {
+    auto* self = static_cast<SyncIo*>(ctx);
+    self->status = s;
+    self->done.store(1, std::memory_order_release);
+  }
+  Status Wait() {
+    while (done.load(std::memory_order_acquire) == 0) {
+      std::this_thread::yield();
+    }
+    return status;
+  }
+};
+
+TEST(IoThreadPoolTest, ExecutesAllJobs) {
+  IoThreadPool pool{2};
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&] { count.fetch_add(1); });
+  }
+  pool.Drain();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(IoThreadPoolTest, DrainWaitsForInFlightJob) {
+  IoThreadPool pool{1};
+  std::atomic<bool> finished{false};
+  pool.Submit([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    finished.store(true);
+  });
+  pool.Drain();
+  EXPECT_TRUE(finished.load());
+}
+
+template <class D>
+void WriteReadRoundTrip(D& device) {
+  std::vector<uint8_t> out(4096);
+  for (size_t i = 0; i < out.size(); ++i) out[i] = static_cast<uint8_t>(i);
+  SyncIo w;
+  device.WriteAsync(out.data(), 8192, out.size(), &SyncIo::Callback, &w);
+  ASSERT_EQ(w.Wait(), Status::kOk);
+
+  std::vector<uint8_t> in(4096, 0);
+  SyncIo r;
+  device.ReadAsync(8192, in.data(), in.size(), &SyncIo::Callback, &r);
+  ASSERT_EQ(r.Wait(), Status::kOk);
+  EXPECT_EQ(std::memcmp(out.data(), in.data(), out.size()), 0);
+  EXPECT_EQ(device.bytes_written(), out.size());
+}
+
+TEST(MemoryDeviceTest, WriteReadRoundTrip) {
+  MemoryDevice device;
+  WriteReadRoundTrip(device);
+}
+
+TEST(FileDeviceTest, WriteReadRoundTrip) {
+  std::string path = "/tmp/faster_device_test.log";
+  ::unlink(path.c_str());
+  FileDevice device{path};
+  WriteReadRoundTrip(device);
+  ::unlink(path.c_str());
+}
+
+TEST(MemoryDeviceTest, ReadOfUnwrittenRegionFails) {
+  MemoryDevice device;
+  std::vector<uint8_t> in(64);
+  SyncIo r;
+  device.ReadAsync(1ull << 30, in.data(), in.size(), &SyncIo::Callback, &r);
+  EXPECT_EQ(r.Wait(), Status::kIoError);
+}
+
+TEST(MemoryDeviceTest, CrossSegmentWrite) {
+  MemoryDevice device;
+  // Write spanning the 4 MB segment boundary.
+  std::vector<uint8_t> out(1 << 16, 0x5C);
+  uint64_t offset = (1ull << 22) - 1000;
+  SyncIo w;
+  device.WriteAsync(out.data(), offset, out.size(), &SyncIo::Callback, &w);
+  ASSERT_EQ(w.Wait(), Status::kOk);
+  std::vector<uint8_t> in(out.size());
+  ASSERT_EQ(device.ReadSync(offset, in.data(), in.size()), Status::kOk);
+  EXPECT_EQ(in, out);
+}
+
+TEST(MemoryDeviceTest, ConcurrentWritersToDistinctRegions) {
+  MemoryDevice device{4};
+  constexpr int kThreads = 4;
+  constexpr int kWrites = 64;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<uint8_t> buf(1024, static_cast<uint8_t>(t + 1));
+      for (int i = 0; i < kWrites; ++i) {
+        SyncIo w;
+        uint64_t off = (static_cast<uint64_t>(t) * kWrites + i) * 1024;
+        device.WriteAsync(buf.data(), off, buf.size(), &SyncIo::Callback, &w);
+        ASSERT_EQ(w.Wait(), Status::kOk);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kWrites; ++i) {
+      std::vector<uint8_t> in(1024);
+      uint64_t off = (static_cast<uint64_t>(t) * kWrites + i) * 1024;
+      ASSERT_EQ(device.ReadSync(off, in.data(), in.size()), Status::kOk);
+      EXPECT_EQ(in[0], static_cast<uint8_t>(t + 1));
+      EXPECT_EQ(in[1023], static_cast<uint8_t>(t + 1));
+    }
+  }
+}
+
+TEST(NullDeviceTest, DiscardsWritesAndFailsReads) {
+  NullDevice device;
+  std::vector<uint8_t> buf(64, 1);
+  SyncIo w;
+  device.WriteAsync(buf.data(), 0, buf.size(), &SyncIo::Callback, &w);
+  EXPECT_EQ(w.Wait(), Status::kOk);
+  EXPECT_EQ(device.bytes_written(), buf.size());
+  SyncIo r;
+  device.ReadAsync(0, buf.data(), buf.size(), &SyncIo::Callback, &r);
+  EXPECT_EQ(r.Wait(), Status::kIoError);
+}
+
+}  // namespace
+}  // namespace faster

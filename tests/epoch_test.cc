@@ -1,0 +1,138 @@
+#include "core/epoch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace faster {
+namespace {
+
+TEST(EpochTest, ProtectRefreshUnprotect) {
+  LightEpoch epoch;
+  EXPECT_FALSE(epoch.IsProtected());
+  uint64_t e = epoch.Protect();
+  EXPECT_TRUE(epoch.IsProtected());
+  EXPECT_EQ(e, epoch.CurrentEpoch());
+  epoch.Refresh();
+  epoch.Unprotect();
+  EXPECT_FALSE(epoch.IsProtected());
+}
+
+TEST(EpochTest, BumpAdvancesCurrentEpoch) {
+  LightEpoch epoch;
+  uint64_t before = epoch.CurrentEpoch();
+  epoch.BumpCurrentEpoch();
+  EXPECT_EQ(epoch.CurrentEpoch(), before + 1);
+}
+
+TEST(EpochTest, SafeEpochLagsProtectedThread) {
+  LightEpoch epoch;
+  epoch.Protect();  // local = E
+  uint64_t e = epoch.CurrentEpoch();
+  epoch.BumpCurrentEpoch();  // E+1; our local still E
+  epoch.ComputeNewSafeToReclaimEpoch();
+  EXPECT_LT(epoch.SafeToReclaimEpoch(), e);  // e not safe: we're still in it
+  epoch.Refresh();  // local -> E+1; now e is safe
+  EXPECT_GE(epoch.SafeToReclaimEpoch(), e);
+  epoch.Unprotect();
+}
+
+TEST(EpochTest, TriggerActionRunsExactlyOnceAfterSafe) {
+  LightEpoch epoch;
+  epoch.Protect();
+  std::atomic<int> runs{0};
+  epoch.BumpCurrentEpoch([&] { runs.fetch_add(1); });
+  // Not yet safe: we have not refreshed past the bumped epoch.
+  EXPECT_EQ(epoch.NumOutstandingActions(), 1u);
+  epoch.Refresh();
+  EXPECT_EQ(runs.load(), 1);
+  epoch.Refresh();
+  epoch.Refresh();
+  EXPECT_EQ(runs.load(), 1);
+  epoch.Unprotect();
+}
+
+TEST(EpochTest, ActionWaitsForLaggingThread) {
+  LightEpoch epoch;
+  epoch.Protect();
+
+  std::atomic<bool> other_protected{false};
+  std::atomic<bool> release_other{false};
+  std::thread other([&] {
+    epoch.Protect();
+    other_protected.store(true);
+    while (!release_other.load()) std::this_thread::yield();
+    epoch.Unprotect();
+  });
+  while (!other_protected.load()) std::this_thread::yield();
+
+  std::atomic<int> runs{0};
+  epoch.BumpCurrentEpoch([&] { runs.fetch_add(1); });
+  // The other thread has not refreshed; the action must not fire.
+  for (int i = 0; i < 10; ++i) epoch.Refresh();
+  EXPECT_EQ(runs.load(), 0);
+
+  release_other.store(true);  // other thread unprotects
+  other.join();
+  epoch.Refresh();
+  EXPECT_EQ(runs.load(), 1);
+  epoch.Unprotect();
+}
+
+TEST(EpochTest, ManyActionsAllRun) {
+  LightEpoch epoch;
+  epoch.Protect();
+  std::atomic<int> runs{0};
+  constexpr int kActions = 1000;  // exceeds the drain list size
+  for (int i = 0; i < kActions; ++i) {
+    epoch.BumpCurrentEpoch([&] { runs.fetch_add(1); });
+    if (i % 7 == 0) epoch.Refresh();
+  }
+  epoch.SpinWaitForSafety(epoch.CurrentEpoch() - 1);
+  EXPECT_EQ(runs.load(), kActions);
+  epoch.Unprotect();
+}
+
+TEST(EpochTest, ConcurrentProtectRefresh) {
+  LightEpoch epoch;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::atomic<int> action_runs{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      epoch.Protect();
+      for (int i = 0; i < kIters; ++i) {
+        if (i % 100 == 0) {
+          epoch.BumpCurrentEpoch([&] { action_runs.fetch_add(1); });
+        }
+        epoch.Refresh();
+      }
+      epoch.Unprotect();
+    });
+  }
+  for (auto& t : threads) t.join();
+  // All actions must eventually run (drain by a fresh protected thread).
+  epoch.Protect();
+  epoch.SpinWaitForSafety(epoch.CurrentEpoch() - 1);
+  epoch.Unprotect();
+  EXPECT_EQ(action_runs.load(), kThreads * kIters / 100);
+}
+
+TEST(EpochTest, MonotonicInvariant) {
+  // Invariant from Sec. 2.3: E_s < E_T <= E for all protected T.
+  LightEpoch epoch;
+  epoch.Protect();
+  for (int i = 0; i < 100; ++i) {
+    epoch.BumpCurrentEpoch();
+    uint64_t local = epoch.Refresh();
+    EXPECT_LE(local, epoch.CurrentEpoch());
+    EXPECT_LT(epoch.SafeToReclaimEpoch(), local);
+  }
+  epoch.Unprotect();
+}
+
+}  // namespace
+}  // namespace faster

@@ -1,0 +1,250 @@
+// Direct verification of the paper's update schemes:
+//   Table 1 — upsert behaviour per region (in-place vs. RCU vs. async),
+//   Table 2 — RMW / CRDT / blind behaviour per region, including the fuzzy
+//             region's deferred RMWs (Sec. 6.2) and CRDT deltas (Sec. 6.3).
+//
+// The fuzzy region is manufactured deterministically: shifting the
+// read-only offset registers an epoch trigger for the safe-read-only
+// offset, which does not run until the (single) session thread refreshes —
+// so records between the two offsets are observably fuzzy.
+
+#include <gtest/gtest.h>
+
+#include "core/faster.h"
+#include "core/functions.h"
+#include "device/memory_device.h"
+
+namespace faster {
+namespace {
+
+using Store = FasterKv<CountStoreFunctions>;
+using CrdtStore = FasterKv<MergeableCountFunctions>;
+
+template <class S>
+typename S::Config Cfg() {
+  typename S::Config cfg;
+  cfg.table_size = 1024;
+  cfg.log.memory_size_bytes = 16ull << Address::kOffsetBits;
+  cfg.log.mutable_fraction = 0.9;
+  cfg.refresh_interval = 1u << 30;  // never auto-refresh: tests drive epochs
+  return cfg;
+}
+
+class RegionsTest : public ::testing::Test {
+ protected:
+  MemoryDevice device_;
+};
+
+// --- Mutable region (Table 1 & 2 bottom rows): in place. -----------------
+
+TEST_F(RegionsTest, MutableRegionUpsertIsInPlace) {
+  Store store{Cfg<Store>(), &device_};
+  store.StartSession();
+  ASSERT_EQ(store.Upsert(1, 10), Status::kOk);
+  uint64_t appended = store.GetStats().appended_records;
+  ASSERT_EQ(store.Upsert(1, 20), Status::kOk);
+  EXPECT_EQ(store.GetStats().appended_records, appended);  // no new record
+  store.StopSession();
+}
+
+TEST_F(RegionsTest, MutableRegionRmwIsInPlace) {
+  Store store{Cfg<Store>(), &device_};
+  store.StartSession();
+  ASSERT_EQ(store.Rmw(1, 10), Status::kOk);
+  uint64_t appended = store.GetStats().appended_records;
+  ASSERT_EQ(store.Rmw(1, 5), Status::kOk);
+  EXPECT_EQ(store.GetStats().appended_records, appended);
+  EXPECT_EQ(store.GetStats().fuzzy_rmws, 0u);
+  store.StopSession();
+}
+
+// --- Safe read-only region (Table 2 "< SafeReadOnlyAddress"): RCU. -------
+
+TEST_F(RegionsTest, ReadOnlyRegionRmwCopiesToTail) {
+  Store store{Cfg<Store>(), &device_};
+  store.StartSession();
+  ASSERT_EQ(store.Rmw(1, 10), Status::kOk);
+  // Make the record read-only *and* safe (trigger runs at our refresh).
+  store.hlog().ShiftReadOnlyToTail(false);
+  store.Refresh();
+  store.Refresh();
+  ASSERT_EQ(store.hlog().safe_read_only_address(),
+            store.hlog().read_only_address());
+  uint64_t appended = store.GetStats().appended_records;
+  ASSERT_EQ(store.Rmw(1, 5), Status::kOk);  // must RCU, not defer
+  EXPECT_EQ(store.GetStats().appended_records, appended + 1);
+  EXPECT_EQ(store.GetStats().fuzzy_rmws, 0u);
+  uint64_t out = 0;
+  ASSERT_EQ(store.Read(1, 0, &out), Status::kOk);
+  EXPECT_EQ(out, 15u);
+  store.StopSession();
+}
+
+TEST_F(RegionsTest, ReadOnlyRegionUpsertAppends) {
+  Store store{Cfg<Store>(), &device_};
+  store.StartSession();
+  ASSERT_EQ(store.Upsert(1, 10), Status::kOk);
+  store.hlog().ShiftReadOnlyToTail(false);
+  store.Refresh();
+  store.Refresh();
+  uint64_t appended = store.GetStats().appended_records;
+  ASSERT_EQ(store.Upsert(1, 20), Status::kOk);
+  EXPECT_EQ(store.GetStats().appended_records, appended + 1);
+  store.StopSession();
+}
+
+// --- Fuzzy region (Sec. 6.2; Table 2): RMW defers, blind appends. ---------
+
+TEST_F(RegionsTest, FuzzyRegionRmwIsDeferred) {
+  Store store{Cfg<Store>(), &device_};
+  store.StartSession();
+  ASSERT_EQ(store.Rmw(1, 10), Status::kOk);
+  // Shift RO but do NOT refresh: safe-RO lags, so the record is fuzzy.
+  store.hlog().ShiftReadOnlyToTail(false);
+  ASSERT_LT(store.hlog().safe_read_only_address(),
+            store.hlog().read_only_address());
+  Status s = store.Rmw(1, 5);
+  EXPECT_EQ(s, Status::kPending);  // deferred to the pending list
+  EXPECT_EQ(store.GetStats().fuzzy_rmws, 1u);
+  // CompletePending refreshes, the trigger runs, the retry succeeds.
+  ASSERT_TRUE(store.CompletePending(/*wait=*/true));
+  uint64_t out = 0;
+  ASSERT_EQ(store.Read(1, 0, &out), Status::kOk);
+  EXPECT_EQ(out, 15u);  // the increment was not lost (Sec. 6.2 anomaly)
+  store.StopSession();
+}
+
+TEST_F(RegionsTest, FuzzyRegionBlindUpsertProceeds) {
+  Store store{Cfg<Store>(), &device_};
+  store.StartSession();
+  ASSERT_EQ(store.Upsert(1, 10), Status::kOk);
+  store.hlog().ShiftReadOnlyToTail(false);
+  ASSERT_LT(store.hlog().safe_read_only_address(),
+            store.hlog().read_only_address());
+  // Blind updates need not wait (Table 2): they create a new record.
+  EXPECT_EQ(store.Upsert(1, 20), Status::kOk);
+  uint64_t out = 0;
+  ASSERT_EQ(store.Read(1, 0, &out), Status::kOk);
+  EXPECT_EQ(out, 20u);
+  store.StopSession();
+}
+
+TEST_F(RegionsTest, FuzzyRegionCrdtAppendsDelta) {
+  CrdtStore store{Cfg<CrdtStore>(), &device_};
+  store.StartSession();
+  ASSERT_EQ(store.Rmw(1, 10), Status::kOk);
+  store.hlog().ShiftReadOnlyToTail(false);
+  ASSERT_LT(store.hlog().safe_read_only_address(),
+            store.hlog().read_only_address());
+  // CRDT RMW completes immediately with a delta record (Sec. 6.3).
+  uint64_t appended = store.GetStats().appended_records;
+  EXPECT_EQ(store.Rmw(1, 5), Status::kOk);
+  EXPECT_EQ(store.GetStats().appended_records, appended + 1);
+  EXPECT_EQ(store.GetStats().fuzzy_rmws, 0u);
+  uint64_t out = 0;
+  ASSERT_EQ(store.Read(1, 0, &out), Status::kOk);
+  EXPECT_EQ(out, 15u);  // reads reconcile deltas
+  store.StopSession();
+}
+
+// --- Stable region / on storage (Table 2 "< HeadAddress"). ----------------
+
+TEST_F(RegionsTest, OnDiskRmwIssuesIo) {
+  auto cfg = Cfg<Store>();
+  cfg.log.memory_size_bytes = 2ull << Address::kOffsetBits;
+  cfg.log.mutable_fraction = 0.5;
+  cfg.refresh_interval = 256;
+  Store store{cfg, &device_};
+  store.StartSession();
+  ASSERT_EQ(store.Rmw(0, 100), Status::kOk);
+  for (uint64_t k = 1; k < 400000; ++k) {
+    ASSERT_EQ(store.Upsert(k, k), Status::kOk);
+  }
+  ASSERT_GT(store.hlog().head_address().control(), 64u);
+  uint64_t ios = store.GetStats().pending_ios;
+  Status s = store.Rmw(0, 1);
+  EXPECT_EQ(s, Status::kPending);
+  EXPECT_EQ(store.GetStats().pending_ios, ios + 1);
+  ASSERT_TRUE(store.CompletePending(true));
+  uint64_t out = 0;
+  s = store.Read(0, 0, &out);
+  if (s == Status::kPending) {
+    store.CompletePending(true);
+  }
+  EXPECT_EQ(out, 101u);
+  store.StopSession();
+}
+
+TEST_F(RegionsTest, OnDiskBlindUpsertAvoidsIo) {
+  auto cfg = Cfg<Store>();
+  cfg.log.memory_size_bytes = 2ull << Address::kOffsetBits;
+  cfg.log.mutable_fraction = 0.5;
+  cfg.refresh_interval = 256;
+  Store store{cfg, &device_};
+  store.StartSession();
+  ASSERT_EQ(store.Upsert(0, 100), Status::kOk);
+  for (uint64_t k = 1; k < 400000; ++k) {
+    ASSERT_EQ(store.Upsert(k, k), Status::kOk);
+  }
+  ASSERT_GT(store.hlog().head_address().control(), 64u);
+  uint64_t ios = store.GetStats().pending_ios;
+  // Blind update of an on-storage key: Table 2 — no storage read needed.
+  EXPECT_EQ(store.Upsert(0, 200), Status::kOk);
+  EXPECT_EQ(store.GetStats().pending_ios, ios);
+  uint64_t out = 0;
+  ASSERT_EQ(store.Read(0, 0, &out), Status::kOk);  // now at the tail
+  EXPECT_EQ(out, 200u);
+  store.StopSession();
+}
+
+TEST_F(RegionsTest, OnDiskCrdtRmwAvoidsIo) {
+  typename CrdtStore::Config cfg = Cfg<CrdtStore>();
+  cfg.log.memory_size_bytes = 2ull << Address::kOffsetBits;
+  cfg.log.mutable_fraction = 0.5;
+  cfg.refresh_interval = 256;
+  CrdtStore store{cfg, &device_};
+  store.StartSession();
+  ASSERT_EQ(store.Rmw(0, 100), Status::kOk);
+  for (uint64_t k = 1; k < 400000; ++k) {
+    ASSERT_EQ(store.Upsert(k, k), Status::kOk);
+  }
+  ASSERT_GT(store.hlog().head_address().control(), 64u);
+  uint64_t ios = store.GetStats().pending_ios;
+  // CRDT RMW on an on-storage key appends a delta without reading.
+  EXPECT_EQ(store.Rmw(0, 5), Status::kOk);
+  EXPECT_EQ(store.GetStats().pending_ios, ios);
+  // The read reconciles across memory and storage.
+  uint64_t out = 0;
+  Status s = store.Read(0, 0, &out);
+  if (s == Status::kPending) {
+    ASSERT_TRUE(store.CompletePending(true));
+  }
+  EXPECT_EQ(out, 105u);
+  store.StopSession();
+}
+
+// --- Region invariants. ----------------------------------------------------
+
+TEST_F(RegionsTest, MarkerOrderInvariantHolds) {
+  auto cfg = Cfg<Store>();
+  cfg.log.memory_size_bytes = 2ull << Address::kOffsetBits;
+  cfg.log.mutable_fraction = 0.5;
+  cfg.refresh_interval = 64;
+  Store store{cfg, &device_};
+  store.StartSession();
+  for (uint64_t k = 0; k < 300000; ++k) {
+    ASSERT_EQ(store.Upsert(k % 1000, k), Status::kOk);
+    if (k % 10000 == 0) {
+      auto& log = store.hlog();
+      ASSERT_LE(log.begin_address(), log.head_address());
+      ASSERT_LE(log.head_address(), log.safe_read_only_address());
+      ASSERT_LE(log.safe_read_only_address(), log.read_only_address());
+      ASSERT_LE(log.read_only_address(), log.tail_address());
+      ASSERT_LE(log.head_address(), log.flushed_until_address());
+    }
+  }
+  store.StopSession();
+}
+
+}  // namespace
+}  // namespace faster

@@ -1,0 +1,270 @@
+#include "core/hash_index.h"
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <random>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/key_hash.h"
+
+namespace faster {
+namespace {
+
+class HashIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override { epoch_.Protect(); }
+  void TearDown() override { epoch_.Unprotect(); }
+  LightEpoch epoch_;
+};
+
+TEST_F(HashIndexTest, MissingKeyNotFound) {
+  HashIndex index{128, &epoch_};
+  HashIndex::FindResult fr;
+  KeyHash h{Mix64(42)};
+  HashIndex::OpScope scope{index, h};
+  EXPECT_FALSE(index.FindEntry(scope, h, &fr));
+}
+
+TEST_F(HashIndexTest, CreateThenFind) {
+  HashIndex index{128, &epoch_};
+  KeyHash h{Mix64(42)};
+  HashIndex::FindResult fr;
+  {
+    HashIndex::OpScope scope{index, h};
+    index.FindOrCreateEntry(scope, h, &fr);
+    EXPECT_FALSE(fr.entry.address().IsValid());
+    EXPECT_EQ(fr.entry.tag(), h.Tag());
+    EXPECT_TRUE(index.TryUpdateEntry(&fr, Address{1, 64}));
+  }
+  {
+    HashIndex::OpScope scope{index, h};
+    HashIndex::FindResult found;
+    ASSERT_TRUE(index.FindEntry(scope, h, &found));
+    EXPECT_EQ(found.entry.address(), (Address{1, 64}));
+  }
+}
+
+TEST_F(HashIndexTest, FindOrCreateIsIdempotent) {
+  HashIndex index{128, &epoch_};
+  KeyHash h{Mix64(7)};
+  HashIndex::OpScope scope{index, h};
+  HashIndex::FindResult a, b;
+  index.FindOrCreateEntry(scope, h, &a);
+  index.FindOrCreateEntry(scope, h, &b);
+  EXPECT_EQ(a.slot, b.slot);
+}
+
+TEST_F(HashIndexTest, UpdateEntryCasSemantics) {
+  HashIndex index{128, &epoch_};
+  KeyHash h{Mix64(9)};
+  HashIndex::OpScope scope{index, h};
+  HashIndex::FindResult fr;
+  index.FindOrCreateEntry(scope, h, &fr);
+  ASSERT_TRUE(index.TryUpdateEntry(&fr, Address{2, 0}));
+  // Stale expected value: CAS must fail and reload the current entry.
+  HashIndex::FindResult stale = fr;
+  stale.entry = HashBucketEntry{Address{1, 0}, h.Tag(), false};
+  EXPECT_FALSE(index.TryUpdateEntry(&stale, Address{3, 0}));
+  EXPECT_EQ(stale.entry.address(), (Address{2, 0}));
+  EXPECT_TRUE(index.TryUpdateEntry(&stale, Address{3, 0}));
+}
+
+TEST_F(HashIndexTest, DeleteEntryFreesSlot) {
+  HashIndex index{128, &epoch_};
+  KeyHash h{Mix64(11)};
+  HashIndex::OpScope scope{index, h};
+  HashIndex::FindResult fr;
+  index.FindOrCreateEntry(scope, h, &fr);
+  ASSERT_TRUE(index.TryUpdateEntry(&fr, Address{4, 0}));
+  EXPECT_EQ(index.NumUsedEntries(), 1u);
+  EXPECT_TRUE(index.TryDeleteEntry(&fr));
+  EXPECT_EQ(index.NumUsedEntries(), 0u);
+  HashIndex::FindResult miss;
+  EXPECT_FALSE(index.FindEntry(scope, h, &miss));
+}
+
+TEST_F(HashIndexTest, OverflowBucketsExtendChains) {
+  // A tiny index (64 buckets) with many distinct tags per bucket forces
+  // overflow bucket allocation.
+  HashIndex index{64, &epoch_};
+  std::vector<KeyHash> hashes;
+  for (uint64_t k = 0; hashes.size() < 600; ++k) {
+    hashes.push_back(KeyHash{Mix64(k)});
+  }
+  uint64_t created = 0;
+  std::set<std::pair<uint64_t, uint16_t>> distinct;
+  for (KeyHash h : hashes) {
+    distinct.insert({h.Bucket(index.size()), h.Tag()});
+    HashIndex::OpScope scope{index, h};
+    HashIndex::FindResult fr;
+    index.FindOrCreateEntry(scope, h, &fr);
+    if (!fr.entry.address().IsValid()) {
+      ASSERT_TRUE(index.TryUpdateEntry(&fr, Address{created + 1, 0}));
+      ++created;
+    }
+  }
+  EXPECT_EQ(created, distinct.size());
+  // Everything must be findable.
+  for (KeyHash h : hashes) {
+    HashIndex::OpScope scope{index, h};
+    HashIndex::FindResult fr;
+    EXPECT_TRUE(index.FindEntry(scope, h, &fr));
+  }
+}
+
+// The core index invariant (Sec. 3.2): concurrent inserts of the same tag
+// must never produce duplicate non-tentative entries, even with deletes
+// racing (the Fig. 3a scenario).
+TEST_F(HashIndexTest, TwoPhaseInsertInvariantUnderContention) {
+  HashIndex index{64, &epoch_};
+  constexpr int kThreads = 4;
+  constexpr int kIters = 3000;
+  // All threads fight over a handful of tags in the same bucket space.
+  std::vector<KeyHash> hashes;
+  for (uint64_t k = 0; k < 8; ++k) hashes.push_back(KeyHash{Mix64(k)});
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(t);
+      epoch_.Protect();
+      for (int i = 0; i < kIters; ++i) {
+        KeyHash h = hashes[rng() % hashes.size()];
+        HashIndex::OpScope scope{index, h};
+        HashIndex::FindResult fr;
+        index.FindOrCreateEntry(scope, h, &fr);
+        if (!fr.entry.address().IsValid()) {
+          index.TryUpdateEntry(&fr, Address{1, 64});
+        } else if (rng() % 4 == 0) {
+          index.TryDeleteEntry(&fr);
+        }
+        if (i % 64 == 0) epoch_.Refresh();
+      }
+      epoch_.Unprotect();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+
+  // Verify invariant: for each hash, at most one non-tentative entry.
+  for (KeyHash h : hashes) {
+    HashIndex::OpScope scope{index, h};
+    HashIndex::FindResult fr;
+    index.FindEntry(scope, h, &fr);  // would be ambiguous if duplicated
+  }
+  // Count duplicates directly.
+  std::map<std::pair<uint64_t, uint16_t>, int> counts;
+  for (KeyHash h : hashes) {
+    counts[{h.Bucket(index.size()), h.Tag()}] = 0;
+  }
+  // NumUsedEntries counts every non-tentative entry; with 8 hashes the
+  // number of used entries can never exceed the number of distinct
+  // (bucket, tag) pairs.
+  EXPECT_LE(index.NumUsedEntries(), counts.size());
+}
+
+TEST_F(HashIndexTest, GrowDoublesAndPreservesEntries) {
+  HashIndex index{64, &epoch_};
+  constexpr uint64_t kKeys = 500;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    KeyHash h{Mix64(k)};
+    HashIndex::OpScope scope{index, h};
+    HashIndex::FindResult fr;
+    index.FindOrCreateEntry(scope, h, &fr);
+    if (!fr.entry.address().IsValid()) {
+      ASSERT_TRUE(index.TryUpdateEntry(&fr, Address{k + 1, 0}));
+    }
+  }
+  uint64_t old_size = index.size();
+  index.Grow();
+  EXPECT_EQ(index.size(), old_size * 2);
+  EXPECT_FALSE(index.IsResizing());
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    KeyHash h{Mix64(k)};
+    HashIndex::OpScope scope{index, h};
+    HashIndex::FindResult fr;
+    ASSERT_TRUE(index.FindEntry(scope, h, &fr)) << "key " << k;
+    EXPECT_TRUE(fr.entry.address().IsValid());
+  }
+}
+
+TEST_F(HashIndexTest, GrowWithConcurrentReaders) {
+  HashIndex index{64, &epoch_};
+  constexpr uint64_t kKeys = 256;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    KeyHash h{Mix64(k)};
+    HashIndex::OpScope scope{index, h};
+    HashIndex::FindResult fr;
+    index.FindOrCreateEntry(scope, h, &fr);
+    if (!fr.entry.address().IsValid()) {
+      index.TryUpdateEntry(&fr, Address{k + 1, 0});
+    }
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> misses{0};
+  std::thread reader([&] {
+    epoch_.Protect();
+    std::mt19937 rng(1);
+    while (!stop.load()) {
+      uint64_t k = rng() % kKeys;
+      KeyHash h{Mix64(k)};
+      HashIndex::OpScope scope{index, h};
+      HashIndex::FindResult fr;
+      if (!index.FindEntry(scope, h, &fr)) misses.fetch_add(1);
+      epoch_.Refresh();
+    }
+    epoch_.Unprotect();
+  });
+  index.Grow();
+  index.Grow();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(misses.load(), 0);
+  EXPECT_EQ(index.size(), 64u * 4);
+}
+
+TEST_F(HashIndexTest, CheckpointRoundTrip) {
+  HashIndex index{64, &epoch_};
+  constexpr uint64_t kKeys = 400;  // forces overflow buckets
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    KeyHash h{Mix64(k)};
+    HashIndex::OpScope scope{index, h};
+    HashIndex::FindResult fr;
+    index.FindOrCreateEntry(scope, h, &fr);
+    if (!fr.entry.address().IsValid()) {
+      index.TryUpdateEntry(&fr, Address{k + 1, 8});
+    }
+  }
+  uint64_t used = index.NumUsedEntries();
+
+  char path[] = "/tmp/faster_index_ckpt_XXXXXX";
+  int fd = mkstemp(path);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(index.WriteCheckpoint(fd), Status::kOk);
+  ::lseek(fd, 0, SEEK_SET);
+
+  HashIndex restored{64, &epoch_};
+  ASSERT_EQ(restored.ReadCheckpoint(fd), Status::kOk);
+  ::close(fd);
+  ::unlink(path);
+
+  EXPECT_EQ(restored.NumUsedEntries(), used);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    KeyHash h{Mix64(k)};
+    HashIndex::OpScope scope{restored, h};
+    HashIndex::FindResult fr;
+    ASSERT_TRUE(restored.FindEntry(scope, h, &fr));
+  }
+}
+
+}  // namespace
+}  // namespace faster

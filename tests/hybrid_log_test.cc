@@ -1,0 +1,221 @@
+#include "core/hybrid_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "device/memory_device.h"
+
+namespace faster {
+namespace {
+
+LogConfig SmallLog(uint64_t pages, double mutable_fraction) {
+  LogConfig cfg;
+  cfg.memory_size_bytes = pages << Address::kOffsetBits;
+  cfg.mutable_fraction = mutable_fraction;
+  return cfg;
+}
+
+/// Allocates with the caller-side retry protocol (NewPage + refresh).
+Address MustAllocate(HybridLog& log, LightEpoch& epoch, uint32_t size) {
+  for (;;) {
+    uint64_t closed_page = 0;
+    Address a = log.Allocate(size, &closed_page);
+    if (a.IsValid()) return a;
+    while (!log.NewPage(closed_page)) {
+      epoch.Refresh();
+      std::this_thread::yield();
+    }
+    epoch.Refresh();
+  }
+}
+
+class HybridLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { epoch_.Protect(); }
+  void TearDown() override { epoch_.Unprotect(); }
+  LightEpoch epoch_;
+  MemoryDevice device_;
+};
+
+TEST_F(HybridLogTest, FirstAllocationSkipsAddressZero) {
+  HybridLog log{SmallLog(4, 0.9), &device_, &epoch_};
+  Address a = MustAllocate(log, epoch_, 24);
+  EXPECT_TRUE(a.IsValid());
+  EXPECT_EQ(a.control(), 64u);
+}
+
+TEST_F(HybridLogTest, SequentialAllocationIsContiguous) {
+  HybridLog log{SmallLog(4, 0.9), &device_, &epoch_};
+  Address a = MustAllocate(log, epoch_, 32);
+  Address b = MustAllocate(log, epoch_, 32);
+  EXPECT_EQ(b - a, 32u);
+}
+
+TEST_F(HybridLogTest, AllocationCrossesPageBoundary) {
+  HybridLog log{SmallLog(4, 0.5), &device_, &epoch_};
+  uint32_t size = 512;
+  Address last = Address::Invalid();
+  uint64_t allocations = (Address::kPageSize / size) + 10;
+  for (uint64_t i = 0; i < allocations; ++i) {
+    Address a = MustAllocate(log, epoch_, size);
+    if (last.IsValid() && a.page() != last.page()) {
+      EXPECT_EQ(a.page(), last.page() + 1);
+      EXPECT_EQ(a.offset(), 0u);
+    }
+    last = a;
+  }
+  EXPECT_GE(last.page(), 1u);
+}
+
+TEST_F(HybridLogTest, ReadOnlyOffsetMaintainsLag) {
+  HybridLog log{SmallLog(8, 0.5), &device_, &epoch_};
+  // ro lag should be 4 pages; fill 6 pages.
+  uint32_t size = 1024;
+  for (uint64_t i = 0; i < 6 * (Address::kPageSize / size); ++i) {
+    MustAllocate(log, epoch_, size);
+  }
+  Address tail = log.tail_address();
+  EXPECT_GE(tail.page(), 5u);
+  Address ro = log.read_only_address();
+  EXPECT_EQ(ro.page() + log.read_only_lag_pages(), tail.page());
+  // Safe read-only catches up after refreshes.
+  epoch_.Refresh();
+  epoch_.Refresh();
+  EXPECT_EQ(log.safe_read_only_address(), log.read_only_address());
+}
+
+TEST_F(HybridLogTest, PagesFlushBelowSafeReadOnly) {
+  HybridLog log{SmallLog(8, 0.25), &device_, &epoch_};
+  uint32_t size = 1024;
+  for (uint64_t i = 0; i < 5 * (Address::kPageSize / size); ++i) {
+    MustAllocate(log, epoch_, size);
+  }
+  epoch_.Refresh();
+  epoch_.Refresh();
+  device_.Drain();
+  EXPECT_EQ(log.flushed_until_address(), log.safe_read_only_address());
+  EXPECT_GT(device_.bytes_written(), 0u);
+}
+
+TEST_F(HybridLogTest, DataSurvivesRoundTripThroughDevice) {
+  HybridLog log{SmallLog(4, 0.25), &device_, &epoch_};
+  // Write a recognizable pattern into the first page.
+  Address a = MustAllocate(log, epoch_, 64);
+  std::memset(log.Get(a), 0xAB, 64);
+  // Force enough churn that page 0 is flushed and evicted.
+  uint32_t size = 4096;
+  for (uint64_t i = 0; i < 8 * (Address::kPageSize / size); ++i) {
+    MustAllocate(log, epoch_, size);
+  }
+  ASSERT_GT(log.head_address(), a);
+  std::vector<uint8_t> buf(64);
+  ASSERT_EQ(log.ReadFromDiskSync(a, 64, buf.data()), Status::kOk);
+  for (uint8_t b : buf) EXPECT_EQ(b, 0xAB);
+}
+
+TEST_F(HybridLogTest, HeadNeverPassesFlushFrontier) {
+  HybridLog log{SmallLog(4, 0.5), &device_, &epoch_};
+  uint32_t size = 4096;
+  for (uint64_t i = 0; i < 10 * (Address::kPageSize / size); ++i) {
+    MustAllocate(log, epoch_, size);
+  }
+  EXPECT_LE(log.head_address(), log.flushed_until_address());
+  EXPECT_LE(log.head_address(), log.safe_read_only_address());
+  EXPECT_LE(log.safe_read_only_address(), log.read_only_address());
+  EXPECT_LE(log.read_only_address(), log.tail_address());
+}
+
+TEST_F(HybridLogTest, InMemoryBufferNeverExceedsBudget) {
+  HybridLog log{SmallLog(4, 0.5), &device_, &epoch_};
+  uint32_t size = 2048;
+  for (uint64_t i = 0; i < 12 * (Address::kPageSize / size); ++i) {
+    MustAllocate(log, epoch_, size);
+    // [head, tail) must span at most buffer_pages pages (tail itself may
+    // momentarily sit on a page boundary during a transition).
+    Address last_used = log.tail_address() - 1;
+    EXPECT_LE(last_used.page() - log.head_address().page() + 1,
+              log.buffer_pages());
+  }
+}
+
+TEST_F(HybridLogTest, ShiftReadOnlyToTailFlushesEverything) {
+  HybridLog log{SmallLog(8, 0.9), &device_, &epoch_};
+  for (int i = 0; i < 1000; ++i) MustAllocate(log, epoch_, 64);
+  Address tail = log.ShiftReadOnlyToTail(/*wait=*/true);
+  EXPECT_GE(log.flushed_until_address(), tail);
+  EXPECT_FALSE(log.io_error());
+}
+
+TEST_F(HybridLogTest, ShiftBeginAddressIsMonotonic) {
+  HybridLog log{SmallLog(4, 0.9), &device_, &epoch_};
+  for (int i = 0; i < 100; ++i) MustAllocate(log, epoch_, 64);
+  Address mid{0, 1024};
+  EXPECT_TRUE(log.ShiftBeginAddress(mid));
+  EXPECT_EQ(log.begin_address(), mid);
+  EXPECT_FALSE(log.ShiftBeginAddress(Address{0, 512}));  // backwards: no-op
+  EXPECT_EQ(log.begin_address(), mid);
+}
+
+TEST_F(HybridLogTest, ConcurrentAllocationsAreDisjoint) {
+  HybridLog log{SmallLog(16, 0.5), &device_, &epoch_};
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  constexpr uint32_t kSize = 48;
+  std::vector<std::vector<uint64_t>> addrs(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      epoch_.Protect();
+      addrs[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        Address a = MustAllocate(log, epoch_, kSize);
+        addrs[t].push_back(a.control());
+        if (i % 128 == 0) epoch_.Refresh();
+      }
+      epoch_.Unprotect();
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<uint64_t> all;
+  for (auto& v : addrs) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (size_t i = 1; i < all.size(); ++i) {
+    ASSERT_NE(all[i], all[i - 1]) << "duplicate address";
+    ASSERT_GE(all[i] - all[i - 1], kSize) << "overlapping allocations";
+  }
+}
+
+TEST_F(HybridLogTest, RecoverToPositionsMarkers) {
+  HybridLog log{SmallLog(4, 0.9), &device_, &epoch_};
+  Address begin{0, 64};
+  Address tail{10, 512};
+  log.RecoverTo(begin, tail);
+  EXPECT_EQ(log.begin_address(), begin);
+  EXPECT_EQ(log.head_address(), tail);
+  EXPECT_EQ(log.read_only_address(), tail);
+  EXPECT_EQ(log.safe_read_only_address(), tail);
+  EXPECT_EQ(log.flushed_until_address(), tail);
+  EXPECT_EQ(log.tail_address(), tail);
+  // Allocation resumes exactly at the recovered tail.
+  Address a = MustAllocate(log, epoch_, 64);
+  EXPECT_EQ(a, tail);
+}
+
+TEST_F(HybridLogTest, ReadCacheModeEvictsWithoutFlushing) {
+  LogConfig cfg = SmallLog(4, 0.5);
+  cfg.read_cache_mode = true;
+  HybridLog log{cfg, &device_, &epoch_};
+  uint32_t size = 4096;
+  for (uint64_t i = 0; i < 10 * (Address::kPageSize / size); ++i) {
+    MustAllocate(log, epoch_, size);
+  }
+  device_.Drain();
+  EXPECT_EQ(device_.bytes_written(), 0u);
+  EXPECT_GT(log.head_address().page(), 0u);
+}
+
+}  // namespace
+}  // namespace faster

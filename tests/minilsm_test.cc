@@ -1,0 +1,272 @@
+#include "baselines/minilsm/db.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "baselines/minilsm/bloom.h"
+#include "baselines/minilsm/sstable.h"
+#include "core/key_hash.h"
+
+namespace faster {
+namespace minilsm {
+namespace {
+
+class MiniLsmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/minilsm_test_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  LsmConfig Config(uint32_t value_size = 8,
+                   uint64_t memtable_bytes = 64 << 10) {
+    LsmConfig cfg;
+    cfg.dir = dir_;
+    cfg.value_size = value_size;
+    cfg.memtable_bytes = memtable_bytes;
+    return cfg;
+  }
+
+  std::string dir_;
+};
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bloom{1000};
+  for (uint64_t k = 0; k < 1000; ++k) bloom.Add(Mix64(k));
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_TRUE(bloom.MayContain(Mix64(k)));
+  }
+}
+
+TEST(BloomFilterTest, LowFalsePositiveRate) {
+  BloomFilter bloom{10000};
+  for (uint64_t k = 0; k < 10000; ++k) bloom.Add(Mix64(k));
+  int fp = 0;
+  for (uint64_t k = 10000; k < 20000; ++k) {
+    if (bloom.MayContain(Mix64(k))) ++fp;
+  }
+  EXPECT_LT(fp, 300);  // ~1% expected at 10 bits/key
+}
+
+TEST(BloomFilterTest, SerializationRoundTrip) {
+  BloomFilter a{100};
+  for (uint64_t k = 0; k < 100; ++k) a.Add(Mix64(k));
+  BloomFilter b{std::vector<uint8_t>(a.bytes()), a.num_probes()};
+  for (uint64_t k = 0; k < 100; ++k) EXPECT_TRUE(b.MayContain(Mix64(k)));
+}
+
+TEST(MemTableTest, PutGetDelete) {
+  MemTable mem;
+  uint64_t v = 42;
+  mem.Put(1, &v, 8);
+  LsmEntry e;
+  ASSERT_TRUE(mem.Get(1, &e));
+  EXPECT_FALSE(e.tombstone);
+  uint64_t got;
+  std::memcpy(&got, e.value.data(), 8);
+  EXPECT_EQ(got, 42u);
+  mem.Delete(1);
+  ASSERT_TRUE(mem.Get(1, &e));
+  EXPECT_TRUE(e.tombstone);
+  EXPECT_FALSE(mem.Get(2, &e));
+}
+
+TEST(MemTableTest, SnapshotIsSorted) {
+  MemTable mem;
+  for (uint64_t k : {5, 1, 9, 3, 7}) {
+    uint64_t v = k * 10;
+    mem.Put(k, &v, 8);
+  }
+  auto snap = mem.Snapshot();
+  ASSERT_EQ(snap.size(), 5u);
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].first, snap[i].first);
+  }
+}
+
+TEST_F(MiniLsmTest, SsTableWriteOpenGet) {
+  std::filesystem::create_directories(dir_);
+  std::vector<std::pair<uint64_t, LsmEntry>> entries;
+  for (uint64_t k = 0; k < 1000; k += 2) {
+    LsmEntry e;
+    uint64_t v = k + 1;
+    e.value.assign(reinterpret_cast<char*>(&v), 8);
+    entries.emplace_back(k, e);
+  }
+  std::unique_ptr<SsTable> table;
+  ASSERT_EQ(SsTable::Write(dir_ + "/t.tbl", entries, 8, &table), Status::kOk);
+  EXPECT_EQ(table->count(), entries.size());
+
+  // Reopen from disk and verify.
+  std::unique_ptr<SsTable> reopened;
+  ASSERT_EQ(SsTable::Open(dir_ + "/t.tbl", &reopened), Status::kOk);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    LsmEntry e;
+    Status s = reopened->Get(k, &e);
+    if (k % 2 == 0) {
+      ASSERT_EQ(s, Status::kOk) << k;
+      uint64_t v;
+      std::memcpy(&v, e.value.data(), 8);
+      EXPECT_EQ(v, k + 1);
+    } else {
+      EXPECT_EQ(s, Status::kNotFound) << k;
+    }
+  }
+  reopened->Destroy();
+}
+
+TEST_F(MiniLsmTest, PutGetBeforeAnyFlush) {
+  MiniLsm db{Config()};
+  uint64_t v = 7;
+  ASSERT_EQ(db.Put(1, &v), Status::kOk);
+  uint64_t out = 0;
+  ASSERT_EQ(db.Get(1, &out), Status::kOk);
+  EXPECT_EQ(out, 7u);
+  EXPECT_EQ(db.Get(2, &out), Status::kNotFound);
+}
+
+TEST_F(MiniLsmTest, DataSurvivesFlushesAndCompactions) {
+  MiniLsm db{Config()};
+  constexpr uint64_t kKeys = 20000;  // forces several flushes + compaction
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    uint64_t v = k * 2;
+    ASSERT_EQ(db.Put(k, &v), Status::kOk);
+  }
+  auto stats = db.GetStats();
+  EXPECT_GT(stats.flushes, 0u);
+  EXPECT_GT(stats.compactions, 0u);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    uint64_t out = 0;
+    ASSERT_EQ(db.Get(k, &out), Status::kOk) << k;
+    ASSERT_EQ(out, k * 2);
+  }
+}
+
+TEST_F(MiniLsmTest, NewerVersionsWin) {
+  MiniLsm db{Config()};
+  for (int round = 0; round < 5; ++round) {
+    for (uint64_t k = 0; k < 5000; ++k) {
+      uint64_t v = k + round * 1000000;
+      ASSERT_EQ(db.Put(k, &v), Status::kOk);
+    }
+  }
+  for (uint64_t k = 0; k < 5000; ++k) {
+    uint64_t out = 0;
+    ASSERT_EQ(db.Get(k, &out), Status::kOk);
+    ASSERT_EQ(out, k + 4 * 1000000);
+  }
+}
+
+TEST_F(MiniLsmTest, DeleteTombstonesAcrossLevels) {
+  MiniLsm db{Config()};
+  uint64_t v = 9;
+  ASSERT_EQ(db.Put(42, &v), Status::kOk);
+  // Push key 42 into an SSTable.
+  for (uint64_t k = 1000; k < 12000; ++k) {
+    ASSERT_EQ(db.Put(k, &k), Status::kOk);
+  }
+  ASSERT_EQ(db.Delete(42), Status::kOk);
+  uint64_t out = 0;
+  EXPECT_EQ(db.Get(42, &out), Status::kNotFound);
+  // More churn (tombstone also flushes + compacts).
+  for (uint64_t k = 20000; k < 32000; ++k) {
+    ASSERT_EQ(db.Put(k, &k), Status::kOk);
+  }
+  EXPECT_EQ(db.Get(42, &out), Status::kNotFound);
+}
+
+TEST_F(MiniLsmTest, RmwAccumulates) {
+  MiniLsm db{Config()};
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(db.Rmw(3,
+                     [](void* v, bool fresh) {
+                       uint64_t c = 0;
+                       if (!fresh) std::memcpy(&c, v, 8);
+                       ++c;
+                       std::memcpy(v, &c, 8);
+                     }),
+              Status::kOk);
+  }
+  uint64_t out = 0;
+  ASSERT_EQ(db.Get(3, &out), Status::kOk);
+  EXPECT_EQ(out, 1000u);
+}
+
+TEST_F(MiniLsmTest, HundredByteValues) {
+  MiniLsm db{Config(100, 256 << 10)};
+  std::vector<uint8_t> value(100);
+  for (uint64_t k = 0; k < 5000; ++k) {
+    std::fill(value.begin(), value.end(), static_cast<uint8_t>(k & 0xff));
+    ASSERT_EQ(db.Put(k, value.data()), Status::kOk);
+  }
+  std::vector<uint8_t> out(100);
+  for (uint64_t k = 0; k < 5000; ++k) {
+    ASSERT_EQ(db.Get(k, out.data()), Status::kOk);
+    ASSERT_EQ(out[0], static_cast<uint8_t>(k & 0xff));
+    ASSERT_EQ(out[99], static_cast<uint8_t>(k & 0xff));
+  }
+}
+
+TEST_F(MiniLsmTest, WalRecoversUnflushedWrites) {
+  auto cfg = Config();
+  cfg.enable_wal = true;
+  {
+    MiniLsm db{cfg};
+    for (uint64_t k = 0; k < 100; ++k) {
+      uint64_t v = k + 5;
+      ASSERT_EQ(db.Put(k, &v), Status::kOk);
+    }
+    // No flush happened (small data); "crash" by dropping the instance.
+  }
+  {
+    MiniLsm db{cfg};
+    for (uint64_t k = 0; k < 100; ++k) {
+      uint64_t out = 0;
+      ASSERT_EQ(db.Get(k, &out), Status::kOk) << k;
+      ASSERT_EQ(out, k + 5);
+    }
+  }
+}
+
+TEST_F(MiniLsmTest, ConcurrentReadersAndWriters) {
+  MiniLsm db{Config()};
+  constexpr uint64_t kKeys = 4000;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    uint64_t v = 1;
+    ASSERT_EQ(db.Put(k, &v), Status::kOk);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::thread writer([&] {
+    std::mt19937_64 rng(7);
+    while (!stop.load()) {
+      uint64_t k = rng() % kKeys;
+      uint64_t v = 1;
+      if (db.Put(k, &v) != Status::kOk) errors.fetch_add(1);
+    }
+  });
+  std::thread reader([&] {
+    std::mt19937_64 rng(13);
+    for (int i = 0; i < 50000; ++i) {
+      uint64_t k = rng() % kKeys;
+      uint64_t out = 0;
+      Status s = db.Get(k, &out);
+      if (s != Status::kOk || out != 1) errors.fetch_add(1);
+    }
+    stop.store(true);
+  });
+  reader.join();
+  writer.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+}  // namespace
+}  // namespace minilsm
+}  // namespace faster

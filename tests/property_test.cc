@@ -1,0 +1,191 @@
+// Model-based property tests: a randomized operation stream is applied to
+// both FasterKv and a reference std::unordered_map; after every batch the
+// observable state must agree. Parameterized (TEST_P) over store
+// configurations spanning all the paper's operating regimes: in-memory,
+// larger-than-memory, append-only (Sec. 5), tiny index with long chains,
+// read cache (Appendix D), and the CRDT store (Sec. 6.3).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+#include "core/faster.h"
+#include "core/functions.h"
+#include "device/memory_device.h"
+
+namespace faster {
+namespace {
+
+struct StoreParams {
+  std::string name;
+  uint64_t table_size;
+  uint64_t mem_pages;
+  double mutable_fraction;
+  bool force_rcu;
+  bool read_cache;
+  uint64_t key_space;
+  uint64_t num_ops;
+};
+
+std::ostream& operator<<(std::ostream& os, const StoreParams& p) {
+  return os << p.name;
+}
+
+class ModelCheckTest : public ::testing::TestWithParam<StoreParams> {};
+
+TEST_P(ModelCheckTest, MatchesReferenceModel) {
+  const StoreParams& p = GetParam();
+  MemoryDevice device;
+  FasterKv<CountStoreFunctions>::Config cfg;
+  cfg.table_size = p.table_size;
+  cfg.log.memory_size_bytes = p.mem_pages << Address::kOffsetBits;
+  cfg.log.mutable_fraction = p.mutable_fraction;
+  cfg.force_rcu = p.force_rcu;
+  cfg.enable_read_cache = p.read_cache;
+  cfg.read_cache.memory_size_bytes = 2ull << Address::kOffsetBits;
+  FasterKv<CountStoreFunctions> store{cfg, &device};
+  store.StartSession();
+
+  std::unordered_map<uint64_t, uint64_t> model;
+  std::mt19937_64 rng(0xC0FFEE);
+
+  auto read_store = [&](uint64_t key) -> std::pair<bool, uint64_t> {
+    uint64_t out = UINT64_MAX;
+    Status s = store.Read(key, 0, &out);
+    if (s == Status::kPending) {
+      EXPECT_TRUE(store.CompletePending(true));
+      return {out != UINT64_MAX, out};
+    }
+    return {s == Status::kOk, out};
+  };
+
+  for (uint64_t i = 0; i < p.num_ops; ++i) {
+    uint64_t key = rng() % p.key_space;
+    switch (rng() % 4) {
+      case 0: {  // upsert
+        uint64_t v = rng();
+        ASSERT_EQ(store.Upsert(key, v), Status::kOk);
+        model[key] = v;
+        break;
+      }
+      case 1: {  // rmw (+delta)
+        uint64_t delta = rng() % 1000;
+        Status s = store.Rmw(key, delta);
+        ASSERT_TRUE(s == Status::kOk || s == Status::kPending);
+        if (s == Status::kPending) {
+          ASSERT_TRUE(store.CompletePending(true));
+        }
+        auto it = model.find(key);
+        if (it == model.end()) {
+          model[key] = delta;
+        } else {
+          it->second += delta;
+        }
+        break;
+      }
+      case 2: {  // delete
+        Status s = store.Delete(key);
+        bool existed = model.erase(key) > 0;
+        ASSERT_EQ(s == Status::kOk, existed) << "key " << key << " op " << i;
+        break;
+      }
+      case 3: {  // read
+        auto [found, value] = read_store(key);
+        auto it = model.find(key);
+        ASSERT_EQ(found, it != model.end()) << "key " << key << " op " << i;
+        if (found) {
+          ASSERT_EQ(value, it->second) << "key " << key << " op " << i;
+        }
+        break;
+      }
+    }
+  }
+
+  // Full sweep: every model key readable with the right value; a sample of
+  // absent keys reads NotFound.
+  for (const auto& [key, value] : model) {
+    auto [found, got] = read_store(key);
+    ASSERT_TRUE(found) << "key " << key;
+    ASSERT_EQ(got, value) << "key " << key;
+  }
+  for (uint64_t probe = p.key_space; probe < p.key_space + 100; ++probe) {
+    auto [found, got] = read_store(probe);
+    ASSERT_FALSE(found) << "phantom key " << probe;
+  }
+  store.StopSession();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ModelCheckTest,
+    ::testing::Values(
+        StoreParams{"in_memory", 4096, 16, 0.9, false, false, 2000, 60000},
+        StoreParams{"spilling", 1024, 2, 0.5, false, false, 300000, 250000},
+        StoreParams{"append_only", 4096, 8, 0.0, true, false, 2000, 60000},
+        StoreParams{"tiny_index_long_chains", 64, 16, 0.9, false, false,
+                    5000, 60000},
+        StoreParams{"tiny_mutable_region", 1024, 4, 0.1, false, false, 50000,
+                    150000},
+        StoreParams{"with_read_cache", 1024, 2, 0.5, false, true, 300000,
+                    250000},
+        StoreParams{"single_page_buffer_floor", 1024, 1, 0.5, false, false,
+                    100000, 120000}),
+    [](const auto& info) { return info.param.name; });
+
+// The CRDT store must agree with a summing model under RMW + read (its
+// supported operation mix), across region churn.
+struct CrdtParams {
+  std::string name;
+  uint64_t mem_pages;
+  double mutable_fraction;
+  uint64_t key_space;
+  uint64_t num_ops;
+};
+std::ostream& operator<<(std::ostream& os, const CrdtParams& p) {
+  return os << p.name;
+}
+
+class CrdtModelTest : public ::testing::TestWithParam<CrdtParams> {};
+
+TEST_P(CrdtModelTest, SumsMatchModel) {
+  const CrdtParams& p = GetParam();
+  MemoryDevice device;
+  FasterKv<MergeableCountFunctions>::Config cfg;
+  cfg.table_size = 4096;
+  cfg.log.memory_size_bytes = p.mem_pages << Address::kOffsetBits;
+  cfg.log.mutable_fraction = p.mutable_fraction;
+  FasterKv<MergeableCountFunctions> store{cfg, &device};
+  store.StartSession();
+
+  std::unordered_map<uint64_t, uint64_t> model;
+  std::mt19937_64 rng(42);
+  for (uint64_t i = 0; i < p.num_ops; ++i) {
+    uint64_t key = rng() % p.key_space;
+    uint64_t delta = rng() % 100;
+    ASSERT_EQ(store.Rmw(key, delta), Status::kOk);
+    model[key] += delta;
+  }
+  for (const auto& [key, sum] : model) {
+    uint64_t out = 0;
+    Status s = store.Read(key, 0, &out);
+    if (s == Status::kPending) {
+      ASSERT_TRUE(store.CompletePending(true));
+    } else {
+      ASSERT_EQ(s, Status::kOk);
+    }
+    ASSERT_EQ(out, sum) << "key " << key;
+  }
+  store.StopSession();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, CrdtModelTest,
+    ::testing::Values(CrdtParams{"in_memory", 16, 0.9, 500, 60000},
+                      CrdtParams{"spilling_deltas", 2, 0.3, 20000, 200000},
+                      CrdtParams{"append_heavy", 4, 0.05, 2000, 120000}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace faster

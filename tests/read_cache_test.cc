@@ -1,0 +1,196 @@
+// Tests for the read cache (Appendix D): a second, never-flushed
+// HybridLog instance holding copies of read-hot records, with index
+// entries redirected back to the primary log on eviction.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/faster.h"
+#include "core/functions.h"
+#include "device/memory_device.h"
+
+namespace faster {
+namespace {
+
+using Store = FasterKv<CountStoreFunctions>;
+
+Store::Config CacheConfig(uint64_t rc_pages = 2) {
+  Store::Config cfg;
+  cfg.table_size = 2048;
+  cfg.log.memory_size_bytes = 2ull << Address::kOffsetBits;  // tiny: spills
+  cfg.log.mutable_fraction = 0.5;
+  cfg.enable_read_cache = true;
+  cfg.read_cache.memory_size_bytes = rc_pages << Address::kOffsetBits;
+  cfg.read_cache.mutable_fraction = 0.5;
+  return cfg;
+}
+
+/// Loads enough keys that the early ones are evicted to storage.
+void Spill(Store& store, uint64_t keys) {
+  for (uint64_t k = 0; k < keys; ++k) {
+    ASSERT_EQ(store.Upsert(k, k + 1), Status::kOk);
+  }
+  ASSERT_GT(store.hlog().head_address().control(), 64u);
+}
+
+uint64_t MustRead(Store& store, uint64_t key) {
+  uint64_t out = UINT64_MAX;
+  Status s = store.Read(key, 0, &out);
+  if (s == Status::kPending) {
+    EXPECT_TRUE(store.CompletePending(true));
+  } else {
+    EXPECT_EQ(s, Status::kOk);
+  }
+  return out;
+}
+
+class ReadCacheTest : public ::testing::Test {
+ protected:
+  MemoryDevice device_;
+};
+
+TEST_F(ReadCacheTest, SecondReadIsServedFromCache) {
+  Store store{CacheConfig(), &device_};
+  store.StartSession();
+  Spill(store, 400000);
+  // First read of a cold key: storage I/O, populates the cache.
+  EXPECT_EQ(MustRead(store, 5), 6u);
+  auto stats1 = store.GetStats();
+  EXPECT_GT(stats1.pending_ios, 0u);
+  // Second read: cache hit, no new I/O, completes synchronously.
+  uint64_t out = 0;
+  EXPECT_EQ(store.Read(5, 0, &out), Status::kOk);
+  EXPECT_EQ(out, 6u);
+  auto stats2 = store.GetStats();
+  EXPECT_EQ(stats2.pending_ios, stats1.pending_ios);
+  EXPECT_GT(stats2.read_cache_hits, 0u);
+  store.StopSession();
+}
+
+TEST_F(ReadCacheTest, UpsertInvalidatesCachedCopy) {
+  Store store{CacheConfig(), &device_};
+  store.StartSession();
+  Spill(store, 400000);
+  EXPECT_EQ(MustRead(store, 7), 8u);       // cache key 7
+  ASSERT_EQ(store.Upsert(7, 999), Status::kOk);  // newer version on log
+  EXPECT_EQ(MustRead(store, 7), 999u);     // must not see the stale copy
+  store.StopSession();
+}
+
+TEST_F(ReadCacheTest, RmwUsesCachedValueWithoutIo) {
+  Store store{CacheConfig(), &device_};
+  store.StartSession();
+  Spill(store, 400000);
+  EXPECT_EQ(MustRead(store, 9), 10u);  // cache key 9
+  auto ios_before = store.GetStats().pending_ios;
+  // RMW on the cached key: copy-update from the cache, no storage read.
+  ASSERT_EQ(store.Rmw(9, 5), Status::kOk);
+  EXPECT_EQ(store.GetStats().pending_ios, ios_before);
+  EXPECT_EQ(MustRead(store, 9), 15u);
+  store.StopSession();
+}
+
+TEST_F(ReadCacheTest, DeleteRemovesCachedKey) {
+  Store store{CacheConfig(), &device_};
+  store.StartSession();
+  Spill(store, 400000);
+  EXPECT_EQ(MustRead(store, 11), 12u);
+  ASSERT_EQ(store.Delete(11), Status::kOk);
+  uint64_t out = 0;
+  Status s = store.Read(11, 0, &out);
+  if (s == Status::kPending) {
+    store.CompletePending(true);
+    EXPECT_EQ(out, 0u);  // untouched
+  } else {
+    EXPECT_EQ(s, Status::kNotFound);
+  }
+  store.StopSession();
+}
+
+TEST_F(ReadCacheTest, EvictionRedirectsBackToPrimaryLog) {
+  Store store{CacheConfig(/*rc_pages=*/2), &device_};
+  store.StartSession();
+  constexpr uint64_t kKeys = 400000;
+  Spill(store, kKeys);
+  // Read a wave of cold keys far larger than the cache capacity; early
+  // cached entries get evicted and their index entries must be redirected
+  // so the keys remain readable (from storage).
+  for (uint64_t k = 0; k < 300000; k += 3) {
+    uint64_t out = 0;
+    Status s = store.Read(k, 0, &out);
+    ASSERT_TRUE(s == Status::kOk || s == Status::kPending);
+    if (k % 999 == 0) store.CompletePending(false);
+  }
+  store.CompletePending(true);
+  // Every key is still readable with the right value.
+  for (uint64_t k = 0; k < 300000; k += 2999) {
+    EXPECT_EQ(MustRead(store, k), k + 1) << "key " << k;
+  }
+  store.StopSession();
+}
+
+TEST_F(ReadCacheTest, CheckpointWithReadCacheRecovers) {
+  std::string dir = "/tmp/faster_rc_ckpt_test";
+  std::filesystem::remove_all(dir);
+  constexpr uint64_t kKeys = 400000;
+  {
+    Store store{CacheConfig(), &device_};
+    store.StartSession();
+    Spill(store, kKeys);
+    // Populate the cache with some cold keys, then checkpoint: persisted
+    // entries must point at the primary log, not the cache.
+    for (uint64_t k = 0; k < 100; ++k) MustRead(store, k);
+    ASSERT_EQ(store.Checkpoint(dir), Status::kOk);
+    store.StopSession();
+  }
+  {
+    Store store{CacheConfig(), &device_};
+    ASSERT_EQ(store.Recover(dir), Status::kOk);
+    store.StartSession();
+    for (uint64_t k = 0; k < 100; ++k) {
+      EXPECT_EQ(MustRead(store, k), k + 1) << "key " << k;
+    }
+    EXPECT_EQ(MustRead(store, kKeys / 2), kKeys / 2 + 1);
+    store.StopSession();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ReadCacheTest, ConcurrentReadersWithCacheChurn) {
+  Store store{CacheConfig(/*rc_pages=*/2), &device_};
+  store.StartSession();
+  constexpr uint64_t kKeys = 400000;
+  Spill(store, kKeys);
+  store.StopSession();
+
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      store.StartSession();
+      std::mt19937_64 rng(t + 1);
+      for (int i = 0; i < 20000; ++i) {
+        uint64_t k = rng() % kKeys;
+        uint64_t out = 0;
+        Status s = store.Read(k, 0, &out);
+        if (s == Status::kOk) {
+          if (out != k + 1) errors.fetch_add(1);
+        } else if (s != Status::kPending) {
+          errors.fetch_add(1);
+        }
+        if (i % 512 == 0) store.CompletePending(false);
+      }
+      store.StopSession();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_GT(store.GetStats().read_cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace faster

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Summarize google-benchmark console output from the bench/ binaries into
+per-figure tables (markdown), for building EXPERIMENTS.md or eyeballing a
+run.
+
+Usage:
+  for b in build/bench/*; do $b; done 2>&1 | tee bench.log
+  tools/summarize_bench.py bench.log
+"""
+
+import re
+import sys
+from collections import defaultdict
+
+
+LINE = re.compile(r"^(\S+)/iterations:1\s+\d+ ms\s+[\d.]+ ms\s+1\s+(.*)$")
+COUNTER = re.compile(r"(\w+)=([\d.]+[kMG]?(?:/s)?)")
+
+
+def parse(path):
+    rows = []
+    for line in open(path):
+        m = LINE.match(line.strip())
+        if not m:
+            continue
+        name, counters_str = m.groups()
+        counters = dict(COUNTER.findall(counters_str))
+        rows.append((name, counters))
+    return rows
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    rows = parse(sys.argv[1])
+    groups = defaultdict(list)
+    for name, counters in rows:
+        # group by the leading figure tag (before the first '/')
+        groups[name.split("/")[0]].append((name, counters))
+
+    for fig in sorted(groups):
+        print(f"\n## {fig}\n")
+        # choose interesting counters present in this group
+        keys = []
+        for _, c in groups[fig]:
+            for k in ("Mops", "miss_ratio", "log_growth_MBps", "fuzzy_pct",
+                      "log_bw_MBps", "cache_hit_pct", "storage_reads_pct"):
+                if k in c and k not in keys:
+                    keys.append(k)
+        header = "| case | " + " | ".join(keys) + " |"
+        print(header)
+        print("|" + "---|" * (len(keys) + 1))
+        for name, c in groups[fig]:
+            # strip the figure prefix and trailing arg echo google-benchmark
+            # appends (the numeric /a/b/c tail duplicates the name)
+            case = "/".join(name.split("/")[1:])
+            case = re.sub(r"(/-?\d+)+$", "", case)
+            cells = [c.get(k, "") for k in keys]
+            print("| " + case + " | " + " | ".join(cells) + " |")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)
