@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_d_read_cache.dir/appendix_d_read_cache.cc.o"
+  "CMakeFiles/appendix_d_read_cache.dir/appendix_d_read_cache.cc.o.d"
+  "appendix_d_read_cache"
+  "appendix_d_read_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_d_read_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for appendix_d_read_cache.
+# This may be replaced when dependencies are built.

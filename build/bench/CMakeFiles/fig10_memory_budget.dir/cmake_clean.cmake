@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_memory_budget.dir/fig10_memory_budget.cc.o"
+  "CMakeFiles/fig10_memory_budget.dir/fig10_memory_budget.cc.o.d"
+  "fig10_memory_budget"
+  "fig10_memory_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_memory_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_append_vs_hybrid.dir/fig11_append_vs_hybrid.cc.o"
+  "CMakeFiles/fig11_append_vs_hybrid.dir/fig11_append_vs_hybrid.cc.o.d"
+  "fig11_append_vs_hybrid"
+  "fig11_append_vs_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_append_vs_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ipu_region.dir/fig12_ipu_region.cc.o"
+  "CMakeFiles/fig12_ipu_region.dir/fig12_ipu_region.cc.o.d"
+  "fig12_ipu_region"
+  "fig12_ipu_region.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ipu_region.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_fuzzy_threads.dir/fig13_fuzzy_threads.cc.o"
+  "CMakeFiles/fig13_fuzzy_threads.dir/fig13_fuzzy_threads.cc.o.d"
+  "fig13_fuzzy_threads"
+  "fig13_fuzzy_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_fuzzy_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_16_cache_sim.dir/fig14_16_cache_sim.cc.o"
+  "CMakeFiles/fig14_16_cache_sim.dir/fig14_16_cache_sim.cc.o.d"
+  "fig14_16_cache_sim"
+  "fig14_16_cache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_16_cache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_throughput.dir/fig8_throughput.cc.o"
+  "CMakeFiles/fig8_throughput.dir/fig8_throughput.cc.o.d"
+  "fig8_throughput"
+  "fig8_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

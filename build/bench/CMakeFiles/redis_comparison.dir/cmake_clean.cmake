@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redis_comparison.dir/redis_comparison.cc.o"
+  "CMakeFiles/redis_comparison.dir/redis_comparison.cc.o.d"
+  "redis_comparison"
+  "redis_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redis_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tag_size_sensitivity.dir/tag_size_sensitivity.cc.o"
+  "CMakeFiles/tag_size_sensitivity.dir/tag_size_sensitivity.cc.o.d"
+  "tag_size_sensitivity"
+  "tag_size_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tag_size_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/count_store.dir/count_store.cpp.o"
+  "CMakeFiles/count_store.dir/count_store.cpp.o.d"
+  "count_store"
+  "count_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/count_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/larger_than_memory.dir/larger_than_memory.cpp.o"
+  "CMakeFiles/larger_than_memory.dir/larger_than_memory.cpp.o.d"
+  "larger_than_memory"
+  "larger_than_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/larger_than_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

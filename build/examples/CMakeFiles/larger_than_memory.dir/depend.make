@@ -1,0 +1,2 @@
+# Empty dependencies file for larger_than_memory.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/minilsm/bloom.cc" "src/CMakeFiles/faster_baselines.dir/baselines/minilsm/bloom.cc.o" "gcc" "src/CMakeFiles/faster_baselines.dir/baselines/minilsm/bloom.cc.o.d"
+  "/root/repo/src/baselines/minilsm/db.cc" "src/CMakeFiles/faster_baselines.dir/baselines/minilsm/db.cc.o" "gcc" "src/CMakeFiles/faster_baselines.dir/baselines/minilsm/db.cc.o.d"
+  "/root/repo/src/baselines/minilsm/memtable.cc" "src/CMakeFiles/faster_baselines.dir/baselines/minilsm/memtable.cc.o" "gcc" "src/CMakeFiles/faster_baselines.dir/baselines/minilsm/memtable.cc.o.d"
+  "/root/repo/src/baselines/minilsm/sstable.cc" "src/CMakeFiles/faster_baselines.dir/baselines/minilsm/sstable.cc.o" "gcc" "src/CMakeFiles/faster_baselines.dir/baselines/minilsm/sstable.cc.o.d"
+  "/root/repo/src/baselines/remote_store.cc" "src/CMakeFiles/faster_baselines.dir/baselines/remote_store.cc.o" "gcc" "src/CMakeFiles/faster_baselines.dir/baselines/remote_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/faster_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faster_baselines.dir/baselines/minilsm/bloom.cc.o"
+  "CMakeFiles/faster_baselines.dir/baselines/minilsm/bloom.cc.o.d"
+  "CMakeFiles/faster_baselines.dir/baselines/minilsm/db.cc.o"
+  "CMakeFiles/faster_baselines.dir/baselines/minilsm/db.cc.o.d"
+  "CMakeFiles/faster_baselines.dir/baselines/minilsm/memtable.cc.o"
+  "CMakeFiles/faster_baselines.dir/baselines/minilsm/memtable.cc.o.d"
+  "CMakeFiles/faster_baselines.dir/baselines/minilsm/sstable.cc.o"
+  "CMakeFiles/faster_baselines.dir/baselines/minilsm/sstable.cc.o.d"
+  "CMakeFiles/faster_baselines.dir/baselines/remote_store.cc.o"
+  "CMakeFiles/faster_baselines.dir/baselines/remote_store.cc.o.d"
+  "libfaster_baselines.a"
+  "libfaster_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faster_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faster_cache_sim.dir/cache_sim/policies.cc.o"
+  "CMakeFiles/faster_cache_sim.dir/cache_sim/policies.cc.o.d"
+  "CMakeFiles/faster_cache_sim.dir/cache_sim/simulator.cc.o"
+  "CMakeFiles/faster_cache_sim.dir/cache_sim/simulator.cc.o.d"
+  "libfaster_cache_sim.a"
+  "libfaster_cache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faster_cache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

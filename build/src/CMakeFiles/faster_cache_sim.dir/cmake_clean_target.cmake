@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfaster_cache_sim.a"
+)

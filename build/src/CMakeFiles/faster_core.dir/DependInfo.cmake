@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/epoch.cc" "src/CMakeFiles/faster_core.dir/core/epoch.cc.o" "gcc" "src/CMakeFiles/faster_core.dir/core/epoch.cc.o.d"
+  "/root/repo/src/core/hash_index.cc" "src/CMakeFiles/faster_core.dir/core/hash_index.cc.o" "gcc" "src/CMakeFiles/faster_core.dir/core/hash_index.cc.o.d"
+  "/root/repo/src/core/hybrid_log.cc" "src/CMakeFiles/faster_core.dir/core/hybrid_log.cc.o" "gcc" "src/CMakeFiles/faster_core.dir/core/hybrid_log.cc.o.d"
+  "/root/repo/src/core/thread.cc" "src/CMakeFiles/faster_core.dir/core/thread.cc.o" "gcc" "src/CMakeFiles/faster_core.dir/core/thread.cc.o.d"
+  "/root/repo/src/device/file_device.cc" "src/CMakeFiles/faster_core.dir/device/file_device.cc.o" "gcc" "src/CMakeFiles/faster_core.dir/device/file_device.cc.o.d"
+  "/root/repo/src/device/io_thread_pool.cc" "src/CMakeFiles/faster_core.dir/device/io_thread_pool.cc.o" "gcc" "src/CMakeFiles/faster_core.dir/device/io_thread_pool.cc.o.d"
+  "/root/repo/src/device/memory_device.cc" "src/CMakeFiles/faster_core.dir/device/memory_device.cc.o" "gcc" "src/CMakeFiles/faster_core.dir/device/memory_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

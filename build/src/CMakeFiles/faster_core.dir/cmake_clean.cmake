@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faster_core.dir/core/epoch.cc.o"
+  "CMakeFiles/faster_core.dir/core/epoch.cc.o.d"
+  "CMakeFiles/faster_core.dir/core/hash_index.cc.o"
+  "CMakeFiles/faster_core.dir/core/hash_index.cc.o.d"
+  "CMakeFiles/faster_core.dir/core/hybrid_log.cc.o"
+  "CMakeFiles/faster_core.dir/core/hybrid_log.cc.o.d"
+  "CMakeFiles/faster_core.dir/core/thread.cc.o"
+  "CMakeFiles/faster_core.dir/core/thread.cc.o.d"
+  "CMakeFiles/faster_core.dir/device/file_device.cc.o"
+  "CMakeFiles/faster_core.dir/device/file_device.cc.o.d"
+  "CMakeFiles/faster_core.dir/device/io_thread_pool.cc.o"
+  "CMakeFiles/faster_core.dir/device/io_thread_pool.cc.o.d"
+  "CMakeFiles/faster_core.dir/device/memory_device.cc.o"
+  "CMakeFiles/faster_core.dir/device/memory_device.cc.o.d"
+  "libfaster_core.a"
+  "libfaster_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faster_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

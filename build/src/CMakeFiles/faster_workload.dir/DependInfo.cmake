@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/keygen.cc" "src/CMakeFiles/faster_workload.dir/workload/keygen.cc.o" "gcc" "src/CMakeFiles/faster_workload.dir/workload/keygen.cc.o.d"
+  "/root/repo/src/workload/ycsb.cc" "src/CMakeFiles/faster_workload.dir/workload/ycsb.cc.o" "gcc" "src/CMakeFiles/faster_workload.dir/workload/ycsb.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "src/CMakeFiles/faster_workload.dir/workload/zipf.cc.o" "gcc" "src/CMakeFiles/faster_workload.dir/workload/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/faster_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

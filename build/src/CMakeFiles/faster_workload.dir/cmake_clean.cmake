@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faster_workload.dir/workload/keygen.cc.o"
+  "CMakeFiles/faster_workload.dir/workload/keygen.cc.o.d"
+  "CMakeFiles/faster_workload.dir/workload/ycsb.cc.o"
+  "CMakeFiles/faster_workload.dir/workload/ycsb.cc.o.d"
+  "CMakeFiles/faster_workload.dir/workload/zipf.cc.o"
+  "CMakeFiles/faster_workload.dir/workload/zipf.cc.o.d"
+  "libfaster_workload.a"
+  "libfaster_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faster_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfaster_workload.a"
+)

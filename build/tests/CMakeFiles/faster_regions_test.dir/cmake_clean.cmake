@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faster_regions_test.dir/faster_regions_test.cc.o"
+  "CMakeFiles/faster_regions_test.dir/faster_regions_test.cc.o.d"
+  "faster_regions_test"
+  "faster_regions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faster_regions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inmem_kv_test.dir/inmem_kv_test.cc.o"
+  "CMakeFiles/inmem_kv_test.dir/inmem_kv_test.cc.o.d"
+  "inmem_kv_test"
+  "inmem_kv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inmem_kv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minilsm_test.dir/minilsm_test.cc.o"
+  "CMakeFiles/minilsm_test.dir/minilsm_test.cc.o.d"
+  "minilsm_test"
+  "minilsm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minilsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
