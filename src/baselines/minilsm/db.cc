@@ -126,17 +126,19 @@ Status MiniLsm::Delete(uint64_t key) {
 }
 
 Status MiniLsm::Get(uint64_t key, void* out) {
-  // Memtable, then L0 newest-first, then L1.
-  std::shared_ptr<MemTable> mem;
+  // Memtable, then the rotating (immutable) memtable, then L0
+  // newest-first, then L1.
+  std::shared_ptr<MemTable> mem, imm;
   std::vector<std::shared_ptr<SsTable>> l0, l1;
   {
     std::shared_lock lock{tables_mutex_};
     mem = active_;
+    imm = imm_;
     l0 = l0_;
     l1 = l1_;
   }
   LsmEntry entry;
-  if (mem->Get(key, &entry)) {
+  if (mem->Get(key, &entry) || (imm != nullptr && imm->Get(key, &entry))) {
     if (entry.tombstone) return Status::kNotFound;
     std::memcpy(out, entry.value.data(), config_.value_size);
     return Status::kOk;
@@ -185,6 +187,10 @@ Status MiniLsm::MaybeRotateAndFlush() {
     }
     full = active_;
     active_ = std::make_shared<MemTable>();
+    // Readers keep finding the rotated data here until FlushMemtable has
+    // installed the SSTable in l0_ (otherwise writes would vanish for the
+    // duration of the flush).
+    imm_ = full;
   }
   Status s = FlushMemtable(full);
   if (s != Status::kOk) return s;
@@ -194,15 +200,20 @@ Status MiniLsm::MaybeRotateAndFlush() {
 
 Status MiniLsm::FlushMemtable(const std::shared_ptr<MemTable>& mem) {
   auto entries = mem->Snapshot();
-  if (entries.empty()) return Status::kOk;
+  if (entries.empty()) {
+    std::unique_lock lock{tables_mutex_};
+    if (imm_ == mem) imm_.reset();
+    return Status::kOk;
+  }
   std::unique_ptr<SsTable> table;
   Status s = SsTable::Write(NextTablePath(), entries, config_.value_size,
                             &table);
-  if (s != Status::kOk) return s;
+  if (s != Status::kOk) return s;  // imm_ stays readable on failure
   flushes_.fetch_add(1, std::memory_order_relaxed);
   bytes_flushed_.fetch_add(table->file_bytes(), std::memory_order_relaxed);
   std::unique_lock lock{tables_mutex_};
   l0_.push_back(std::move(table));
+  if (imm_ == mem) imm_.reset();
   return Status::kOk;
 }
 

@@ -89,6 +89,9 @@ class MiniLsm {
   LsmConfig config_;
   mutable std::shared_mutex tables_mutex_;
   std::shared_ptr<MemTable> active_;
+  // Rotated-but-not-yet-flushed memtable; readers consult it so its data
+  // stays visible during the window before the SSTable lands in l0_.
+  std::shared_ptr<MemTable> imm_;
   std::vector<std::shared_ptr<SsTable>> l0_;  // newest at the back
   std::vector<std::shared_ptr<SsTable>> l1_;
   std::mutex maintenance_mutex_;  // serializes flush/compaction

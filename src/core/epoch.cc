@@ -93,8 +93,18 @@ uint64_t LightEpoch::BumpCurrentEpoch(std::function<void()> action) {
         return prior + 1;
       }
     }
-    // List full: help drain.
+    // List full: help drain. A protected caller that has not refreshed since
+    // arming earlier actions pins the safe epoch below all of them, so a
+    // plain drain would spin forever; if the drain frees nothing, advance our
+    // own slot to the epoch we just created. A bump is an operation boundary
+    // for its caller, so adopting the new epoch here is as safe as Refresh().
     Drain(ComputeNewSafeToReclaimEpoch());
+    if (drain_count_.load(std::memory_order_acquire) >= kDrainListSize &&
+        IsProtected()) {
+      table_[Thread::Id()].local_epoch.store(
+          current_epoch_.load(std::memory_order_acquire),
+          std::memory_order_seq_cst);
+    }
   }
 }
 

@@ -170,7 +170,7 @@ class FasterKv {
         // Read-cache hit. A hit in the cache's read-only region earns the
         // record a second chance at the cache tail (Appendix D).
         if (StripRc(fr.entry.address()) < rc_log_->read_only_address()) {
-          RcSecondChance(key, hash, rc_rec, fr);
+          RcSecondChance(key, rc_rec, fr);
         }
         F::SingleReader(key, input, rc_rec->value, *output);
         ++ts.rc_hits;
@@ -731,7 +731,7 @@ class FasterKv {
   /// Second chance (Appendix D): a cache hit in the cache's read-only
   /// region copies the record to the cache tail, exactly like the primary
   /// HybridLog's shaping behaviour.
-  void RcSecondChance(const Key& key, KeyHash hash, RecordT* rc_rec,
+  void RcSecondChance(const Key& key, RecordT* rc_rec,
                       const HashIndex::FindResult& fr) {
     Address new_addr = TryAllocateRcRecord();
     if (!new_addr.IsValid()) return;

@@ -52,14 +52,14 @@ HashIndex::HashIndex(uint64_t table_size, LightEpoch* epoch,
   if (tag_bits > 15) tag_bits = 15;
   tag_mask_ = static_cast<uint16_t>((1u << tag_bits) - 1);
   table_size = RoundUpPowerOf2(std::max<uint64_t>(table_size, 64));
-  tables_[0] = AllocateTable(table_size);
-  table_size_[0] = table_size;
+  tables_[0].store(AllocateTable(table_size), std::memory_order_release);
+  table_size_[0].store(table_size, std::memory_order_release);
   set_resize_state(Phase::kStable, 0);
 }
 
 HashIndex::~HashIndex() {
   for (int v = 0; v < 2; ++v) {
-    std::free(tables_[v]);
+    std::free(tables_[v].load(std::memory_order_relaxed));
     for (HashBucket* b : overflow_pool_[v]) std::free(b);
   }
 }
@@ -91,11 +91,11 @@ HashIndex::OpScope::OpScope(HashIndex& index, KeyHash hash)
     uint8_t v = info.version;
     if (info.phase == Phase::kStable) {
       // Common case: no resize in flight; operate on the active table.
-      table_ = index.tables_[v];
-      table_size_ = index.table_size_[v];
+      table_ = index.tables_[v].load(std::memory_order_acquire);
+      table_size_ = index.table_size_[v].load(std::memory_order_acquire);
       return;
     }
-    uint64_t old_size = index.table_size_[v];
+    uint64_t old_size = index.table_size_[v].load(std::memory_order_acquire);
     uint64_t chunk = hash.Bucket(old_size) / kChunkSize;
     if (info.phase == Phase::kPrepare) {
       // Resizing announced but not started: operate on the old table while
@@ -104,7 +104,7 @@ HashIndex::OpScope::OpScope(HashIndex& index, KeyHash hash)
       if (pin >= 0 &&
           index.pins_[chunk]->compare_exchange_weak(
               pin, pin + 1, std::memory_order_acq_rel)) {
-        table_ = index.tables_[v];
+        table_ = index.tables_[v].load(std::memory_order_acquire);
         table_size_ = old_size;
         pinned_chunk_ = static_cast<int64_t>(chunk);
         return;
@@ -113,16 +113,16 @@ HashIndex::OpScope::OpScope(HashIndex& index, KeyHash hash)
         // Migration already claimed this chunk: the resizing phase has
         // actually begun; fall through to the resizing path.
         index.EnsureMigrated(chunk);
-        table_ = index.tables_[1 - v];
-        table_size_ = index.table_size_[1 - v];
+        table_ = index.tables_[1 - v].load(std::memory_order_acquire);
+        table_size_ = index.table_size_[1 - v].load(std::memory_order_acquire);
         return;
       }
       continue;  // CAS raced; retry.
     }
     // Phase::kResizing: make sure our chunk is on the new table, then use it.
     index.EnsureMigrated(chunk);
-    table_ = index.tables_[1 - v];
-    table_size_ = index.table_size_[1 - v];
+    table_ = index.tables_[1 - v].load(std::memory_order_acquire);
+    table_size_ = index.table_size_[1 - v].load(std::memory_order_acquire);
     return;
   }
 }
@@ -269,8 +269,8 @@ bool HashIndex::TryDeleteEntry(FindResult* result) {
 
 uint64_t HashIndex::NumUsedEntries() const {
   ResizeInfo info = resize_info();
-  const HashBucket* table = tables_[info.version];
-  uint64_t size = table_size_[info.version];
+  const HashBucket* table = tables_[info.version].load(std::memory_order_acquire);
+  uint64_t size = table_size_[info.version].load(std::memory_order_acquire);
   uint64_t used = 0;
   for (uint64_t i = 0; i < size; ++i) {
     const HashBucket* b = &table[i];
@@ -297,15 +297,16 @@ void HashIndex::Grow() {
   ResizeInfo info = resize_info();
   uint8_t old_version = info.version;
   uint8_t new_version = 1 - old_version;
-  uint64_t old_size = table_size_[old_version];
+  uint64_t old_size = table_size_[old_version].load(std::memory_order_acquire);
   uint64_t new_size = old_size * 2;
 
   // Free any table left from the previous grow and set up the new one.
-  std::free(tables_[new_version]);
+  std::free(tables_[new_version].load(std::memory_order_relaxed));
   for (HashBucket* b : overflow_pool_[new_version]) std::free(b);
   overflow_pool_[new_version].clear();
-  tables_[new_version] = AllocateTable(new_size);
-  table_size_[new_version] = new_size;
+  tables_[new_version].store(AllocateTable(new_size),
+                             std::memory_order_release);
+  table_size_[new_version].store(new_size, std::memory_order_release);
 
   num_chunks_ = (old_size + kChunkSize - 1) / kChunkSize;
   pins_.clear();
@@ -341,9 +342,13 @@ void HashIndex::Grow() {
   set_resize_state(Phase::kStable, new_version);
 
   // Reclaim the old table once no thread can still be reading it.
-  HashBucket* old_table = tables_[old_version];
-  tables_[old_version] = nullptr;
-  table_size_[old_version] = 0;
+  // table_size_[old_version] is deliberately left in place: an OpScope that
+  // observed kResizing just before the flip to kStable still computes its
+  // chunk from the old size, and zeroing it here would send that thread out
+  // of bounds of pins_/migrated_. The epoch wait below guarantees all such
+  // threads are gone before the next Grow() reuses this slot.
+  HashBucket* old_table = tables_[old_version].load(std::memory_order_acquire);
+  tables_[old_version].store(nullptr, std::memory_order_release);
   std::vector<HashBucket*> old_overflow;
   {
     std::lock_guard<std::mutex> lock{overflow_mutex_};
@@ -389,9 +394,9 @@ void HashIndex::MigrateChunk(uint64_t chunk) {
   ResizeInfo info = resize_info();
   uint8_t old_version = info.version;
   uint8_t new_version = 1 - old_version;
-  HashBucket* old_table = tables_[old_version];
-  HashBucket* new_table = tables_[new_version];
-  uint64_t old_size = table_size_[old_version];
+  HashBucket* old_table = tables_[old_version].load(std::memory_order_acquire);
+  HashBucket* new_table = tables_[new_version].load(std::memory_order_acquire);
+  uint64_t old_size = table_size_[old_version].load(std::memory_order_acquire);
 
   uint64_t begin = chunk * kChunkSize;
   uint64_t end = std::min(begin + kChunkSize, old_size);
@@ -457,8 +462,8 @@ Status HashIndex::WriteCheckpoint(int fd,
                                   const EntryTransform& transform) const {
   ResizeInfo info = resize_info();
   if (info.phase != Phase::kStable) return Status::kInvalid;
-  const HashBucket* table = tables_[info.version];
-  uint64_t size = table_size_[info.version];
+  const HashBucket* table = tables_[info.version].load(std::memory_order_acquire);
+  uint64_t size = table_size_[info.version].load(std::memory_order_acquire);
 
   // Assign ordinals to overflow buckets as encountered (1-based; 0 = none).
   std::map<const HashBucket*, uint64_t> ordinal;
@@ -513,11 +518,12 @@ Status HashIndex::ReadCheckpoint(int fd) {
   ResizeInfo info = resize_info();
   if (info.phase != Phase::kStable) return Status::kInvalid;
   uint8_t v = info.version;
-  std::free(tables_[v]);
+  std::free(tables_[v].load(std::memory_order_relaxed));
   for (HashBucket* b : overflow_pool_[v]) std::free(b);
   overflow_pool_[v].clear();
-  tables_[v] = AllocateTable(header.table_size);
-  table_size_[v] = header.table_size;
+  HashBucket* fresh_table = AllocateTable(header.table_size);
+  tables_[v].store(fresh_table, std::memory_order_release);
+  table_size_[v].store(header.table_size, std::memory_order_release);
 
   std::vector<HashBucket*> overflow_list;
   overflow_list.reserve(header.num_overflow);
@@ -543,7 +549,7 @@ Status HashIndex::ReadCheckpoint(int fd) {
   };
 
   for (uint64_t i = 0; i < header.table_size; ++i) {
-    if (!read_bucket(&tables_[v][i])) return Status::kCorruption;
+    if (!read_bucket(&fresh_table[i])) return Status::kCorruption;
   }
   for (uint64_t i = 0; i < header.num_overflow; ++i) {
     if (!read_bucket(overflow_list[i])) return Status::kCorruption;

@@ -86,7 +86,7 @@ class HashIndex {
 
   /// Number of buckets in the active version.
   uint64_t size() const {
-    return table_size_[resize_info().version];
+    return table_size_[resize_info().version].load(std::memory_order_acquire);
   }
 
   /// Counts non-empty entries (O(table); for tests and stats).
@@ -98,8 +98,8 @@ class HashIndex {
   template <class Fn>
   void ForEachEntry(Fn&& fn) const {
     ResizeInfo info = resize_info();
-    const HashBucket* table = tables_[info.version];
-    uint64_t size = table_size_[info.version];
+    const HashBucket* table = tables_[info.version].load(std::memory_order_acquire);
+    uint64_t size = table_size_[info.version].load(std::memory_order_acquire);
     for (uint64_t i = 0; i < size; ++i) {
       for (const HashBucket* b = &table[i]; b != nullptr;
            b = reinterpret_cast<const HashBucket*>(
@@ -181,8 +181,11 @@ class HashIndex {
 
   LightEpoch* epoch_;
   uint16_t tag_mask_ = 0x7fff;
-  HashBucket* tables_[2] = {nullptr, nullptr};
-  uint64_t table_size_[2] = {0, 0};
+  // Atomic because OpScope resolves the active table concurrently with
+  // Grow() swapping and retiring versions; the epoch protocol keeps the
+  // *contents* alive, but the pointer/size reads themselves are racy.
+  std::atomic<HashBucket*> tables_[2] = {nullptr, nullptr};
+  std::atomic<uint64_t> table_size_[2] = {0, 0};
   std::atomic<uint16_t> resize_state_;
 
   // Resize machinery (Appendix B).

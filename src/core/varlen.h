@@ -138,7 +138,7 @@ class FasterBlobKv {
   /// Blind upsert. In place when the newest record is mutable and the new
   /// value fits its capacity; otherwise appends.
   Status Upsert(std::string_view key, std::string_view value) {
-    ThreadState& ts = AutoRefresh();
+    AutoRefresh();
     KeyHash hash = HashKey(key);
     for (;;) {
       typename HashIndex::OpScope scope{index_, hash};

@@ -121,6 +121,70 @@ TEST(EpochTest, ConcurrentProtectRefresh) {
   EXPECT_EQ(action_runs.load(), kThreads * kIters / 100);
 }
 
+TEST(EpochTest, DrainListActionsUnderThreadChurn) {
+  // Trigger actions must fire exactly once even while threads acquire and
+  // release protection concurrently (epoch-table slots appearing and
+  // vanishing mid-drain). A churner that only protects/unprotects can
+  // neither suppress an action nor cause a double run.
+  LightEpoch epoch;
+  constexpr int kChurners = 2;
+  constexpr int kRounds = 500;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> churners;
+  for (int t = 0; t < kChurners; ++t) {
+    churners.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        epoch.Protect();
+        epoch.Refresh();
+        epoch.Unprotect();
+      }
+    });
+  }
+
+  epoch.Protect();
+  std::atomic<int> runs{0};
+  for (int i = 0; i < kRounds; ++i) {
+    epoch.BumpCurrentEpoch([&] { runs.fetch_add(1); });
+    epoch.Refresh();
+  }
+  epoch.SpinWaitForSafety(epoch.CurrentEpoch() - 1);
+  epoch.Unprotect();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : churners) t.join();
+
+  EXPECT_EQ(runs.load(), kRounds);
+  EXPECT_EQ(epoch.NumOutstandingActions(), 0u);
+}
+
+TEST(EpochTest, DrainListFillsAndRecoversUnderChurn) {
+  // Overflow the drain list (kDrainListSize actions) while churners hold
+  // and release protection; BumpCurrentEpoch must drain in-line instead of
+  // deadlocking, and every action still runs exactly once.
+  LightEpoch epoch;
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      epoch.Protect();
+      epoch.Unprotect();
+    }
+  });
+
+  epoch.Protect();
+  std::atomic<int> runs{0};
+  const int kActions = static_cast<int>(LightEpoch::kDrainListSize) * 3;
+  for (int i = 0; i < kActions; ++i) {
+    epoch.BumpCurrentEpoch([&] { runs.fetch_add(1); });
+    // No explicit Refresh: the list must fill and force in-line drains.
+  }
+  epoch.SpinWaitForSafety(epoch.CurrentEpoch() - 1);
+  epoch.Unprotect();
+  stop.store(true, std::memory_order_release);
+  churner.join();
+
+  EXPECT_EQ(runs.load(), kActions);
+  EXPECT_EQ(epoch.NumOutstandingActions(), 0u);
+}
+
 TEST(EpochTest, MonotonicInvariant) {
   // Invariant from Sec. 2.3: E_s < E_T <= E for all protected T.
   LightEpoch epoch;

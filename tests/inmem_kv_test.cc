@@ -148,7 +148,9 @@ TEST(InMemKvTest, ConcurrentUpsertDelete) {
   for (uint64_t k = 0; k < 64; ++k) {
     uint64_t out = 0;
     Status s = store.Read(k, 0, &out);
-    if (s == Status::kOk) EXPECT_EQ(out, k * 10);
+    if (s == Status::kOk) {
+      EXPECT_EQ(out, k * 10);
+    }
   }
   store.StopSession();
 }

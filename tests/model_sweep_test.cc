@@ -86,7 +86,9 @@ TEST_P(BlobModelTest, MatchesReferenceModel) {
         auto [found, value] = read_store(key);
         auto it = model.find(key);
         ASSERT_EQ(found, it != model.end()) << key << " op " << i;
-        if (found) ASSERT_EQ(value, it->second) << key << " op " << i;
+        if (found) {
+          ASSERT_EQ(value, it->second) << key << " op " << i;
+        }
         break;
       }
     }

@@ -173,9 +173,12 @@ TEST_F(ReadCacheTest, ConcurrentReadersWithCacheChurn) {
     threads.emplace_back([&, t] {
       store.StartSession();
       std::mt19937_64 rng(t + 1);
+      // Outlives the loop: pending reads write here as late as the
+      // CompletePending inside StopSession.
+      uint64_t out = 0;
       for (int i = 0; i < 20000; ++i) {
         uint64_t k = rng() % kKeys;
-        uint64_t out = 0;
+        out = 0;
         Status s = store.Read(k, 0, &out);
         if (s == Status::kOk) {
           if (out != k + 1) errors.fetch_add(1);

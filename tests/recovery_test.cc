@@ -66,7 +66,9 @@ TEST_P(RecoveryTest, RecoveredStateEqualsCheckpointState) {
           uint64_t d = rng() % 100;
           Status s = store.Rmw(key, d);
           ASSERT_TRUE(s == Status::kOk || s == Status::kPending);
-          if (s == Status::kPending) ASSERT_TRUE(store.CompletePending(true));
+          if (s == Status::kPending) {
+            ASSERT_TRUE(store.CompletePending(true));
+          }
           model[key] += d;  // InitialUpdater(d) on absent == 0 + d
           break;
         }

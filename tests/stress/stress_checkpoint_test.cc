@@ -1,0 +1,156 @@
+// Stress: fuzzy checkpoints (Sec. 6.5) taken while writer threads keep
+// updating, then recovery of every checkpoint into a fresh store. With
+// monotonically increasing per-key counters (RMW +delta, owner-sharded),
+// any recovered value must satisfy pre-checkpoint <= recovered <= final:
+// the fuzzy snapshot plus the [t1, t2) repair scan must restore a
+// consistent prefix of each key's history, never a torn or future value.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/faster.h"
+#include "core/functions.h"
+#include "device/memory_device.h"
+#include "stress_common.h"
+
+namespace faster {
+namespace {
+
+using Store = FasterKv<CountStoreFunctions>;
+using Model = std::unordered_map<uint64_t, uint64_t>;
+
+Store::Config MakeConfig() {
+  Store::Config cfg;
+  cfg.table_size = 2048;
+  cfg.log.memory_size_bytes = 4ull << Address::kOffsetBits;
+  cfg.log.mutable_fraction = 0.5;
+  return cfg;
+}
+
+TEST(StressCheckpointTest, FuzzyCheckpointsUnderConcurrentWriters) {
+  constexpr int kWriters = 3;
+  constexpr int kCheckpoints = 3;
+  constexpr uint64_t kKeySpace = 2048;
+  const uint64_t kOpsPerThread = stress::ScaleOps(30000);
+  const std::string base_dir = "/tmp/faster_stress_ckpt";
+  for (int c = 0; c < kCheckpoints; ++c) {
+    std::filesystem::remove_all(base_dir + std::to_string(c));
+  }
+
+  MemoryDevice device;
+  Store store{MakeConfig(), &device};
+
+  // Lower-bound snapshots: before checkpoint c records its t1, every
+  // writer publishes a copy of its model (or its final model at exit).
+  // All records reflected in a published snapshot were already applied,
+  // so they sit below the t1 read afterwards and recovery must keep them.
+  std::vector<Model> models(kWriters);
+  std::vector<std::vector<Model>> pre_ckpt(
+      kWriters, std::vector<Model>(kCheckpoints));
+  std::atomic<int> announced{-1};  // highest checkpoint index announced
+  std::vector<std::atomic<bool>> snapshot_taken(kWriters * kCheckpoints);
+  for (auto& f : snapshot_taken) f.store(false);
+  auto flag_at = [&](int t, int c) -> std::atomic<bool>& {
+    return snapshot_taken[static_cast<size_t>(t * kCheckpoints + c)];
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng = stress::ThreadRng(static_cast<uint64_t>(t));
+      auto& model = models[t];
+      store.StartSession();
+      for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+        int a = announced.load(std::memory_order_acquire);
+        for (int c = 0; c <= a; ++c) {
+          if (!flag_at(t, c).load(std::memory_order_relaxed)) {
+            pre_ckpt[t][static_cast<size_t>(c)] = model;
+            flag_at(t, c).store(true, std::memory_order_release);
+          }
+        }
+        uint64_t k = (rng() % (kKeySpace / kWriters)) * kWriters +
+                     static_cast<uint64_t>(t);
+        uint64_t d = rng() % 100 + 1;
+        Status s = store.Rmw(k, d);
+        if (s == Status::kPending) {
+          ASSERT_TRUE(store.CompletePending(true));
+          s = Status::kOk;
+        }
+        ASSERT_EQ(s, Status::kOk);
+        model[k] += d;
+        if (i % 256 == 0) store.CompletePending(false);
+      }
+      // Publish the final model as the snapshot for any checkpoint this
+      // writer did not get to see announced: every record is applied by
+      // now, so it is a valid lower bound for all later checkpoints too.
+      for (int c = 0; c < kCheckpoints; ++c) {
+        if (!flag_at(t, c).load(std::memory_order_relaxed)) {
+          pre_ckpt[t][static_cast<size_t>(c)] = model;
+          flag_at(t, c).store(true, std::memory_order_release);
+        }
+      }
+      store.StopSession();
+    });
+  }
+
+  // Take fuzzy checkpoints while the writers hammer away. Each checkpoint
+  // is announced first, and t1 is only recorded once every writer has
+  // published its lower-bound snapshot. The wait loop must keep refreshing
+  // this thread's epoch: a stalled session would block safe-read-only
+  // propagation and deadlock the writers' fuzzy-region RMWs.
+  store.StartSession();
+  for (int c = 0; c < kCheckpoints; ++c) {
+    announced.store(c, std::memory_order_release);
+    for (int t = 0; t < kWriters; ++t) {
+      while (!flag_at(t, c).load(std::memory_order_acquire)) {
+        store.Refresh();
+        std::this_thread::yield();
+      }
+    }
+    ASSERT_EQ(store.Checkpoint(base_dir + std::to_string(c)), Status::kOk);
+  }
+  store.StopSession();
+  for (auto& t : threads) t.join();
+
+  // Recover every checkpoint into a fresh store over the same device and
+  // check bounds: pre-checkpoint model <= recovered <= final model.
+  for (int c = 0; c < kCheckpoints; ++c) {
+    Store recovered{MakeConfig(), &device};
+    ASSERT_EQ(recovered.Recover(base_dir + std::to_string(c)), Status::kOk);
+    recovered.StartSession();
+    for (int t = 0; t < kWriters; ++t) {
+      const auto& lower = pre_ckpt[t][static_cast<size_t>(c)];
+      for (const auto& [k, final_v] : models[t]) {
+        uint64_t out = 0;
+        Status s = recovered.Read(k, 0, &out);
+        if (s == Status::kPending) {
+          ASSERT_TRUE(recovered.CompletePending(true));
+          s = Status::kOk;
+        }
+        if (s == Status::kNotFound) {
+          out = 0;  // key not yet created at checkpoint time
+        } else {
+          ASSERT_EQ(s, Status::kOk) << "key " << k;
+        }
+        ASSERT_LE(out, final_v) << "key " << k << " ckpt " << c;
+        auto it = lower.find(k);
+        if (it != lower.end()) {
+          ASSERT_GE(out, it->second) << "key " << k << " ckpt " << c;
+        }
+      }
+    }
+    recovered.StopSession();
+  }
+  for (int c = 0; c < kCheckpoints; ++c) {
+    std::filesystem::remove_all(base_dir + std::to_string(c));
+  }
+}
+
+}  // namespace
+}  // namespace faster

@@ -1,0 +1,125 @@
+// Stress: the epoch protection framework (Sec. 2.3-2.4) under thread
+// churn. Worker threads continuously enter/leave protection (including
+// whole OS threads coming and going, which recycles dense thread ids and
+// epoch-table slots) while other threads register BumpCurrentEpoch trigger
+// actions. Every action must run exactly once, and the safe epoch must
+// never pass a protected thread's local epoch.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/epoch.h"
+#include "core/thread.h"
+#include "stress_common.h"
+
+namespace faster {
+namespace {
+
+TEST(StressEpochTest, TriggerActionsUnderProtectionChurn) {
+  LightEpoch epoch;
+  constexpr int kChurners = 3;
+  constexpr int kBumpers = 2;
+  const uint64_t kItersPerThread = stress::ScaleOps(40000);
+
+  std::atomic<uint64_t> actions_run{0};
+  std::atomic<uint64_t> actions_registered{0};
+  std::atomic<uint64_t> invariant_violations{0};
+
+  std::vector<std::thread> threads;
+  // Churners: rapid Protect/Refresh/Unprotect cycles, checking the
+  // invariant E_s < E_T <= E from Sec. 2.3 while protected.
+  for (int t = 0; t < kChurners; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng = stress::ThreadRng(static_cast<uint64_t>(t));
+      for (uint64_t i = 0; i < kItersPerThread; ++i) {
+        uint64_t local = epoch.Protect();
+        uint64_t refreshes = rng() % 4;
+        for (uint64_t r = 0; r < refreshes; ++r) {
+          local = epoch.Refresh();
+        }
+        if (epoch.SafeToReclaimEpoch() >= local ||
+            local > epoch.CurrentEpoch()) {
+          invariant_violations.fetch_add(1);
+        }
+        epoch.Unprotect();
+      }
+    });
+  }
+  // Bumpers: register trigger actions while protected, occasionally
+  // draining via Refresh.
+  for (int t = 0; t < kBumpers; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng =
+          stress::ThreadRng(static_cast<uint64_t>(kChurners + t));
+      epoch.Protect();
+      for (uint64_t i = 0; i < kItersPerThread / 8; ++i) {
+        epoch.BumpCurrentEpoch([&] { actions_run.fetch_add(1); });
+        actions_registered.fetch_add(1);
+        if (rng() % 4 == 0) epoch.Refresh();
+      }
+      epoch.Unprotect();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Drain the tail of the list from a fresh protected thread.
+  epoch.Protect();
+  epoch.SpinWaitForSafety(epoch.CurrentEpoch() - 1);
+  epoch.Unprotect();
+
+  EXPECT_EQ(actions_run.load(), actions_registered.load());
+  EXPECT_EQ(epoch.NumOutstandingActions(), 0u);
+  EXPECT_EQ(invariant_violations.load(), 0u);
+}
+
+TEST(StressEpochTest, OsThreadChurnRecyclesEpochSlots) {
+  LightEpoch epoch;
+  const uint64_t kRounds = stress::ScaleOps(300);
+  constexpr int kThreadsPerRound = 8;
+
+  std::atomic<uint64_t> actions_run{0};
+  uint64_t actions_registered = 0;
+
+  // A long-lived protected thread ensures the epoch table is never empty
+  // (so safety always depends on the table scan seeing live entries).
+  std::atomic<bool> stop{false};
+  std::thread anchor([&] {
+    epoch.Protect();
+    while (!stop.load(std::memory_order_acquire)) {
+      epoch.Refresh();
+      std::this_thread::yield();
+    }
+    epoch.Unprotect();
+  });
+
+  for (uint64_t round = 0; round < kRounds; ++round) {
+    // Fresh OS threads acquire (and at exit release) dense thread ids,
+    // so epoch-table slots are recycled across rounds while actions fire.
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreadsPerRound; ++t) {
+      workers.emplace_back([&] {
+        epoch.Protect();
+        epoch.BumpCurrentEpoch([&] { actions_run.fetch_add(1); });
+        epoch.Refresh();
+        epoch.Unprotect();
+      });
+    }
+    actions_registered += kThreadsPerRound;
+    for (auto& w : workers) w.join();
+    EXPECT_LE(Thread::HighWaterMark(), Thread::kMaxThreads);
+  }
+
+  stop.store(true, std::memory_order_release);
+  anchor.join();
+
+  epoch.Protect();
+  epoch.SpinWaitForSafety(epoch.CurrentEpoch() - 1);
+  epoch.Unprotect();
+  EXPECT_EQ(actions_run.load(), actions_registered);
+}
+
+}  // namespace
+}  // namespace faster

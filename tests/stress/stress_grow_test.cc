@@ -1,0 +1,99 @@
+// Stress: on-line index Grow (Appendix B) racing with store operations on
+// a spilling log. The index starts tiny (64 buckets) and doubles twice
+// while writer threads upsert/RMW/read, so the prepare/pin/migrate state
+// machine runs with real contention: OpScopes pinning chunks, operations
+// helping migration, and entries installed into both table versions.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/faster.h"
+#include "core/functions.h"
+#include "device/memory_device.h"
+#include "stress_common.h"
+
+namespace faster {
+namespace {
+
+using Store = FasterKv<CountStoreFunctions>;
+
+TEST(StressGrowTest, GrowUnderStoreLoad) {
+  constexpr int kWriters = 3;
+  constexpr uint64_t kKeySpace = 4096;
+  const uint64_t kOpsPerThread = stress::ScaleOps(40000);
+
+  MemoryDevice device;
+  Store::Config cfg;
+  cfg.table_size = 64;  // forces heavy bucket chains, then two doublings
+  cfg.log.memory_size_bytes = 4ull << Address::kOffsetBits;
+  cfg.log.mutable_fraction = 0.5;
+  Store store{cfg, &device};
+
+  const uint64_t initial_size = store.index().size();
+  std::vector<std::unordered_map<uint64_t, uint64_t>> models(kWriters);
+  std::atomic<int> writers_done{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng = stress::ThreadRng(static_cast<uint64_t>(t));
+      auto& model = models[t];
+      store.StartSession();
+      for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+        uint64_t k = (rng() % (kKeySpace / kWriters)) * kWriters +
+                     static_cast<uint64_t>(t);
+        if (rng() % 2 == 0) {
+          ASSERT_EQ(store.Upsert(k, k + 1), Status::kOk);
+          model[k] = k + 1;
+        } else {
+          uint64_t d = rng() % 100;
+          Status s = store.Rmw(k, d);
+          if (s == Status::kPending) {
+            ASSERT_TRUE(store.CompletePending(true));
+            s = Status::kOk;
+          }
+          ASSERT_EQ(s, Status::kOk);
+          model[k] += d;
+        }
+        if (i % 256 == 0) store.CompletePending(false);
+      }
+      store.StopSession();
+      writers_done.fetch_add(1);
+    });
+  }
+
+  // Grow twice while writers churn. Grow requires every protected session
+  // to keep refreshing, which the writers do via their operations.
+  store.StartSession();
+  store.GrowIndex();
+  store.GrowIndex();
+  store.StopSession();
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(writers_done.load(), kWriters);
+  EXPECT_EQ(store.index().size(), initial_size * 4);
+  EXPECT_FALSE(store.index().IsResizing());
+
+  // No entry may be lost across the migrations: every model key must read
+  // back its exact value through the doubled index.
+  store.StartSession();
+  for (int t = 0; t < kWriters; ++t) {
+    for (const auto& [k, v] : models[t]) {
+      uint64_t out = UINT64_MAX;
+      Status s = store.Read(k, 0, &out);
+      if (s == Status::kPending) {
+        ASSERT_TRUE(store.CompletePending(true));
+        s = Status::kOk;
+      }
+      ASSERT_EQ(s, Status::kOk) << "key " << k;
+      ASSERT_EQ(out, v) << "key " << k;
+    }
+  }
+  store.StopSession();
+}
+
+}  // namespace
+}  // namespace faster

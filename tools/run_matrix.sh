@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Local mirror of the CI matrix (.github/workflows/ci.yml): builds and runs
+# ctest in the three configurations the project gates on.
+#
+#   release   -O2, -Werror, full ctest suite (including long-labeled tests)
+#   tsan      FASTER_SANITIZE=thread, ctest minus long-labeled tests
+#   asan      FASTER_SANITIZE=address,undefined, ctest minus long tests
+#
+# Usage:
+#   tools/run_matrix.sh            # run all three configurations
+#   tools/run_matrix.sh tsan       # run a single configuration
+#   JOBS=4 tools/run_matrix.sh     # bound build/test parallelism
+#
+# Build trees live in build-<config>/ (gitignored). ccache is used when
+# available. Exits non-zero on the first failing configuration.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+CONFIGS=("${@:-release tsan asan}")
+# Word-split a possible single "release tsan asan" default.
+read -r -a CONFIGS <<< "${CONFIGS[*]}"
+
+LAUNCHER_ARGS=()
+if command -v ccache > /dev/null 2>&1; then
+  LAUNCHER_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+run_config() {
+  local config="$1"
+  local build_dir="build-${config}"
+  local cmake_args=(-DFASTER_WERROR=ON "${LAUNCHER_ARGS[@]}")
+  local ctest_args=(--output-on-failure -j "${JOBS}")
+  local -a env_prefix=(env)
+
+  case "${config}" in
+    release)
+      cmake_args+=(-DCMAKE_BUILD_TYPE=Release -DFASTER_SANITIZE=off)
+      ;;
+    tsan)
+      cmake_args+=(-DCMAKE_BUILD_TYPE=Release -DFASTER_SANITIZE=thread)
+      # halt_on_error: fail the test, not just print. suppressions: the
+      # checked-in list of justified benign races.
+      env_prefix+=("TSAN_OPTIONS=halt_on_error=1 second_deadlock_stack=1 \
+suppressions=$(pwd)/tsan.supp history_size=7")
+      ctest_args+=(-LE long)
+      ;;
+    asan)
+      cmake_args+=(-DCMAKE_BUILD_TYPE=Release "-DFASTER_SANITIZE=address,undefined")
+      env_prefix+=("ASAN_OPTIONS=detect_stack_use_after_return=1" \
+                   "UBSAN_OPTIONS=print_stacktrace=1")
+      ctest_args+=(-LE long)
+      ;;
+    *)
+      echo "unknown config '${config}' (expected release|tsan|asan)" >&2
+      return 2
+      ;;
+  esac
+
+  echo "=== [${config}] configure ==="
+  cmake -B "${build_dir}" -S . "${cmake_args[@]}"
+  echo "=== [${config}] build ==="
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "=== [${config}] test ==="
+  (cd "${build_dir}" && "${env_prefix[@]}" ctest "${ctest_args[@]}")
+  echo "=== [${config}] OK ==="
+}
+
+for config in "${CONFIGS[@]}"; do
+  run_config "${config}"
+done
+echo "=== matrix complete: ${CONFIGS[*]} ==="
