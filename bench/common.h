@@ -2,11 +2,16 @@
 #define FASTER_BENCH_COMMON_H_
 
 #include <benchmark/benchmark.h>
+#include <errno.h>  // program_invocation_short_name (GNU)
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/minilsm/db.h"
 #include "baselines/ordered_store.h"
@@ -21,17 +26,37 @@ namespace bench {
 
 /// Per-case measurement window. The paper runs 30 s per test; this
 /// scaled-down harness defaults to a short window, overridable with
-/// FASTER_BENCH_SECONDS.
+/// FASTER_BENCH_SECONDS. Malformed or non-positive values fall back to the
+/// default with a warning rather than silently running a 0-second bench.
 inline double BenchSeconds(double def = 0.6) {
   const char* env = std::getenv("FASTER_BENCH_SECONDS");
-  return env != nullptr ? std::atof(env) : def;
+  if (env == nullptr) return def;
+  char* end = nullptr;
+  double v = std::strtod(env, &end);
+  if (end == env || *end != '\0' || !(v > 0)) {
+    std::fprintf(stderr,
+                 "bench: invalid FASTER_BENCH_SECONDS='%s'; using %g\n", env,
+                 def);
+    return def;
+  }
+  return v;
 }
 
 /// Dataset size. The paper uses 250 M keys; the scaled-down default is
 /// overridable with FASTER_BENCH_KEYS.
 inline uint64_t BenchKeys(uint64_t def = uint64_t{1} << 20) {
   const char* env = std::getenv("FASTER_BENCH_KEYS");
-  return env != nullptr ? std::strtoull(env, nullptr, 10) : def;
+  if (env == nullptr) return def;
+  errno = 0;
+  char* end = nullptr;
+  uint64_t v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE || v == 0) {
+    std::fprintf(stderr,
+                 "bench: invalid FASTER_BENCH_KEYS='%s'; using %llu\n", env,
+                 static_cast<unsigned long long>(def));
+    return def;
+  }
+  return v;
 }
 
 /// Worker-thread counts for "all threads" style experiments (the paper's
@@ -39,9 +64,19 @@ inline uint64_t BenchKeys(uint64_t def = uint64_t{1} << 20) {
 /// sweeps measure contention behaviour rather than parallel speedup).
 inline uint32_t BenchMaxThreads(uint32_t def = 4) {
   const char* env = std::getenv("FASTER_BENCH_THREADS");
-  return env != nullptr
-             ? static_cast<uint32_t>(std::strtoul(env, nullptr, 10))
-             : def;
+  if (env == nullptr) return def;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE || v == 0 ||
+      v > Thread::kMaxThreads) {
+    std::fprintf(stderr,
+                 "bench: invalid FASTER_BENCH_THREADS='%s' (want 1..%u); "
+                 "using %u\n",
+                 env, Thread::kMaxThreads, def);
+    return def;
+  }
+  return static_cast<uint32_t>(v);
 }
 
 template <class V>
@@ -190,13 +225,121 @@ struct LsmAdapter {
   void Idle() {}
 };
 
-/// Publishes a RunResult on the benchmark state.
+/// Accumulates one machine-readable result row per benchmark case and
+/// writes them as a JSON "sidecar" file when the binary exits, so
+/// tools/summarize_bench.py can merge results without scraping console
+/// logs. Destination: $FASTER_BENCH_JSON_DIR/<binary>.stats.json
+/// (default: current directory). Schema: faster-bench-v1.
+class BenchSidecar {
+ public:
+  static BenchSidecar& Instance() {
+    static BenchSidecar s;
+    return s;
+  }
+
+  void Add(const std::string& case_name,
+           std::vector<std::pair<std::string, double>> counters) {
+    std::lock_guard<std::mutex> lock{mutex_};
+    cases_.emplace_back(case_name, std::move(counters));
+  }
+
+  ~BenchSidecar() { Write(); }
+
+ private:
+  BenchSidecar() = default;
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  void Write() {
+    if (cases_.empty()) return;
+    const char* dir = std::getenv("FASTER_BENCH_JSON_DIR");
+    std::string bench = program_invocation_short_name;
+    std::string path =
+        std::string(dir != nullptr ? dir : ".") + "/" + bench + ".stats.json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write sidecar %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"schema\": \"faster-bench-v1\", \"bench\": \"%s\",",
+                 Escape(bench).c_str());
+    std::fprintf(f, " \"cases\": [");
+    for (size_t i = 0; i < cases_.size(); ++i) {
+      std::fprintf(f, "%s\n  {\"name\": \"%s\", \"counters\": {",
+                   i == 0 ? "" : ",", Escape(cases_[i].first).c_str());
+      const auto& counters = cases_[i].second;
+      for (size_t j = 0; j < counters.size(); ++j) {
+        std::fprintf(f, "%s\"%s\": %.17g", j == 0 ? "" : ", ",
+                     Escape(counters[j].first).c_str(), counters[j].second);
+      }
+      std::fprintf(f, "}}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+  }
+
+  std::mutex mutex_;
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>>
+      cases_;
+};
+
+/// Publishes a RunResult on the benchmark state. Latency percentiles
+/// (sampled 1-in-256, FASTER_STATS builds only; see RunResult) are exposed
+/// as counters so they reach both the console table and the JSON sidecar.
 inline void Report(benchmark::State& state, const RunResult& r) {
   state.counters["Mops"] =
       benchmark::Counter(r.mops, benchmark::Counter::kAvgThreads);
   state.counters["total_ops"] = benchmark::Counter(
       static_cast<double>(r.total_ops), benchmark::Counter::kAvgThreads);
   state.SetItemsProcessed(static_cast<int64_t>(r.total_ops));
+  if (r.latency_samples > 0) {
+    state.counters["p50_us"] = benchmark::Counter(
+        static_cast<double>(r.p50_ns) / 1e3, benchmark::Counter::kAvgThreads);
+    state.counters["p99_us"] = benchmark::Counter(
+        static_cast<double>(r.p99_ns) / 1e3, benchmark::Counter::kAvgThreads);
+    state.counters["p999_us"] = benchmark::Counter(
+        static_cast<double>(r.p999_ns) / 1e3, benchmark::Counter::kAvgThreads);
+  }
+}
+
+/// Console reporter that also copies each finished run (name + counters +
+/// items/sec) into the BenchSidecar, so every bench binary emits a JSON
+/// sidecar without per-case plumbing.
+class SidecarReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      std::vector<std::pair<std::string, double>> counters;
+      counters.emplace_back("iterations",
+                            static_cast<double>(run.iterations));
+      counters.emplace_back("real_time_s", run.real_accumulated_time);
+      for (const auto& kv : run.counters) {
+        counters.emplace_back(kv.first, kv.second.value);
+      }
+      BenchSidecar::Instance().Add(run.benchmark_name(),
+                                   std::move(counters));
+    }
+  }
+};
+
+/// Shared main body for all bench binaries: runs google-benchmark with the
+/// sidecar-emitting reporter.
+inline int RunBenchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  SidecarReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
 }
 
 using Blob100 = BlobStoreFunctions<100>::Blob;

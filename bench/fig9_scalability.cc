@@ -134,8 +134,5 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   faster::bench::RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return faster::bench::RunBenchmarks(argc, argv);
 }

@@ -4,14 +4,21 @@
 //
 //   ycsb_cli [--keys N] [--threads T] [--seconds S] [--dist uniform|zipf|hotset]
 //            [--reads F] [--rmws F] [--memory-mb M] [--mutable F]
-//            [--append-only] [--read-cache]
+//            [--append-only] [--read-cache] [--stats [--stats-interval S]]
+//            [--stats-json]
 //
 // Prints throughput, log growth, fuzzy-op and storage-read percentages.
+// With --stats (requires a -DFASTER_STATS=ON build to be useful), also dumps
+// the full store metric registry periodically during the run and once at
+// the end; --stats-json switches the final dump to JSON.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "core/faster.h"
 #include "core/functions.h"
@@ -33,6 +40,9 @@ struct Options {
   double mutable_fraction = 0.9;
   bool append_only = false;
   bool read_cache = false;
+  bool stats = false;
+  bool stats_json = false;
+  double stats_interval = 1.0;
 };
 
 void Usage(const char* argv0) {
@@ -41,7 +51,8 @@ void Usage(const char* argv0) {
       "usage: %s [--keys N] [--threads T] [--seconds S]\n"
       "          [--dist uniform|zipf|hotset] [--reads F] [--rmws F]\n"
       "          [--memory-mb M] [--mutable F] [--append-only] "
-      "[--read-cache]\n",
+      "[--read-cache]\n"
+      "          [--stats] [--stats-interval S] [--stats-json]\n",
       argv0);
   std::exit(2);
 }
@@ -63,6 +74,13 @@ Options Parse(int argc, char** argv) {
     else if (a == "--mutable") o.mutable_fraction = std::atof(next());
     else if (a == "--append-only") o.append_only = true;
     else if (a == "--read-cache") o.read_cache = true;
+    else if (a == "--stats") o.stats = true;
+    else if (a == "--stats-json") { o.stats = true; o.stats_json = true; }
+    else if (a == "--stats-interval") {
+      o.stats_interval = std::atof(next());
+      if (!(o.stats_interval > 0)) Usage(argv[0]);
+      o.stats = true;
+    }
     else if (a == "--dist") {
       std::string d = next();
       if (d == "uniform") o.dist = Distribution::kUniform;
@@ -115,7 +133,38 @@ int main(int argc, char** argv) {
               spec.Name().c_str(), o.threads, o.seconds);
   Address tail_before = store.hlog().tail_address();
   Adapter adapter{store};
+
+  // Optional periodic stats dumps while the workload runs.
+  std::atomic<bool> monitor_stop{false};
+  std::thread monitor;
+  if (o.stats) {
+    if (!obs::kStatsEnabled) {
+      std::fprintf(stderr,
+                   "warning: --stats requested but this binary was built "
+                   "without -DFASTER_STATS=ON\n");
+    }
+    monitor = std::thread([&] {
+      auto interval = std::chrono::duration<double>(o.stats_interval);
+      auto start = std::chrono::steady_clock::now();
+      auto next_dump = start + interval;
+      while (!monitor_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        auto now = std::chrono::steady_clock::now();
+        if (now < next_dump) continue;
+        next_dump += interval;
+        double elapsed = std::chrono::duration<double>(now - start).count();
+        std::printf("--- stats @ %.1fs ---\n%s", elapsed,
+                    store.DumpStats().c_str());
+        std::fflush(stdout);
+      }
+    });
+  }
+
   auto r = RunWorkload(adapter, spec, o.threads, o.seconds);
+  if (monitor.joinable()) {
+    monitor_stop.store(true, std::memory_order_relaxed);
+    monitor.join();
+  }
 
   auto stats = store.GetStats();
   uint64_t user_ops = stats.reads + stats.upserts + stats.rmws;
@@ -139,6 +188,18 @@ int main(int argc, char** argv) {
                 stats.reads ? 100.0 * static_cast<double>(stats.read_cache_hits) /
                                   static_cast<double>(stats.reads)
                             : 0.0);
+  }
+  if (r.latency_samples > 0) {
+    std::printf("op latency:     p50=%.1fus p99=%.1fus p999=%.1fus "
+                "(%llu samples)\n",
+                static_cast<double>(r.p50_ns) / 1e3,
+                static_cast<double>(r.p99_ns) / 1e3,
+                static_cast<double>(r.p999_ns) / 1e3,
+                static_cast<unsigned long long>(r.latency_samples));
+  }
+  if (o.stats) {
+    std::printf("--- final stats ---\n%s",
+                store.DumpStats(o.stats_json).c_str());
   }
   return 0;
 }

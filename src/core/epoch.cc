@@ -88,8 +88,14 @@ uint64_t LightEpoch::BumpCurrentEpoch(std::function<void()> action) {
       if (drain_list_[i].epoch.compare_exchange_strong(
               expected, DrainEntry::kLocked, std::memory_order_acq_rel)) {
         drain_list_[i].action = std::move(action);
+        if constexpr (obs::kStatsEnabled) {
+          drain_list_[i].armed_ns = obs::NowNs();
+        }
         drain_list_[i].epoch.store(prior, std::memory_order_release);
-        drain_count_.fetch_add(1, std::memory_order_acq_rel);
+        uint32_t outstanding =
+            drain_count_.fetch_add(1, std::memory_order_acq_rel) + 1;
+        obs_stats_.bumps.Inc();
+        obs_stats_.drain_occupancy.Record(outstanding);
         return prior + 1;
       }
     }
@@ -119,9 +125,14 @@ void LightEpoch::Drain(uint64_t safe_epoch) {
               e, DrainEntry::kLocked, std::memory_order_acq_rel)) {
         std::function<void()> action = std::move(drain_list_[i].action);
         drain_list_[i].action = nullptr;
+        if constexpr (obs::kStatsEnabled) {
+          obs_stats_.bump_to_drain_ns.Record(obs::NowNs() -
+                                             drain_list_[i].armed_ns);
+        }
         drain_list_[i].epoch.store(DrainEntry::kFree,
                                    std::memory_order_release);
         remaining = drain_count_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+        obs_stats_.actions_run.Inc();
         action();
       }
     }

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "core/thread.h"
+#include "obs/stats.h"
 
 namespace faster {
 
@@ -90,6 +92,25 @@ class LightEpoch {
     return drain_count_.load(std::memory_order_acquire);
   }
 
+  /// Observability (compiled out unless FASTER_STATS): drain-list pressure
+  /// and the latency from arming a trigger action to running it.
+  struct ObsStats {
+    obs::StatCounter bumps;            // BumpCurrentEpoch(action) calls
+    obs::StatCounter actions_run;      // trigger actions executed
+    obs::StatHistogram drain_occupancy;    // outstanding actions at arm time
+    obs::StatHistogram bump_to_drain_ns;   // arm -> execution latency
+  };
+  const ObsStats& obs_stats() const { return obs_stats_; }
+
+  /// Registers this epoch's metrics under `prefix.` names.
+  void RegisterStats(obs::StatRegistry& registry,
+                     const std::string& prefix) const {
+    registry.Add(prefix + ".bumps", &obs_stats_.bumps);
+    registry.Add(prefix + ".actions_run", &obs_stats_.actions_run);
+    registry.Add(prefix + ".drain_occupancy", &obs_stats_.drain_occupancy);
+    registry.Add(prefix + ".bump_to_drain_ns", &obs_stats_.bump_to_drain_ns);
+  }
+
  private:
   /// One cache line per thread (avoids false sharing on refresh).
   struct alignas(64) Entry {
@@ -106,6 +127,10 @@ class LightEpoch {
     static constexpr uint64_t kLocked = UINT64_MAX - 1;
     std::atomic<uint64_t> epoch{kFree};
     std::function<void()> action;
+    /// Stats only: NowNs() when the action was armed. Written while the
+    /// slot is held kLocked by the arming thread and read while held
+    /// kLocked by the draining thread, so a plain field is race-free.
+    uint64_t armed_ns = 0;
   };
 
   /// Try to run every drain-list action whose epoch is now safe.
@@ -116,6 +141,7 @@ class LightEpoch {
   Entry table_[Thread::kMaxThreads];
   DrainEntry drain_list_[kDrainListSize];
   std::atomic<uint32_t> drain_count_{0};
+  mutable ObsStats obs_stats_;
 };
 
 }  // namespace faster

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cassert>
 #include <cstring>
 #include <filesystem>
@@ -25,6 +26,8 @@
 #include "core/status.h"
 #include "core/thread.h"
 #include "device/device.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
 
 namespace faster {
 
@@ -156,6 +159,7 @@ class FasterKv {
       typename HashIndex::OpScope scope{index_, hash};
       HashIndex::FindResult fr;
       if (!index_.FindEntry(scope, hash, &fr)) {
+        obs_stats_.read_miss.Inc();
         return Status::kNotFound;
       }
       Address addr;
@@ -174,6 +178,7 @@ class FasterKv {
         }
         F::SingleReader(key, input, rc_rec->value, *output);
         ++ts.rc_hits;
+        obs_stats_.read_rc.Inc();
         return Status::kOk;
       }
       Address begin = hlog_.begin_address();
@@ -182,6 +187,7 @@ class FasterKv {
           // Stale entry left behind by log truncation (Appendix C).
           index_.TryDeleteEntry(&fr);
         }
+        obs_stats_.read_miss.Inc();
         return Status::kNotFound;
       }
       if constexpr (kMergeable) {
@@ -192,16 +198,35 @@ class FasterKv {
       RecordT* rec = nullptr;
       addr = TraceBack(key, addr, min_mem, &rec);
       if (rec != nullptr) {
-        if (rec->info().tombstone()) return Status::kNotFound;
+        if (rec->info().tombstone()) {
+          obs_stats_.read_miss.Inc();
+          return Status::kNotFound;
+        }
         if (addr < hlog_.safe_read_only_address()) {
+          obs_stats_.read_readonly.Inc();
           F::SingleReader(key, input, rec->value, *output);
         } else {
+          if constexpr (obs::kStatsEnabled) {
+            // Classification only; avoid the extra load when compiled out.
+            if (addr >= hlog_.read_only_address()) {
+              obs_stats_.read_mutable.Inc();
+            } else {
+              obs_stats_.read_fuzzy.Inc();
+            }
+          }
           F::ConcurrentReader(key, input, rec->value, *output);
         }
         return Status::kOk;
       }
-      if (!addr.IsValid() || addr < begin) return Status::kNotFound;
+      if (!addr.IsValid() || addr < begin) {
+        // The index tag matched but no record carried the key: a tag
+        // false positive (Sec. 3.2) or a truncated chain.
+        obs_stats_.tag_false_positives.Inc();
+        obs_stats_.read_miss.Inc();
+        return Status::kNotFound;
+      }
       // The chain continues on storage: go asynchronous (Sec. 5.3).
+      obs_stats_.read_stable.Inc();
       return IssuePendingIo(ts, OpType::kRead, key, hash, input, output,
                             addr, user_context);
     }
@@ -234,6 +259,7 @@ class FasterKv {
             found >= hlog_.read_only_address()) {
           // Mutable region: in-place update (Table 1 row 4).
           F::ConcurrentWriter(key, value, rec->value);
+          obs_stats_.upsert_inplace.Inc();
           return Status::kOk;
         }
       }
@@ -249,6 +275,7 @@ class FasterKv {
       new_rec->set_info(RecordInfo{addr, false, false});
       if (index_.TryUpdateEntry(&fr, new_addr)) {
         ++ts.appended_records;
+        obs_stats_.upsert_append.Inc();
         // Appendix C: flag the superseded in-memory version for GC.
         if (rec != nullptr) rec->SetOverwritten();
         return Status::kOk;
@@ -278,6 +305,9 @@ class FasterKv {
         // Fuzzy region (Sec. 6.2): defer to the pending list; retried at
         // CompletePending once the safe read-only offset catches up.
         ++ts.fuzzy_rmws;
+        obs_stats_.rmw_fuzzy_deferred.Inc();
+        obs_stats_.pending_retries.Inc();
+        trace_.Emit(obs::Ev::kFuzzyRmwDeferred, Thread::Id());
         auto* ctx = new PendingContext(this, OpType::kRmw, key, hash, input,
                                        nullptr, Thread::Id());
         ctx->user_context = user_context;
@@ -326,6 +356,7 @@ class FasterKv {
         if (rec->info().tombstone()) return Status::kNotFound;
         if (!config_.force_rcu && found >= hlog_.read_only_address()) {
           rec->SetTombstone();
+          obs_stats_.delete_inplace.Inc();
           return Status::kOk;
         }
       } else if (!found.IsValid() || found < begin) {
@@ -340,6 +371,7 @@ class FasterKv {
       new_rec->set_info(RecordInfo{addr, false, /*tombstone=*/true});
       if (index_.TryUpdateEntry(&fr, new_addr)) {
         ++ts.appended_records;
+        obs_stats_.delete_append.Inc();
         if (rec != nullptr) rec->SetOverwritten();  // Appendix C
         return Status::kOk;
       }
@@ -375,10 +407,17 @@ class FasterKv {
   Status Checkpoint(const std::string& dir) {
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
+    obs_stats_.checkpoints.Inc();
+    trace_.Emit(obs::Ev::kCheckpointBegin);
+    uint64_t t0 = 0;
+    if constexpr (obs::kStatsEnabled) t0 = obs::NowNs();
     Address t1 = hlog_.tail_address();
     int fd = ::open((dir + "/index.dat").c_str(),
                     O_WRONLY | O_CREAT | O_TRUNC, 0644);
-    if (fd < 0) return Status::kIoError;
+    if (fd < 0) {
+      trace_.Emit(obs::Ev::kCheckpointEnd, 1);
+      return Status::kIoError;
+    }
     HashIndex::EntryTransform transform;
     if (rc_log_ != nullptr) {
       // Appendix D: persisted index entries must point at the primary log,
@@ -402,19 +441,36 @@ class FasterKv {
     }
     Status s = index_.WriteCheckpoint(fd, transform);
     ::close(fd);
-    if (s != Status::kOk) return s;
+    if constexpr (obs::kStatsEnabled) {
+      obs_stats_.checkpoint_index_ns.Record(obs::NowNs() - t0);
+    }
+    if (s != Status::kOk) {
+      trace_.Emit(obs::Ev::kCheckpointEnd, 1);
+      return s;
+    }
     Address t2 = hlog_.tail_address();
     // Flush the log through t2 (and beyond, to the current tail).
+    if constexpr (obs::kStatsEnabled) t0 = obs::NowNs();
     hlog_.ShiftReadOnlyToTail(/*wait=*/true);
-    if (hlog_.io_error()) return Status::kIoError;
+    if constexpr (obs::kStatsEnabled) {
+      obs_stats_.checkpoint_flush_ns.Record(obs::NowNs() - t0);
+    }
+    if (hlog_.io_error()) {
+      trace_.Emit(obs::Ev::kCheckpointEnd, 1);
+      return Status::kIoError;
+    }
     CheckpointMetadata meta{kCheckpointMagic, t1.control(), t2.control(),
                             hlog_.begin_address().control(),
                             RecordT::size()};
     fd = ::open((dir + "/meta.dat").c_str(), O_WRONLY | O_CREAT | O_TRUNC,
                 0644);
-    if (fd < 0) return Status::kIoError;
+    if (fd < 0) {
+      trace_.Emit(obs::Ev::kCheckpointEnd, 1);
+      return Status::kIoError;
+    }
     bool ok = ::write(fd, &meta, sizeof(meta)) == sizeof(meta);
     ::close(fd);
+    trace_.Emit(obs::Ev::kCheckpointEnd, ok ? 0 : 1);
     return ok ? Status::kOk : Status::kIoError;
   }
 
@@ -474,7 +530,17 @@ class FasterKv {
   /// Doubles the hash index on-line (Appendix B). Requires an active
   /// session; all live sessions must keep issuing operations (or Refresh)
   /// for the grow to complete.
-  void GrowIndex() { index_.Grow(); }
+  void GrowIndex() {
+    if constexpr (obs::kStatsEnabled) {
+      trace_.Emit(obs::Ev::kGrowBegin,
+                  static_cast<uint32_t>(std::bit_width(index_.size()) - 1));
+    }
+    index_.Grow();
+    if constexpr (obs::kStatsEnabled) {
+      trace_.Emit(obs::Ev::kGrowEnd,
+                  static_cast<uint32_t>(std::bit_width(index_.size()) - 1));
+    }
+  }
 
   /// Roll-to-tail log compaction (Appendix C): scans [begin, until),
   /// copies records that are still the newest version of their key to the
@@ -586,17 +652,111 @@ class FasterKv {
   Stats GetStats() const {
     Stats s;
     for (const ThreadState& ts : thread_states_) {
-      s.reads += ts.reads;
-      s.upserts += ts.upserts;
-      s.rmws += ts.rmws;
-      s.deletes += ts.deletes;
-      s.fuzzy_rmws += ts.fuzzy_rmws;
-      s.pending_ios += ts.ios_issued;
-      s.completed_pending += ts.completed;
-      s.appended_records += ts.appended_records;
-      s.read_cache_hits += ts.rc_hits;
+      s.reads += ts.reads.get();
+      s.upserts += ts.upserts.get();
+      s.rmws += ts.rmws.get();
+      s.deletes += ts.deletes.get();
+      s.fuzzy_rmws += ts.fuzzy_rmws.get();
+      s.pending_ios += ts.ios_issued.get();
+      s.completed_pending += ts.completed.get();
+      s.appended_records += ts.appended_records.get();
+      s.read_cache_hits += ts.rc_hits.get();
     }
     return s;
+  }
+
+  /// Observability (compiled out unless FASTER_STATS): per-region operation
+  /// mix, pending-operation health, checkpoint durations, read cache.
+  struct ObsStats {
+    // Reads by the HybridLog region that served them (Sec. 6.1).
+    obs::StatCounter read_mutable;
+    obs::StatCounter read_fuzzy;
+    obs::StatCounter read_readonly;  // in memory, below safe read-only
+    obs::StatCounter read_stable;    // went to storage
+    obs::StatCounter read_rc;        // served by the read cache
+    obs::StatCounter read_miss;
+    obs::StatCounter tag_false_positives;  // index tag hit, key absent
+    // Updates by execution strategy (Table 2).
+    obs::StatCounter upsert_inplace;
+    obs::StatCounter upsert_append;
+    obs::StatCounter rmw_inplace;
+    obs::StatCounter rmw_copy;
+    obs::StatCounter rmw_initial;
+    obs::StatCounter rmw_delta;
+    obs::StatCounter rmw_fuzzy_deferred;
+    obs::StatCounter delete_inplace;
+    obs::StatCounter delete_append;
+    // Read cache (Appendix D).
+    obs::StatCounter rc_inserts;
+    obs::StatCounter rc_second_chance;
+    obs::StatCounter rc_evictions;
+    // Pending machinery (Sec. 5.3 / 6.2).
+    obs::StatGauge pending_ios;        // storage reads in flight
+    obs::StatGauge pending_retries;    // fuzzy RMWs awaiting retry
+    obs::StatHistogram pending_io_ns;  // issue -> done, incl. chain hops
+    // Checkpoints (Sec. 6.5).
+    obs::StatCounter checkpoints;
+    obs::StatHistogram checkpoint_index_ns;
+    obs::StatHistogram checkpoint_flush_ns;
+  };
+  const ObsStats& obs_stats() const { return obs_stats_; }
+
+  /// Registers every metric the store and its components expose, plus the
+  /// legacy GetStats() tallies as precomputed scalars.
+  void CollectStats(obs::StatRegistry& reg) {
+    Stats s = GetStats();
+    reg.AddValue("store.reads", s.reads);
+    reg.AddValue("store.upserts", s.upserts);
+    reg.AddValue("store.rmws", s.rmws);
+    reg.AddValue("store.deletes", s.deletes);
+    reg.AddValue("store.fuzzy_rmws", s.fuzzy_rmws);
+    reg.AddValue("store.ios_issued", s.pending_ios);
+    reg.AddValue("store.completed_pending", s.completed_pending);
+    reg.AddValue("store.appended_records", s.appended_records);
+    reg.AddValue("store.read_cache_hits", s.read_cache_hits);
+    reg.Add("store.read_mutable", &obs_stats_.read_mutable);
+    reg.Add("store.read_fuzzy", &obs_stats_.read_fuzzy);
+    reg.Add("store.read_readonly", &obs_stats_.read_readonly);
+    reg.Add("store.read_stable", &obs_stats_.read_stable);
+    reg.Add("store.read_rc", &obs_stats_.read_rc);
+    reg.Add("store.read_miss", &obs_stats_.read_miss);
+    reg.Add("store.tag_false_positives", &obs_stats_.tag_false_positives);
+    reg.Add("store.upsert_inplace", &obs_stats_.upsert_inplace);
+    reg.Add("store.upsert_append", &obs_stats_.upsert_append);
+    reg.Add("store.rmw_inplace", &obs_stats_.rmw_inplace);
+    reg.Add("store.rmw_copy", &obs_stats_.rmw_copy);
+    reg.Add("store.rmw_initial", &obs_stats_.rmw_initial);
+    reg.Add("store.rmw_delta", &obs_stats_.rmw_delta);
+    reg.Add("store.rmw_fuzzy_deferred", &obs_stats_.rmw_fuzzy_deferred);
+    reg.Add("store.delete_inplace", &obs_stats_.delete_inplace);
+    reg.Add("store.delete_append", &obs_stats_.delete_append);
+    reg.Add("store.rc_inserts", &obs_stats_.rc_inserts);
+    reg.Add("store.rc_second_chance", &obs_stats_.rc_second_chance);
+    reg.Add("store.rc_evictions", &obs_stats_.rc_evictions);
+    reg.Add("store.pending_ios", &obs_stats_.pending_ios);
+    reg.Add("store.pending_retries", &obs_stats_.pending_retries);
+    reg.Add("store.pending_io_ns", &obs_stats_.pending_io_ns);
+    reg.Add("store.checkpoints", &obs_stats_.checkpoints);
+    reg.Add("store.checkpoint_index_ns", &obs_stats_.checkpoint_index_ns);
+    reg.Add("store.checkpoint_flush_ns", &obs_stats_.checkpoint_flush_ns);
+    index_.RegisterStats(reg, "index");
+    hlog_.RegisterStats(reg, "hlog");
+    epoch_.RegisterStats(reg, "epoch");
+    hlog_.device()->RegisterStats(reg, "device");
+    if (rc_log_ != nullptr) rc_log_->RegisterStats(reg, "rc_log");
+  }
+
+  /// Human-readable (or JSON) dump of every metric. With stats compiled
+  /// out, returns a one-line notice (an empty JSON object).
+  std::string DumpStats(bool json = false) {
+    obs::StatRegistry reg;
+    CollectStats(reg);
+    return json ? reg.Json() : reg.Text();
+  }
+
+  /// Recent trace events, oldest first (empty when compiled out).
+  std::vector<obs::TraceEvent> TraceEvents() const {
+    return trace_.Snapshot();
   }
 
   HybridLog& hlog() { return hlog_; }
@@ -627,6 +787,7 @@ class FasterKv {
     Address address = Address::Invalid();     // record being read
     Address chain_bottom = Address::Invalid();  // first disk address of chain
     Status io_status = Status::kOk;
+    uint64_t issue_ns = 0;  // stats only: first I/O issue time
     // CRDT read reconciliation state (Sec. 6.3).
     Value merge_acc{};
     bool merge_found = false;
@@ -635,6 +796,19 @@ class FasterKv {
     const RecordT* record() const {
       return reinterpret_cast<const RecordT*>(buffer);
     }
+  };
+
+  /// Owner-thread tally: written only by the slot's tenant (plain
+  /// load+store, never an RMW — same codegen as a bare uint64_t), but
+  /// atomic so a concurrent GetStats()/DumpStats() reads it race-free.
+  struct RelaxedTally {
+    std::atomic<uint64_t> v{0};
+    RelaxedTally& operator++() {
+      v.store(v.load(std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
+      return *this;
+    }
+    uint64_t get() const { return v.load(std::memory_order_relaxed); }
   };
 
   struct alignas(64) ThreadState {
@@ -646,10 +820,10 @@ class FasterKv {
     uint64_t outstanding_ios = 0;
     uint32_t ops_since_refresh = 0;
     // Statistics.
-    uint64_t reads = 0, upserts = 0, rmws = 0, deletes = 0;
-    uint64_t fuzzy_rmws = 0, ios_issued = 0, completed = 0;
-    uint64_t appended_records = 0;
-    uint64_t rc_hits = 0;
+    RelaxedTally reads, upserts, rmws, deletes;
+    RelaxedTally fuzzy_rmws, ios_issued, completed;
+    RelaxedTally appended_records;
+    RelaxedTally rc_hits;
   };
 
   RecordT* RecordAt(Address addr) const {
@@ -723,7 +897,9 @@ class FasterKv {
     rec->key = key;
     rec->value = value;
     rec->set_info(RecordInfo{a, false, false, false, /*read_cache=*/true});
-    if (!index_.TryUpdateEntry(&fr, TagRc(rc_addr))) {
+    if (index_.TryUpdateEntry(&fr, TagRc(rc_addr))) {
+      obs_stats_.rc_inserts.Inc();
+    } else {
       rec->SetInvalid();
     }
   }
@@ -741,7 +917,9 @@ class FasterKv {
     rec->set_info(RecordInfo{rc_rec->info().previous_address(), false, false,
                              false, /*read_cache=*/true});
     HashIndex::FindResult mutable_fr = fr;
-    if (!index_.TryUpdateEntry(&mutable_fr, TagRc(new_addr))) {
+    if (index_.TryUpdateEntry(&mutable_fr, TagRc(new_addr))) {
+      obs_stats_.rc_second_chance.Inc();
+    } else {
       rec->SetInvalid();
     }
   }
@@ -767,7 +945,9 @@ class FasterKv {
         HashIndex::FindResult fr;
         if (index_.FindEntry(scope, hash, &fr) &&
             fr.entry.address() == TagRc(addr)) {
-          index_.TryUpdateEntry(&fr, rec->info().previous_address());
+          if (index_.TryUpdateEntry(&fr, rec->info().previous_address())) {
+            obs_stats_.rc_evictions.Inc();
+          }
         }
       }
       addr = addr + RecordT::size();
@@ -925,6 +1105,7 @@ class FasterKv {
         if (!config_.force_rcu && found >= hlog_.read_only_address()) {
           // Mutable region: in-place update (Table 2 bottom row).
           F::InPlaceUpdater(key, input, rec->value);
+          obs_stats_.rmw_inplace.Inc();
           return {RmwOutcome::kDone, Status::kOk, {}};
         }
         if (!config_.force_rcu && found >= hlog_.safe_read_only_address()) {
@@ -1023,6 +1204,11 @@ class FasterKv {
         RecordInfo{prev, false, false, kind == RecordKind::kDelta});
     if (index_.TryUpdateEntry(fr, new_addr)) {
       ++ts.appended_records;
+      switch (kind) {
+        case RecordKind::kInitial: obs_stats_.rmw_initial.Inc(); break;
+        case RecordKind::kCopy: obs_stats_.rmw_copy.Inc(); break;
+        case RecordKind::kDelta: obs_stats_.rmw_delta.Inc(); break;
+      }
       return true;
     }
     new_rec->SetInvalid();
@@ -1043,6 +1229,9 @@ class FasterKv {
     ctx->chain_bottom = addr;
     ++ts.outstanding_ios;
     ++ts.ios_issued;
+    obs_stats_.pending_ios.Inc();
+    if constexpr (obs::kStatsEnabled) ctx->issue_ns = obs::NowNs();
+    trace_.Emit(obs::Ev::kPendingIoIssued, ctx->owner);
     hlog_.AsyncGetFromDisk(addr, RecordT::size(), ctx->buffer,
                            &FasterKv::IoCallback, ctx);
     return Status::kPending;
@@ -1053,6 +1242,10 @@ class FasterKv {
     ctx->address = addr;
     ThreadState& ts = thread_states_[ctx->owner];
     ++ts.ios_issued;
+    if constexpr (obs::kStatsEnabled) {
+      // Keep the first issue time: pending_io_ns spans the whole chain.
+      if (ctx->issue_ns == 0) ctx->issue_ns = obs::NowNs();
+    }
     hlog_.AsyncGetFromDisk(addr, RecordT::size(), ctx->buffer,
                            &FasterKv::IoCallback, ctx);
   }
@@ -1068,6 +1261,11 @@ class FasterKv {
   void FinishPending(ThreadState& ts, PendingContext* ctx, Status result) {
     ++ts.completed;
     --ts.outstanding_ios;
+    obs_stats_.pending_ios.Dec();
+    if constexpr (obs::kStatsEnabled) {
+      obs_stats_.pending_io_ns.Record(obs::NowNs() - ctx->issue_ns);
+    }
+    trace_.Emit(obs::Ev::kPendingIoDone, ctx->owner);
     NotifyCompletion(ctx, result);
     delete ctx;
   }
@@ -1170,6 +1368,10 @@ class FasterKv {
         // retry list (the context stops being an outstanding I/O).
         ++ts.fuzzy_rmws;
         --ts.outstanding_ios;
+        obs_stats_.pending_ios.Dec();
+        obs_stats_.rmw_fuzzy_deferred.Inc();
+        obs_stats_.pending_retries.Inc();
+        trace_.Emit(obs::Ev::kFuzzyRmwDeferred, ctx->owner);
         ctx->chain_bottom = Address::Invalid();
         ts.retries.push_back(ctx);
         return;
@@ -1187,12 +1389,15 @@ class FasterKv {
       switch (oc.kind) {
         case RmwOutcome::kDone:
           ++ts.completed;
+          obs_stats_.pending_retries.Dec();
           NotifyCompletion(ctx, oc.status);
           delete ctx;
           break;
         case RmwOutcome::kIo:
           ctx->chain_bottom = oc.io_address;
           ++ts.outstanding_ios;
+          obs_stats_.pending_retries.Dec();
+          obs_stats_.pending_ios.Inc();
           ReissueIo(ctx, oc.io_address);
           break;
         case RmwOutcome::kFuzzy:
@@ -1246,6 +1451,9 @@ class FasterKv {
     ctx->chain_bottom = addr;
     ++ts.outstanding_ios;
     ++ts.ios_issued;
+    obs_stats_.pending_ios.Inc();
+    if constexpr (obs::kStatsEnabled) ctx->issue_ns = obs::NowNs();
+    trace_.Emit(obs::Ev::kPendingIoIssued, ctx->owner);
     hlog_.AsyncGetFromDisk(addr, RecordT::size(), ctx->buffer,
                            &FasterKv::IoCallback, ctx);
     return Status::kPending;
@@ -1326,6 +1534,8 @@ class FasterKv {
   HybridLog hlog_;
   std::unique_ptr<HybridLog> rc_log_;  // read cache (Appendix D), optional
   std::vector<ThreadState> thread_states_;
+  mutable ObsStats obs_stats_;
+  mutable obs::StatEventRing trace_;
 };
 
 }  // namespace faster

@@ -75,6 +75,7 @@ HashBucket* HashIndex::AllocateOverflowBucket(uint8_t version) {
   void* mem = std::aligned_alloc(64, sizeof(HashBucket));
   std::memset(mem, 0, sizeof(HashBucket));
   auto* bucket = static_cast<HashBucket*>(mem);
+  obs_stats_.overflow_allocs.Inc();
   std::lock_guard<std::mutex> lock{overflow_mutex_};
   overflow_pool_[version].push_back(bucket);
   return bucket;
@@ -140,10 +141,12 @@ HashIndex::OpScope::~OpScope() {
 
 bool HashIndex::ScanChain(HashBucket* bucket, uint16_t tag, FindResult* match,
                           std::atomic<uint64_t>** free_slot, uint8_t) {
+  uint64_t probes = 0;
   while (bucket != nullptr) {
     for (uint32_t i = 0; i < HashBucket::kNumEntries; ++i) {
       HashBucketEntry entry{
           bucket->entries[i].load(std::memory_order_acquire)};
+      ++probes;
       if (entry.IsUnused()) {
         if (free_slot != nullptr && *free_slot == nullptr) {
           *free_slot = &bucket->entries[i];
@@ -153,12 +156,14 @@ bool HashIndex::ScanChain(HashBucket* bucket, uint16_t tag, FindResult* match,
       if (!entry.tentative() && entry.tag() == tag) {
         match->slot = &bucket->entries[i];
         match->entry = entry;
+        obs_stats_.probe_len.Record(probes);
         return true;
       }
     }
     bucket = reinterpret_cast<HashBucket*>(
         bucket->overflow.load(std::memory_order_acquire));
   }
+  obs_stats_.probe_len.Record(probes);
   return false;
 }
 
@@ -166,8 +171,12 @@ bool HashIndex::FindEntry(const OpScope& scope, KeyHash hash,
                           FindResult* out) const {
   uint16_t tag = EffectiveTag(hash);
   HashBucket* bucket = &scope.table_[hash.Bucket(scope.table_size_)];
+  obs_stats_.finds.Inc();
   // const_cast: ScanChain only performs atomic loads here.
-  return const_cast<HashIndex*>(this)->ScanChain(bucket, tag, out, nullptr, 0);
+  bool hit =
+      const_cast<HashIndex*>(this)->ScanChain(bucket, tag, out, nullptr, 0);
+  if (hit) obs_stats_.find_hits.Inc();
+  return hit;
 }
 
 void HashIndex::FindOrCreateEntry(const OpScope& scope, KeyHash hash,
@@ -230,6 +239,7 @@ void HashIndex::FindOrCreateEntry(const OpScope& scope, KeyHash hash,
       }
     }
     if (duplicate) {
+      obs_stats_.tentative_conflicts.Inc();
       free_slot->store(0, std::memory_order_release);
       std::this_thread::yield();
       continue;
@@ -253,6 +263,7 @@ bool HashIndex::TryUpdateEntry(FindResult* result, Address address) {
     return true;
   }
   result->entry = HashBucketEntry{expected};
+  obs_stats_.cas_retries.Inc();
   return false;
 }
 
@@ -264,6 +275,7 @@ bool HashIndex::TryDeleteEntry(FindResult* result) {
     return true;
   }
   result->entry = HashBucketEntry{expected};
+  obs_stats_.cas_retries.Inc();
   return false;
 }
 
@@ -374,6 +386,7 @@ void HashIndex::EnsureMigrated(uint64_t chunk) {
     if (pins_[chunk]->compare_exchange_strong(expected, kChunkLocked,
                                               std::memory_order_acq_rel)) {
       MigrateChunk(chunk);
+      obs_stats_.grow_chunks_migrated.Inc();
       migrated_[chunk]->store(true, std::memory_order_release);
       num_migrated_chunks_.fetch_add(1, std::memory_order_acq_rel);
       return;

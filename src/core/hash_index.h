@@ -6,12 +6,14 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/epoch.h"
 #include "core/hash_bucket.h"
 #include "core/key_hash.h"
 #include "core/status.h"
+#include "obs/stats.h"
 
 namespace faster {
 
@@ -135,6 +137,33 @@ class HashIndex {
   /// otherwise idle.
   Status ReadCheckpoint(int fd);
 
+  /// Observability (compiled out unless FASTER_STATS): probe depth, CAS
+  /// contention, tentative-insert conflicts, and grow progress.
+  struct ObsStats {
+    obs::StatCounter finds;             // FindEntry calls
+    obs::StatCounter find_hits;         // FindEntry tag matches
+    obs::StatCounter cas_retries;       // failed TryUpdate/TryDelete CASes
+    obs::StatCounter tentative_conflicts;  // two-phase insert back-offs
+    obs::StatCounter overflow_allocs;   // overflow buckets allocated
+    obs::StatCounter grow_chunks_migrated;
+    obs::StatHistogram probe_len;       // entries examined per chain scan
+  };
+  const ObsStats& obs_stats() const { return obs_stats_; }
+
+  /// Registers this index's metrics under `prefix.` names.
+  void RegisterStats(obs::StatRegistry& registry,
+                     const std::string& prefix) const {
+    registry.Add(prefix + ".finds", &obs_stats_.finds);
+    registry.Add(prefix + ".find_hits", &obs_stats_.find_hits);
+    registry.Add(prefix + ".cas_retries", &obs_stats_.cas_retries);
+    registry.Add(prefix + ".tentative_conflicts",
+                 &obs_stats_.tentative_conflicts);
+    registry.Add(prefix + ".overflow_allocs", &obs_stats_.overflow_allocs);
+    registry.Add(prefix + ".grow_chunks_migrated",
+                 &obs_stats_.grow_chunks_migrated);
+    registry.Add(prefix + ".probe_len", &obs_stats_.probe_len);
+  }
+
  private:
   enum class Phase : uint8_t { kStable = 0, kPrepare = 1, kResizing = 2 };
 
@@ -198,6 +227,9 @@ class HashIndex {
   // Overflow bucket pools, per version.
   mutable std::mutex overflow_mutex_;
   std::vector<HashBucket*> overflow_pool_[2];
+
+  // Mutable: FindEntry is const but still counts probes.
+  mutable ObsStats obs_stats_;
 };
 
 }  // namespace faster

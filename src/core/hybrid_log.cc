@@ -131,6 +131,7 @@ bool HybridLog::NewPage(uint64_t old_page) {
           eviction_callback_(Address{from_page << Address::kOffsetBits},
                              Address{to_page << Address::kOffsetBits});
         }
+        obs_stats_.pages_evicted.Add(to_page - from_page);
         for (uint64_t p = from_page; p < to_page; ++p) {
           closed_page_[p % buffer_pages_]->store(
               static_cast<int64_t>(p), std::memory_order_release);
@@ -138,6 +139,7 @@ bool HybridLog::NewPage(uint64_t old_page) {
       });
     }
     if (new_head_page < desired_head_page) {
+      obs_stats_.alloc_stalls.Inc();
       return false;  // Flush frontier not far enough yet; caller refreshes.
     }
   }
@@ -147,10 +149,12 @@ bool HybridLog::NewPage(uint64_t old_page) {
   if (new_page >= buffer_pages_ &&
       closed_page_[frame]->load(std::memory_order_acquire) !=
           static_cast<int64_t>(new_page - buffer_pages_)) {
+    obs_stats_.alloc_stalls.Inc();
     return false;  // Eviction trigger hasn't run; caller refreshes.
   }
 
   std::memset(frames_[frame], 0, Address::kPageSize);
+  obs_stats_.pages_opened.Inc();
   uint64_t expected = tail_page_offset_.load(std::memory_order_acquire);
   while ((expected >> 32) == old_page) {
     uint64_t desired = new_page << 32;
@@ -183,8 +187,13 @@ void HybridLog::UpdateSafeReadOnlyLocked(Address new_safe) {
 void HybridLog::IssueFlushesLocked(Address limit) {
   while (flush_issued_ < limit) {
     Address chunk_end = std::min(limit, flush_issued_.NextPageStart());
-    auto* ctx = new FlushContext{this, flush_issued_, chunk_end};
+    auto* ctx = new FlushContext{this, flush_issued_, chunk_end, 0};
     uint32_t len = static_cast<uint32_t>(chunk_end - flush_issued_);
+    if constexpr (obs::kStatsEnabled) {
+      ctx->issue_ns = obs::NowNs();
+    }
+    obs_stats_.flush_chunks.Inc();
+    obs_stats_.flush_bytes.Add(len);
     device_->WriteAsync(Get(flush_issued_), flush_issued_.control(), len,
                         &HybridLog::FlushCallback, ctx);
     flush_issued_ = chunk_end;
@@ -197,6 +206,9 @@ void HybridLog::FlushCallback(void* context, Status result, uint32_t) {
   // cannot deadlock; callers that care (checkpoint) check io_error().
   if (result != Status::kOk) {
     ctx->log->io_error_.store(true, std::memory_order_release);
+  }
+  if constexpr (obs::kStatsEnabled) {
+    ctx->log->obs_stats_.flush_ns.Record(obs::NowNs() - ctx->issue_ns);
   }
   ctx->log->CompleteFlush(ctx->start, ctx->end);
   delete ctx;

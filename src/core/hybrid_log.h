@@ -7,12 +7,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/address.h"
 #include "core/epoch.h"
 #include "core/status.h"
 #include "device/device.h"
+#include "obs/stats.h"
 
 namespace faster {
 
@@ -130,6 +132,29 @@ class HybridLog {
   /// True if any asynchronous flush reported an error.
   bool io_error() const { return io_error_.load(std::memory_order_acquire); }
 
+  /// Observability (compiled out unless FASTER_STATS): page lifecycle and
+  /// flush pipeline health.
+  struct ObsStats {
+    obs::StatCounter pages_opened;   // successful NewPage transitions
+    obs::StatCounter alloc_stalls;   // NewPage retries (flush/evict pending)
+    obs::StatCounter pages_evicted;  // pages closed out of memory
+    obs::StatCounter flush_chunks;   // device writes issued
+    obs::StatCounter flush_bytes;    // bytes handed to the device
+    obs::StatHistogram flush_ns;     // issue -> completion latency
+  };
+  const ObsStats& obs_stats() const { return obs_stats_; }
+
+  /// Registers this log's metrics under `prefix.` names.
+  void RegisterStats(obs::StatRegistry& registry,
+                     const std::string& prefix) const {
+    registry.Add(prefix + ".pages_opened", &obs_stats_.pages_opened);
+    registry.Add(prefix + ".alloc_stalls", &obs_stats_.alloc_stalls);
+    registry.Add(prefix + ".pages_evicted", &obs_stats_.pages_evicted);
+    registry.Add(prefix + ".flush_chunks", &obs_stats_.flush_chunks);
+    registry.Add(prefix + ".flush_bytes", &obs_stats_.flush_bytes);
+    registry.Add(prefix + ".flush_ns", &obs_stats_.flush_ns);
+  }
+
  private:
   static Address Load(const std::atomic<uint64_t>& a) {
     return Address{a.load(std::memory_order_acquire)};
@@ -152,6 +177,7 @@ class HybridLog {
     HybridLog* log;
     Address start;
     Address end;
+    uint64_t issue_ns;  // stats only; 0 when compiled out
   };
   static void FlushCallback(void* context, Status result, uint32_t bytes);
 
@@ -184,6 +210,8 @@ class HybridLog {
   Address flush_issued_;
   std::map<uint64_t, uint64_t> completed_flushes_;  // start -> end
   std::atomic<bool> io_error_{false};
+
+  mutable ObsStats obs_stats_;
 };
 
 }  // namespace faster

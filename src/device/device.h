@@ -2,8 +2,10 @@
 #define FASTER_DEVICE_DEVICE_H_
 
 #include <cstdint>
+#include <string>
 
 #include "core/status.h"
+#include "obs/stats.h"
 
 namespace faster {
 
@@ -39,6 +41,27 @@ class IDevice {
 
   /// Total bytes ever written (monotonic; used to measure log growth).
   virtual uint64_t bytes_written() const = 0;
+
+  /// Registers this device's metrics (if any) under `prefix.` names.
+  /// Compiled out unless FASTER_STATS; the default exposes nothing.
+  virtual void RegisterStats(obs::StatRegistry& /*registry*/,
+                             const std::string& /*prefix*/) const {}
+};
+
+/// Metrics shared by the concrete async devices: operation counts and
+/// submit-to-completion latency (includes I/O pool queueing time).
+struct DeviceObsStats {
+  obs::StatCounter reads;
+  obs::StatCounter writes;
+  obs::StatHistogram read_ns;
+  obs::StatHistogram write_ns;
+
+  void Register(obs::StatRegistry& registry, const std::string& prefix) const {
+    registry.Add(prefix + ".reads", &reads);
+    registry.Add(prefix + ".writes", &writes);
+    registry.Add(prefix + ".read_ns", &read_ns);
+    registry.Add(prefix + ".write_ns", &write_ns);
+  }
 };
 
 }  // namespace faster

@@ -26,7 +26,9 @@ FileDevice::~FileDevice() {
 
 Status FileDevice::WriteAsync(const void* src, uint64_t offset, uint32_t len,
                               IoCallback callback, void* context) {
-  pool_->Submit([this, src, offset, len, callback, context] {
+  uint64_t t0 = 0;
+  if constexpr (obs::kStatsEnabled) t0 = obs::NowNs();
+  pool_->Submit([this, src, offset, len, callback, context, t0] {
     const char* p = static_cast<const char*>(src);
     uint64_t off = offset;
     uint32_t remaining = len;
@@ -41,6 +43,10 @@ Status FileDevice::WriteAsync(const void* src, uint64_t offset, uint32_t len,
       remaining -= static_cast<uint32_t>(n);
     }
     bytes_written_.fetch_add(len, std::memory_order_relaxed);
+    obs_stats_.writes.Inc();
+    if constexpr (obs::kStatsEnabled) {
+      obs_stats_.write_ns.Record(obs::NowNs() - t0);
+    }
     callback(context, Status::kOk, len);
   });
   return Status::kOk;
@@ -48,7 +54,9 @@ Status FileDevice::WriteAsync(const void* src, uint64_t offset, uint32_t len,
 
 Status FileDevice::ReadAsync(uint64_t offset, void* dst, uint32_t len,
                              IoCallback callback, void* context) {
-  pool_->Submit([this, dst, offset, len, callback, context] {
+  uint64_t t0 = 0;
+  if constexpr (obs::kStatsEnabled) t0 = obs::NowNs();
+  pool_->Submit([this, dst, offset, len, callback, context, t0] {
     char* p = static_cast<char*>(dst);
     uint64_t off = offset;
     uint32_t remaining = len;
@@ -61,6 +69,10 @@ Status FileDevice::ReadAsync(uint64_t offset, void* dst, uint32_t len,
       p += n;
       off += static_cast<uint64_t>(n);
       remaining -= static_cast<uint32_t>(n);
+    }
+    obs_stats_.reads.Inc();
+    if constexpr (obs::kStatsEnabled) {
+      obs_stats_.read_ns.Record(obs::NowNs() - t0);
     }
     callback(context, Status::kOk, len);
   });

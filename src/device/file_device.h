@@ -32,11 +32,18 @@ class FileDevice : public IDevice {
 
   const std::string& path() const { return path_; }
 
+  void RegisterStats(obs::StatRegistry& registry,
+                     const std::string& prefix) const override {
+    obs_stats_.Register(registry, prefix);
+    pool_->RegisterStats(registry, prefix + ".pool");
+  }
+
  private:
   std::string path_;
   int fd_;
   std::unique_ptr<IoThreadPool> pool_;
   std::atomic<uint64_t> bytes_written_{0};
+  mutable DeviceObsStats obs_stats_;
 };
 
 }  // namespace faster

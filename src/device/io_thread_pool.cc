@@ -23,6 +23,9 @@ void IoThreadPool::Submit(std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock{mutex_};
     queue_.push_back(std::move(job));
+    obs_stats_.jobs.Inc();
+    obs_stats_.queue_depth.Inc();
+    obs_stats_.depth_at_submit.Record(queue_.size());
   }
   cv_.notify_one();
 }
@@ -39,6 +42,7 @@ void IoThreadPool::WorkerLoop() {
     if (stop_ && queue_.empty()) return;
     std::function<void()> job = std::move(queue_.front());
     queue_.pop_front();
+    obs_stats_.queue_depth.Dec();
     ++active_;
     lock.unlock();
     job();

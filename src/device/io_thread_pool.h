@@ -7,8 +7,11 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/stats.h"
 
 namespace faster {
 
@@ -29,6 +32,22 @@ class IoThreadPool {
   /// Blocks until the queue is empty and all workers are idle.
   void Drain();
 
+  /// Observability (compiled out unless FASTER_STATS): queue pressure.
+  struct ObsStats {
+    obs::StatCounter jobs;               // jobs submitted
+    obs::StatGauge queue_depth;          // jobs queued, not yet started
+    obs::StatHistogram depth_at_submit;  // queue length seen by Submit
+  };
+  const ObsStats& obs_stats() const { return obs_stats_; }
+
+  /// Registers this pool's metrics under `prefix.` names.
+  void RegisterStats(obs::StatRegistry& registry,
+                     const std::string& prefix) const {
+    registry.Add(prefix + ".jobs", &obs_stats_.jobs);
+    registry.Add(prefix + ".queue_depth", &obs_stats_.queue_depth);
+    registry.Add(prefix + ".depth_at_submit", &obs_stats_.depth_at_submit);
+  }
+
  private:
   void WorkerLoop();
 
@@ -39,6 +58,7 @@ class IoThreadPool {
   std::deque<std::function<void()>> queue_;
   uint32_t active_ = 0;
   bool stop_ = false;
+  mutable ObsStats obs_stats_;
 };
 
 }  // namespace faster

@@ -29,7 +29,9 @@ uint8_t* MemoryDevice::SegmentFor(uint64_t offset, bool create) {
 
 Status MemoryDevice::WriteAsync(const void* src, uint64_t offset, uint32_t len,
                                 IoCallback callback, void* context) {
-  pool_->Submit([this, src, offset, len, callback, context] {
+  uint64_t t0 = 0;
+  if constexpr (obs::kStatsEnabled) t0 = obs::NowNs();
+  pool_->Submit([this, src, offset, len, callback, context, t0] {
     if (latency_us_ > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(latency_us_));
     }
@@ -47,6 +49,10 @@ Status MemoryDevice::WriteAsync(const void* src, uint64_t offset, uint32_t len,
       remaining -= chunk;
     }
     bytes_written_.fetch_add(len, std::memory_order_relaxed);
+    obs_stats_.writes.Inc();
+    if constexpr (obs::kStatsEnabled) {
+      obs_stats_.write_ns.Record(obs::NowNs() - t0);
+    }
     callback(context, Status::kOk, len);
   });
   return Status::kOk;
@@ -72,11 +78,17 @@ Status MemoryDevice::ReadSync(uint64_t offset, void* dst, uint32_t len) {
 
 Status MemoryDevice::ReadAsync(uint64_t offset, void* dst, uint32_t len,
                                IoCallback callback, void* context) {
-  pool_->Submit([this, dst, offset, len, callback, context] {
+  uint64_t t0 = 0;
+  if constexpr (obs::kStatsEnabled) t0 = obs::NowNs();
+  pool_->Submit([this, dst, offset, len, callback, context, t0] {
     if (latency_us_ > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(latency_us_));
     }
     Status s = ReadSync(offset, dst, len);
+    obs_stats_.reads.Inc();
+    if constexpr (obs::kStatsEnabled) {
+      obs_stats_.read_ns.Record(obs::NowNs() - t0);
+    }
     callback(context, s, s == Status::kOk ? len : 0);
   });
   return Status::kOk;

@@ -40,6 +40,12 @@ class MemoryDevice : public IDevice {
   /// Synchronous read used by recovery and the log-scan iterator.
   Status ReadSync(uint64_t offset, void* dst, uint32_t len);
 
+  void RegisterStats(obs::StatRegistry& registry,
+                     const std::string& prefix) const override {
+    obs_stats_.Register(registry, prefix);
+    pool_->RegisterStats(registry, prefix + ".pool");
+  }
+
  private:
   static constexpr uint64_t kSegmentBits = 22;  // 4 MB segments
   static constexpr uint64_t kSegmentSize = uint64_t{1} << kSegmentBits;
@@ -51,6 +57,7 @@ class MemoryDevice : public IDevice {
   std::mutex segments_mutex_;
   std::vector<std::unique_ptr<uint8_t[]>> segments_;
   std::atomic<uint64_t> bytes_written_{0};
+  mutable DeviceObsStats obs_stats_;
 };
 
 /// Device that discards writes and fails reads; models "no storage" for

@@ -1,0 +1,423 @@
+#ifndef FASTER_OBS_STATS_H_
+#define FASTER_OBS_STATS_H_
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/thread.h"
+
+/// Per-thread sharded statistics (the observability layer).
+///
+/// The design mirrors the epoch table (epoch.h): every metric keeps one
+/// cache-line-aligned shard per `Thread::id()` slot, so a hot-path update
+/// is a relaxed load/store (or relaxed RMW for gauges) on a line no other
+/// thread writes — zero sharing, no contention, TSan-clean. Aggregation
+/// (`Sum()`, `Percentile()`) sums the shards with relaxed loads; a
+/// concurrent reader sees a slightly stale but never torn view, and after
+/// all writers have joined the totals are exact. Slot reuse is safe: the
+/// `Thread` registry releases a slot with a release store and re-acquires
+/// it with an acquire CAS, so a new tenant's first increment happens-after
+/// the previous tenant's last one.
+///
+/// Compile-out: instrumentation sites use the `Stat*` aliases below, which
+/// resolve to the real types only when built with -DFASTER_STATS=ON (the
+/// `FASTER_STATS` preprocessor define). Otherwise they resolve to empty
+/// no-op types whose inline members compile to nothing, so the default
+/// build carries no counters, no clock reads, and no extra atomic loads
+/// (sites that need auxiliary loads guard them with
+/// `if constexpr (obs::kStatsEnabled)`). The real types stay compiled in
+/// every configuration so tests can exercise them directly.
+
+#if defined(FASTER_STATS) && FASTER_STATS
+#define FASTER_STATS_ENABLED 1
+#else
+#define FASTER_STATS_ENABLED 0
+#endif
+
+namespace faster {
+namespace obs {
+
+inline constexpr bool kStatsEnabled = (FASTER_STATS_ENABLED != 0);
+
+/// Monotonic wall time in nanoseconds (scoped timers, I/O latency).
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// Real metric types (always compiled; selected by the Stat* aliases when
+// FASTER_STATS is on, and usable directly by tests in any build).
+// ---------------------------------------------------------------------------
+
+/// Monotonic event counter. Increments are owner-shard-only relaxed
+/// load+store (never an RMW): only the calling thread writes its slot's
+/// shard, so plain stores cannot lose updates.
+class Counter {
+ public:
+  Counter() : shards_{new Shard[Thread::kMaxThreads]} {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n) {
+    std::atomic<uint64_t>& c = shards_[Thread::Id()].value;
+    c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+  }
+  void Inc() { Add(1); }
+
+  uint64_t Sum() const {
+    uint64_t total = 0;
+    for (uint32_t i = 0; i < Thread::kMaxThreads; ++i) {
+      total += shards_[i].value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// Up/down instantaneous value (queue depths, in-flight operations).
+/// Updates are relaxed fetch_add on the *calling* thread's shard, so an
+/// increment on one thread may be balanced by a decrement on another
+/// (e.g. I/O submitted by a worker, completed on a pool thread) while the
+/// cross-shard sum stays exact.
+class Gauge {
+ public:
+  Gauge() : shards_{new Shard[Thread::kMaxThreads]} {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Add(int64_t d) {
+    shards_[Thread::Id()].value.fetch_add(d, std::memory_order_relaxed);
+  }
+  void Inc() { Add(1); }
+  void Dec() { Add(-1); }
+
+  int64_t Value() const {
+    int64_t total = 0;
+    for (uint32_t i = 0; i < Thread::kMaxThreads; ++i) {
+      total += shards_[i].value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> value{0};
+  };
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// Fixed-bucket log2 histogram: bucket 0 holds the value 0, bucket b
+/// (1 <= b <= 62) holds [2^(b-1), 2^b), bucket 63 holds everything above.
+/// Recording is an owner-shard-only relaxed load+store, like Counter.
+class Histogram {
+ public:
+  static constexpr uint32_t kNumBuckets = 64;
+
+  Histogram() : shards_{new Shard[Thread::kMaxThreads]} {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  static constexpr uint32_t BucketFor(uint64_t v) {
+    if (v == 0) return 0;
+    uint32_t width = static_cast<uint32_t>(std::bit_width(v));
+    return width > kNumBuckets - 1 ? kNumBuckets - 1 : width;
+  }
+
+  /// Largest value a bucket can hold (UINT64_MAX for the overflow bucket).
+  static constexpr uint64_t BucketUpperBound(uint32_t b) {
+    if (b == 0) return 0;
+    if (b >= kNumBuckets - 1) return UINT64_MAX;
+    return (uint64_t{1} << b) - 1;
+  }
+
+  void Record(uint64_t v) {
+    std::atomic<uint64_t>& c = shards_[Thread::Id()].buckets[BucketFor(v)];
+    c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  }
+
+  /// Sums per-thread shards into `out[kNumBuckets]`.
+  void SnapshotBuckets(uint64_t* out) const {
+    for (uint32_t b = 0; b < kNumBuckets; ++b) out[b] = 0;
+    for (uint32_t i = 0; i < Thread::kMaxThreads; ++i) {
+      for (uint32_t b = 0; b < kNumBuckets; ++b) {
+        out[b] += shards_[i].buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  uint64_t Count() const {
+    uint64_t buckets[kNumBuckets];
+    SnapshotBuckets(buckets);
+    uint64_t total = 0;
+    for (uint32_t b = 0; b < kNumBuckets; ++b) total += buckets[b];
+    return total;
+  }
+
+  /// Upper bound of the bucket containing the q-quantile (0 < q <= 1);
+  /// 0 when the histogram is empty. A log2 histogram bounds the true
+  /// quantile to within 2x, which is the resolution the paper's latency
+  /// discussions need.
+  uint64_t Percentile(double q) const {
+    uint64_t buckets[kNumBuckets];
+    SnapshotBuckets(buckets);
+    uint64_t total = 0;
+    for (uint32_t b = 0; b < kNumBuckets; ++b) total += buckets[b];
+    if (total == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total));
+    if (target < 1) target = 1;
+    if (target > total) target = total;
+    uint64_t cumulative = 0;
+    for (uint32_t b = 0; b < kNumBuckets; ++b) {
+      cumulative += buckets[b];
+      if (cumulative >= target) return BucketUpperBound(b);
+    }
+    return BucketUpperBound(kNumBuckets - 1);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> buckets[kNumBuckets] = {};
+  };
+  std::unique_ptr<Shard[]> shards_;
+};
+
+/// Aggregates named metrics into text or JSON exposition. Non-owning: the
+/// registry holds pointers and reads the live metrics at Dump time, so it
+/// can be built on demand (DumpStats) over long-lived component metrics.
+class Registry {
+ public:
+  void Add(std::string name, const Counter* c) {
+    entries_.push_back({std::move(name), Kind::kCounter, c, nullptr, nullptr, 0});
+  }
+  void Add(std::string name, const Gauge* g) {
+    entries_.push_back({std::move(name), Kind::kGauge, nullptr, g, nullptr, 0});
+  }
+  void Add(std::string name, const Histogram* h) {
+    entries_.push_back({std::move(name), Kind::kHistogram, nullptr, nullptr, h, 0});
+  }
+  /// A precomputed scalar (for values maintained outside obs::, e.g. the
+  /// store's legacy per-thread operation tallies).
+  void AddValue(std::string name, uint64_t v) {
+    entries_.push_back({std::move(name), Kind::kValue, nullptr, nullptr, nullptr, v});
+  }
+
+  size_t size() const { return entries_.size(); }
+
+  /// One metric per line: `name<spaces>value` for scalars,
+  /// `name count=N p50=X p99=Y p999=Z` for histograms.
+  std::string Text() const {
+    std::string out;
+    for (const Entry& e : Sorted()) {
+      out += e.name;
+      size_t pad = e.name.size() < 44 ? 44 - e.name.size() : 1;
+      out.append(pad, ' ');
+      switch (e.kind) {
+        case Kind::kCounter:
+          out += std::to_string(e.counter->Sum());
+          break;
+        case Kind::kGauge:
+          out += std::to_string(e.gauge->Value());
+          break;
+        case Kind::kValue:
+          out += std::to_string(e.value);
+          break;
+        case Kind::kHistogram:
+          out += "count=" + std::to_string(e.histogram->Count());
+          out += " p50=" + std::to_string(e.histogram->Percentile(0.50));
+          out += " p99=" + std::to_string(e.histogram->Percentile(0.99));
+          out += " p999=" + std::to_string(e.histogram->Percentile(0.999));
+          break;
+      }
+      out += '\n';
+    }
+    return out;
+  }
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{"count":..,
+  /// "p50":..,"p99":..,"p999":..,"buckets":[[upper,count],...]}}}
+  /// Scalar AddValue entries are emitted alongside counters.
+  std::string Json() const {
+    std::vector<Entry> sorted = Sorted();
+    std::string out = "{";
+    out += "\"counters\":{";
+    bool first = true;
+    for (const Entry& e : sorted) {
+      if (e.kind == Kind::kCounter || e.kind == Kind::kValue) {
+        if (!first) out += ',';
+        first = false;
+        uint64_t v = e.kind == Kind::kCounter ? e.counter->Sum() : e.value;
+        out += '"' + e.name + "\":" + std::to_string(v);
+      }
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const Entry& e : sorted) {
+      if (e.kind == Kind::kGauge) {
+        if (!first) out += ',';
+        first = false;
+        out += '"' + e.name + "\":" + std::to_string(e.gauge->Value());
+      }
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const Entry& e : sorted) {
+      if (e.kind != Kind::kHistogram) continue;
+      if (!first) out += ',';
+      first = false;
+      uint64_t buckets[Histogram::kNumBuckets];
+      e.histogram->SnapshotBuckets(buckets);
+      uint64_t count = 0;
+      for (uint32_t b = 0; b < Histogram::kNumBuckets; ++b) count += buckets[b];
+      out += '"' + e.name + "\":{";
+      out += "\"count\":" + std::to_string(count);
+      out += ",\"p50\":" + std::to_string(e.histogram->Percentile(0.50));
+      out += ",\"p99\":" + std::to_string(e.histogram->Percentile(0.99));
+      out += ",\"p999\":" + std::to_string(e.histogram->Percentile(0.999));
+      out += ",\"buckets\":[";
+      bool bfirst = true;
+      for (uint32_t b = 0; b < Histogram::kNumBuckets; ++b) {
+        if (buckets[b] == 0) continue;
+        if (!bfirst) out += ',';
+        bfirst = false;
+        out += '[' + std::to_string(Histogram::BucketUpperBound(b)) + ',' +
+               std::to_string(buckets[b]) + ']';
+      }
+      out += "]}";
+    }
+    out += "}}";
+    return out;
+  }
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram, kValue };
+  struct Entry {
+    std::string name;
+    Kind kind;
+    const Counter* counter;
+    const Gauge* gauge;
+    const Histogram* histogram;
+    uint64_t value;
+  };
+
+  std::vector<Entry> Sorted() const {
+    std::vector<Entry> sorted = entries_;
+    for (size_t i = 1; i < sorted.size(); ++i) {
+      // Insertion sort: registries are small and built per dump.
+      Entry e = std::move(sorted[i]);
+      size_t j = i;
+      while (j > 0 && e.name < sorted[j - 1].name) {
+        sorted[j] = std::move(sorted[j - 1]);
+        --j;
+      }
+      sorted[j] = std::move(e);
+    }
+    return sorted;
+  }
+
+  std::vector<Entry> entries_;
+};
+
+/// Records the lifetime of a scope into a histogram, in nanoseconds.
+/// With stats compiled out no clock is read.
+template <class Hist>
+class ScopedTimerT {
+ public:
+  explicit ScopedTimerT(Hist& h) : hist_{h} {
+    if constexpr (kStatsEnabled || std::is_same_v<Hist, Histogram>) {
+      start_ns_ = NowNs();
+    }
+  }
+  ~ScopedTimerT() {
+    if constexpr (kStatsEnabled || std::is_same_v<Hist, Histogram>) {
+      hist_.Record(NowNs() - start_ns_);
+    }
+  }
+  ScopedTimerT(const ScopedTimerT&) = delete;
+  ScopedTimerT& operator=(const ScopedTimerT&) = delete;
+
+ private:
+  Hist& hist_;
+  uint64_t start_ns_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// No-op twins: identical API, empty bodies. Every member is inline and
+// argument-free of side effects, so -O2 erases the call entirely and the
+// enclosing object contributes an empty member.
+// ---------------------------------------------------------------------------
+
+class NoopCounter {
+ public:
+  void Add(uint64_t) {}
+  void Inc() {}
+  uint64_t Sum() const { return 0; }
+};
+
+class NoopGauge {
+ public:
+  void Add(int64_t) {}
+  void Inc() {}
+  void Dec() {}
+  int64_t Value() const { return 0; }
+};
+
+class NoopHistogram {
+ public:
+  static constexpr uint32_t kNumBuckets = Histogram::kNumBuckets;
+  void Record(uint64_t) {}
+  void SnapshotBuckets(uint64_t* out) const {
+    for (uint32_t b = 0; b < kNumBuckets; ++b) out[b] = 0;
+  }
+  uint64_t Count() const { return 0; }
+  uint64_t Percentile(double) const { return 0; }
+};
+
+class NoopRegistry {
+ public:
+  template <class T>
+  void Add(const std::string&, const T*) {}
+  void AddValue(const std::string&, uint64_t) {}
+  size_t size() const { return 0; }
+  std::string Text() const {
+    return "(stats compiled out; rebuild with -DFASTER_STATS=ON)\n";
+  }
+  std::string Json() const { return "{}"; }
+};
+
+// ---------------------------------------------------------------------------
+// Selected aliases: what instrumentation sites use.
+// ---------------------------------------------------------------------------
+
+#if FASTER_STATS_ENABLED
+using StatCounter = Counter;
+using StatGauge = Gauge;
+using StatHistogram = Histogram;
+using StatRegistry = Registry;
+#else
+using StatCounter = NoopCounter;
+using StatGauge = NoopGauge;
+using StatHistogram = NoopHistogram;
+using StatRegistry = NoopRegistry;
+#endif
+
+using StatTimer = ScopedTimerT<StatHistogram>;
+
+}  // namespace obs
+}  // namespace faster
+
+#endif  // FASTER_OBS_STATS_H_

@@ -1,0 +1,118 @@
+#ifndef FASTER_OBS_TRACE_H_
+#define FASTER_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/stats.h"
+
+namespace faster {
+namespace obs {
+
+/// Event kinds emitted by the store (kept small: one ring slot is 16 bytes).
+enum class Ev : uint16_t {
+  kNone = 0,
+  kPendingIoIssued,    // arg = owner thread id
+  kPendingIoDone,      // arg = owner thread id
+  kFuzzyRmwDeferred,   // arg = owner thread id
+  kPageClosed,         // arg = page number
+  kFlushIssued,        // arg = bytes
+  kCheckpointBegin,    // arg = 0
+  kCheckpointEnd,      // arg = 0 ok / 1 error
+  kGrowBegin,          // arg = old table size (log2)
+  kGrowEnd,            // arg = new table size (log2)
+};
+
+struct TraceEvent {
+  uint64_t ns;
+  uint32_t arg;
+  uint16_t id;
+  uint16_t tid;
+};
+
+/// Lightweight per-thread event-trace ring: each thread slot owns a small
+/// circular buffer of recent events, written with relaxed stores on
+/// thread-private lines (same sharding discipline as obs::Counter).
+/// `Snapshot()` is best-effort: a concurrently written slot may surface a
+/// torn (ns, id, arg) triple from two different events — acceptable for a
+/// diagnostic trace, and each field read is atomic so there is no UB.
+class EventRing {
+ public:
+  static constexpr uint32_t kEventsPerThread = 256;
+
+  EventRing() : shards_{new Shard[Thread::kMaxThreads]} {}
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  void Emit(Ev id, uint32_t arg = 0) {
+    Shard& shard = shards_[Thread::Id()];
+    uint64_t pos = shard.next.load(std::memory_order_relaxed);
+    Slot& slot = shard.slots[pos % kEventsPerThread];
+    slot.ns.store(NowNs(), std::memory_order_relaxed);
+    slot.arg.store(arg, std::memory_order_relaxed);
+    slot.id.store(static_cast<uint16_t>(id), std::memory_order_relaxed);
+    shard.next.store(pos + 1, std::memory_order_relaxed);
+  }
+
+  /// Copies out every recorded event (all threads), oldest-first per
+  /// thread, then sorted by timestamp across threads.
+  std::vector<TraceEvent> Snapshot() const {
+    std::vector<TraceEvent> events;
+    for (uint32_t t = 0; t < Thread::kMaxThreads; ++t) {
+      const Shard& shard = shards_[t];
+      uint64_t next = shard.next.load(std::memory_order_relaxed);
+      uint64_t count = next < kEventsPerThread ? next : kEventsPerThread;
+      for (uint64_t i = next - count; i < next; ++i) {
+        const Slot& slot = shard.slots[i % kEventsPerThread];
+        TraceEvent e;
+        e.ns = slot.ns.load(std::memory_order_relaxed);
+        e.arg = slot.arg.load(std::memory_order_relaxed);
+        e.id = slot.id.load(std::memory_order_relaxed);
+        e.tid = static_cast<uint16_t>(t);
+        if (e.id != static_cast<uint16_t>(Ev::kNone)) events.push_back(e);
+      }
+    }
+    // Insertion sort by timestamp (rings are small).
+    for (size_t i = 1; i < events.size(); ++i) {
+      TraceEvent e = events[i];
+      size_t j = i;
+      while (j > 0 && e.ns < events[j - 1].ns) {
+        events[j] = events[j - 1];
+        --j;
+      }
+      events[j] = e;
+    }
+    return events;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> ns{0};
+    std::atomic<uint32_t> arg{0};
+    std::atomic<uint16_t> id{0};
+  };
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> next{0};
+    Slot slots[kEventsPerThread];
+  };
+  std::unique_ptr<Shard[]> shards_;
+};
+
+class NoopEventRing {
+ public:
+  void Emit(Ev, uint32_t = 0) {}
+  std::vector<TraceEvent> Snapshot() const { return {}; }
+};
+
+#if FASTER_STATS_ENABLED
+using StatEventRing = EventRing;
+#else
+using StatEventRing = NoopEventRing;
+#endif
+
+}  // namespace obs
+}  // namespace faster
+
+#endif  // FASTER_OBS_TRACE_H_

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/stats.h"
 #include "workload/keygen.h"
 
 namespace faster {
@@ -85,6 +86,13 @@ struct RunResult {
   uint64_t total_ops = 0;
   double seconds = 0;
   double mops = 0;  // million ops/sec
+  // Sampled per-operation latency (1 op in 256 per thread). Populated only
+  // in FASTER_STATS builds; all zero otherwise. Percentiles are log2-bucket
+  // upper bounds (within 2x of the true quantile).
+  uint64_t latency_samples = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t p999_ns = 0;
 };
 
 /// Drives `adapter` with `num_threads` worker threads for ~`seconds`
@@ -104,6 +112,9 @@ RunResult RunWorkload(Adapter& adapter, const WorkloadSpec& spec,
                       uint64_t seed = 1) {
   std::atomic<uint64_t> total_ops{0};
   std::atomic<bool> stop{false};
+  // Sharded across workers; a no-op (no allocation, no clock reads) unless
+  // built with FASTER_STATS.
+  obs::StatHistogram op_latency;
   auto worker = [&](uint32_t tid) {
     OpGenerator gen{spec, seed + tid * 7919};
     adapter.Begin();
@@ -111,6 +122,10 @@ RunResult RunWorkload(Adapter& adapter, const WorkloadSpec& spec,
     while (!stop.load(std::memory_order_relaxed)) {
       for (int i = 0; i < 256; ++i) {
         auto op = gen.Next();
+        uint64_t t0 = 0;
+        if constexpr (obs::kStatsEnabled) {
+          if (i == 0) t0 = obs::NowNs();  // sample 1 op in 256
+        }
         switch (op.kind) {
           case OpKind::kRead:
             adapter.DoRead(op.key);
@@ -121,6 +136,9 @@ RunResult RunWorkload(Adapter& adapter, const WorkloadSpec& spec,
           case OpKind::kRmw:
             adapter.DoRmw(op.key);
             break;
+        }
+        if constexpr (obs::kStatsEnabled) {
+          if (i == 0) op_latency.Record(obs::NowNs() - t0);
         }
         ++ops;
       }
@@ -142,6 +160,12 @@ RunResult RunWorkload(Adapter& adapter, const WorkloadSpec& spec,
   r.total_ops = total_ops.load();
   r.seconds = std::chrono::duration<double>(end - start).count();
   r.mops = static_cast<double>(r.total_ops) / r.seconds / 1e6;
+  r.latency_samples = op_latency.Count();
+  if (r.latency_samples > 0) {
+    r.p50_ns = op_latency.Percentile(0.50);
+    r.p99_ns = op_latency.Percentile(0.99);
+    r.p999_ns = op_latency.Percentile(0.999);
+  }
   return r;
 }
 

@@ -1,0 +1,388 @@
+#include "obs/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/faster.h"
+#include "core/functions.h"
+#include "device/memory_device.h"
+#include "obs/trace.h"
+
+namespace faster {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::Registry;
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+TEST(StatsCounterTest, AddAndSum) {
+  Counter c;
+  EXPECT_EQ(c.Sum(), 0u);
+  c.Inc();
+  c.Add(41);
+  EXPECT_EQ(c.Sum(), 42u);
+}
+
+// Threads that exit release their Thread::Id() slot; later threads reuse
+// it. The shard must keep the dead thread's contribution and the new
+// tenant's increments must land on top of it (release/acquire slot
+// hand-off in Thread makes this exact, not approximate).
+TEST(StatsCounterTest, ExactAcrossThreadExitAndSlotReuse) {
+  Counter c;
+  constexpr uint32_t kBatches = 4;
+  constexpr uint32_t kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  for (uint32_t batch = 0; batch < kBatches; ++batch) {
+    std::vector<std::thread> threads;
+    for (uint32_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&c] {
+        for (uint64_t i = 0; i < kPerThread; ++i) c.Inc();
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(c.Sum(), kPerThread * kThreads * (batch + 1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+// An increment on one thread may be balanced by a decrement on a different
+// thread (worker submits I/O, pool thread completes it). Individual shards
+// go negative/positive but the cross-shard sum must stay exact.
+TEST(StatsGaugeTest, CrossThreadIncDecSumsToZero) {
+  Gauge g;
+  constexpr uint64_t kOps = 5000;
+  for (uint64_t i = 0; i < kOps; ++i) g.Inc();
+  std::thread dec([&g] {
+    for (uint64_t i = 0; i < kOps; ++i) g.Dec();
+  });
+  dec.join();
+  EXPECT_EQ(g.Value(), 0);
+  g.Add(7);
+  EXPECT_EQ(g.Value(), 7);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(StatsHistogramTest, BucketBoundaries) {
+  // Bucket 0 holds only the value 0; bucket b holds [2^(b-1), 2^b).
+  EXPECT_EQ(Histogram::BucketFor(0), 0u);
+  EXPECT_EQ(Histogram::BucketFor(1), 1u);
+  EXPECT_EQ(Histogram::BucketFor(2), 2u);
+  EXPECT_EQ(Histogram::BucketFor(3), 2u);
+  EXPECT_EQ(Histogram::BucketFor(4), 3u);
+  EXPECT_EQ(Histogram::BucketFor(7), 3u);
+  EXPECT_EQ(Histogram::BucketFor(8), 4u);
+  EXPECT_EQ(Histogram::BucketFor((uint64_t{1} << 61) - 1), 61u);
+  EXPECT_EQ(Histogram::BucketFor(uint64_t{1} << 61), 62u);
+  // Everything with bit_width > 62 lands in the overflow bucket.
+  EXPECT_EQ(Histogram::BucketFor(uint64_t{1} << 62), 63u);
+  EXPECT_EQ(Histogram::BucketFor(UINT64_MAX), 63u);
+
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7u);
+  EXPECT_EQ(Histogram::BucketUpperBound(62), (uint64_t{1} << 62) - 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(63), UINT64_MAX);
+
+  // Round-trip: every value's bucket upper bound is >= the value.
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{2}, uint64_t{3},
+                     uint64_t{1000}, uint64_t{1} << 40, UINT64_MAX}) {
+    EXPECT_GE(Histogram::BucketUpperBound(Histogram::BucketFor(v)), v);
+  }
+}
+
+TEST(StatsHistogramTest, CountAndSnapshot) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  h.Record(0);
+  h.Record(5);   // bucket 3 ([4,8))
+  h.Record(5);
+  h.Record(100);  // bucket 7 ([64,128))
+  EXPECT_EQ(h.Count(), 4u);
+  uint64_t buckets[Histogram::kNumBuckets];
+  h.SnapshotBuckets(buckets);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[3], 2u);
+  EXPECT_EQ(buckets[7], 1u);
+}
+
+TEST(StatsHistogramTest, PercentileReturnsBucketUpperBound) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.5), 0u);  // empty
+  // 99 fast ops at 10 (bucket 4, upper bound 15), one slow op at 1000
+  // (bucket 10, upper bound 1023).
+  for (int i = 0; i < 99; ++i) h.Record(10);
+  h.Record(1000);
+  EXPECT_EQ(h.Percentile(0.50), 15u);
+  EXPECT_EQ(h.Percentile(0.98), 15u);
+  EXPECT_EQ(h.Percentile(1.0), 1023u);
+  // The p50 bound is within 2x of the true value.
+  EXPECT_GE(h.Percentile(0.50), 10u);
+  EXPECT_LT(h.Percentile(0.50), 20u);
+}
+
+TEST(StatsHistogramTest, AggregatesAcrossThreads) {
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 1000; ++i) h.Record(100);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Count(), 4000u);
+  EXPECT_EQ(h.Percentile(0.999), 127u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry exposition
+// ---------------------------------------------------------------------------
+
+TEST(StatsRegistryTest, TextFormat) {
+  Counter c;
+  c.Add(3);
+  Gauge g;
+  g.Add(-2);
+  Histogram h;
+  h.Record(10);
+  Registry reg;
+  reg.Add("z.counter", &c);
+  reg.Add("a.gauge", &g);
+  reg.Add("m.hist", &h);
+  reg.AddValue("k.value", 99);
+  EXPECT_EQ(reg.size(), 4u);
+  std::string text = reg.Text();
+  // Alphabetically sorted, one line each.
+  size_t a = text.find("a.gauge");
+  size_t k = text.find("k.value");
+  size_t m = text.find("m.hist");
+  size_t z = text.find("z.counter");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(k, std::string::npos);
+  ASSERT_NE(m, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, k);
+  EXPECT_LT(k, m);
+  EXPECT_LT(m, z);
+  EXPECT_NE(text.find("-2"), std::string::npos);
+  EXPECT_NE(text.find("count=1 p50=15 p99=15 p999=15"), std::string::npos);
+}
+
+// Minimal JSON well-formedness checker (objects, arrays, strings, unsigned
+// and negative integers) — enough to prove Registry::Json() emits valid
+// JSON without pulling in a parser dependency.
+class MiniJson {
+ public:
+  static bool Valid(const std::string& s) {
+    MiniJson p{s};
+    return p.Value() && p.pos_ == s.size();
+  }
+
+ private:
+  explicit MiniJson(const std::string& s) : s_{s} {}
+
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      default: return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    if (Peek('}')) return true;
+    while (true) {
+      if (!String() || !Eat(':') || !Value()) return false;
+      if (Peek('}')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    if (Peek(']')) return true;
+    while (true) {
+      if (!Value()) return false;
+      if (Peek(']')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+  bool String() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    for (++pos_; pos_ < s_.size(); ++pos_) {
+      if (s_[pos_] == '"') {
+        ++pos_;
+        return true;
+      }
+    }
+    return false;
+  }
+  bool Number() {
+    size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+    return pos_ > start && s_[pos_ - 1] >= '0';
+  }
+  bool Eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Peek(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+TEST(StatsRegistryTest, JsonRoundTrip) {
+  Counter c;
+  c.Add(17);
+  Gauge g;
+  g.Add(-4);
+  Histogram h;
+  h.Record(0);
+  h.Record(300);
+  Registry reg;
+  reg.Add("ops", &c);
+  reg.Add("depth", &g);
+  reg.Add("lat", &h);
+  reg.AddValue("extra", 5);
+  std::string json = reg.Json();
+  EXPECT_TRUE(MiniJson::Valid(json)) << json;
+  EXPECT_NE(json.find("\"ops\":17"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"extra\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"depth\":-4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
+  // Non-empty buckets as [upper_bound, count] pairs: 0 once, 300 -> bucket
+  // [256,512) upper bound 511.
+  EXPECT_NE(json.find("[0,1]"), std::string::npos) << json;
+  EXPECT_NE(json.find("[511,1]"), std::string::npos) << json;
+}
+
+TEST(StatsRegistryTest, EmptyRegistryJsonIsValid) {
+  Registry reg;
+  EXPECT_TRUE(MiniJson::Valid(reg.Json()));
+}
+
+// ---------------------------------------------------------------------------
+// ScopedTimer, noop twins, event ring
+// ---------------------------------------------------------------------------
+
+TEST(StatsTimerTest, ScopedTimerRecordsOnce) {
+  Histogram h;
+  {
+    obs::ScopedTimerT<Histogram> timer{h};
+  }
+  EXPECT_EQ(h.Count(), 1u);
+}
+
+TEST(StatsNoopTest, NoopTypesAreInert) {
+  obs::NoopCounter c;
+  c.Inc();
+  c.Add(5);
+  EXPECT_EQ(c.Sum(), 0u);
+  obs::NoopGauge g;
+  g.Inc();
+  EXPECT_EQ(g.Value(), 0);
+  obs::NoopHistogram h;
+  h.Record(123);
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Percentile(0.99), 0u);
+  obs::NoopRegistry reg;
+  reg.Add("x", &c);
+  reg.AddValue("y", 1);
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_NE(reg.Text().find("compiled out"), std::string::npos);
+  EXPECT_EQ(reg.Json(), "{}");
+}
+
+TEST(StatsTraceTest, EventRingRecordsAndSorts) {
+  obs::EventRing ring;
+  ring.Emit(obs::Ev::kCheckpointBegin, 0);
+  ring.Emit(obs::Ev::kFlushIssued, 4096);
+  ring.Emit(obs::Ev::kCheckpointEnd, 0);
+  auto events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ns, events[i - 1].ns);
+  }
+  EXPECT_EQ(events[0].id, static_cast<uint16_t>(obs::Ev::kCheckpointBegin));
+  EXPECT_EQ(events[1].arg, 4096u);
+}
+
+TEST(StatsTraceTest, EventRingWrapsKeepingNewest) {
+  obs::EventRing ring;
+  constexpr uint32_t kTotal = obs::EventRing::kEventsPerThread + 100;
+  for (uint32_t i = 0; i < kTotal; ++i) {
+    ring.Emit(obs::Ev::kPageClosed, i);
+  }
+  auto events = ring.Snapshot();
+  ASSERT_EQ(events.size(), size_t{obs::EventRing::kEventsPerThread});
+  // The oldest 100 events were overwritten.
+  uint32_t min_arg = UINT32_MAX;
+  for (const auto& e : events) min_arg = std::min(min_arg, e.arg);
+  EXPECT_EQ(min_arg, 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Store end-to-end: DumpStats after real operations
+// ---------------------------------------------------------------------------
+
+TEST(StatsStoreTest, DumpStatsAfterOps) {
+  MemoryDevice device;
+  FasterKv<CountStoreFunctions>::Config cfg;
+  cfg.table_size = 2048;
+  cfg.log.memory_size_bytes = 16 << 20;
+  FasterKv<CountStoreFunctions> store{cfg, &device};
+
+  store.StartSession();
+  for (uint64_t k = 0; k < 1000; ++k) store.Upsert(k, k);
+  uint64_t out = 0;
+  for (uint64_t k = 0; k < 1000; ++k) store.Read(k, 1, &out);
+  for (uint64_t k = 0; k < 100; ++k) store.Rmw(k, 1);
+  store.CompletePending(true);
+  store.StopSession();
+
+  std::string text = store.DumpStats();
+  std::string json = store.DumpStats(/*json=*/true);
+  if constexpr (obs::kStatsEnabled) {
+    EXPECT_NE(text.find("store.reads"), std::string::npos) << text;
+    EXPECT_NE(text.find("index.probe_len"), std::string::npos) << text;
+    EXPECT_NE(text.find("store.read_mutable"), std::string::npos);
+    // Counts must reflect the ops we ran.
+    EXPECT_NE(text.find("store.upsert_append"), std::string::npos);
+    EXPECT_TRUE(MiniJson::Valid(json)) << json;
+    EXPECT_NE(json.find("\"store.reads\":1000"), std::string::npos) << json;
+  } else {
+    EXPECT_NE(text.find("compiled out"), std::string::npos);
+    EXPECT_EQ(json, "{}");
+  }
+}
+
+}  // namespace
+}  // namespace faster

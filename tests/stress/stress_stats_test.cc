@@ -1,0 +1,86 @@
+// Stress: per-thread sharded metrics must be exact after all writers join,
+// and aggregating concurrently with writers must be race-free (TSan-clean)
+// and never observe a torn or impossible value.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/stats.h"
+#include "stress_common.h"
+
+namespace faster {
+namespace {
+
+TEST(StressStatsTest, CountersExactUnderConcurrencyWithAggregator) {
+  constexpr uint32_t kThreads = 8;
+  const uint64_t kOpsPerThread = stress::ScaleOps(200000);
+
+  obs::Counter counter;
+  obs::Gauge gauge;
+  obs::Histogram histogram;
+
+  std::atomic<bool> stop{false};
+  // Aggregator races with the writers: sums must be monotone for the
+  // counter and never exceed the final total (writers only add).
+  std::thread aggregator([&] {
+    uint64_t last_sum = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      uint64_t sum = counter.Sum();
+      EXPECT_GE(sum, last_sum);
+      EXPECT_LE(sum, kOpsPerThread * kThreads);
+      last_sum = sum;
+      // Gauge can be transiently anything in [-total, total]; just read it.
+      (void)gauge.Value();
+      (void)histogram.Percentile(0.99);
+    }
+  });
+
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto rng = stress::ThreadRng(t);
+      for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+        counter.Inc();
+        gauge.Inc();
+        histogram.Record(rng() & 0xFFFF);
+        gauge.Dec();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  aggregator.join();
+
+  // After join, totals are exact (no lost updates despite plain
+  // load+store increments: each shard has a single writer).
+  EXPECT_EQ(counter.Sum(), kOpsPerThread * kThreads);
+  EXPECT_EQ(gauge.Value(), 0);
+  EXPECT_EQ(histogram.Count(), kOpsPerThread * kThreads);
+}
+
+// Threads exiting mid-run release their slot for reuse; totals must still
+// be exact across generations of tenants on the same shard.
+TEST(StressStatsTest, ExactAcrossThreadChurn) {
+  constexpr uint32_t kGenerations = 16;
+  constexpr uint32_t kThreads = 4;
+  const uint64_t kOpsPerThread = stress::ScaleOps(20000);
+
+  obs::Counter counter;
+  for (uint32_t g = 0; g < kGenerations; ++g) {
+    std::vector<std::thread> threads;
+    for (uint32_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        for (uint64_t i = 0; i < kOpsPerThread; ++i) counter.Inc();
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  EXPECT_EQ(counter.Sum(), kOpsPerThread * kThreads * kGenerations);
+}
+
+}  // namespace
+}  // namespace faster

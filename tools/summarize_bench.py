@@ -1,13 +1,26 @@
 #!/usr/bin/env python3
-"""Summarize google-benchmark console output from the bench/ binaries into
-per-figure tables (markdown), for building EXPERIMENTS.md or eyeballing a
-run.
+"""Summarize bench/ results into per-figure markdown tables, for building
+EXPERIMENTS.md or eyeballing a run.
+
+Accepts any mix of:
+  - JSON sidecars (*.stats.json) that every bench binary emits (schema
+    "faster-bench-v1"; destination controlled by $FASTER_BENCH_JSON_DIR)
+  - google-benchmark console logs (scraped with a regex, best-effort)
 
 Usage:
+  mkdir -p bench-json
+  for b in build/bench/*; do FASTER_BENCH_JSON_DIR=bench-json $b; done
+  tools/summarize_bench.py bench-json/*.stats.json
+
+  # or the legacy console-log path:
   for b in build/bench/*; do $b; done 2>&1 | tee bench.log
   tools/summarize_bench.py bench.log
+
+Exits non-zero (with a message on stderr) if any sidecar is missing,
+unreadable, or does not match the expected schema.
 """
 
+import json
 import re
 import sys
 from collections import defaultdict
@@ -16,24 +29,88 @@ from collections import defaultdict
 LINE = re.compile(r"^(\S+)/iterations:1\s+\d+ ms\s+[\d.]+ ms\s+1\s+(.*)$")
 COUNTER = re.compile(r"(\w+)=([\d.]+[kMG]?(?:/s)?)")
 
+SIDECAR_SCHEMA = "faster-bench-v1"
 
-def parse(path):
+# Counters worth a table column, in display order.
+INTERESTING = (
+    "Mops", "miss_ratio", "log_growth_MBps", "fuzzy_pct", "log_bw_MBps",
+    "cache_hit_pct", "storage_reads_pct", "p50_us", "p99_us", "p999_us",
+)
+
+
+class InputError(Exception):
+    pass
+
+
+def parse_log(path):
+    """Scrapes google-benchmark console output. Best-effort: unmatched lines
+    are skipped, but a log with no benchmark lines at all is an error."""
     rows = []
-    for line in open(path):
-        m = LINE.match(line.strip())
-        if not m:
-            continue
-        name, counters_str = m.groups()
-        counters = dict(COUNTER.findall(counters_str))
-        rows.append((name, counters))
+    with open(path) as f:
+        for line in f:
+            m = LINE.match(line.strip())
+            if not m:
+                continue
+            name, counters_str = m.groups()
+            counters = dict(COUNTER.findall(counters_str))
+            rows.append((name, counters))
+    if not rows:
+        raise InputError(f"{path}: no benchmark result lines found")
+    return rows
+
+
+def fmt(value):
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def parse_sidecar(path):
+    """Loads and validates a faster-bench-v1 JSON sidecar. Any structural
+    problem raises InputError (the caller turns that into exit code 1)."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise InputError(f"{path}: {e}")
+    if not isinstance(doc, dict):
+        raise InputError(f"{path}: top-level JSON value is not an object")
+    schema = doc.get("schema")
+    if schema != SIDECAR_SCHEMA:
+        raise InputError(
+            f"{path}: schema {schema!r}, expected {SIDECAR_SCHEMA!r}")
+    if not isinstance(doc.get("bench"), str):
+        raise InputError(f"{path}: missing/invalid 'bench' name")
+    cases = doc.get("cases")
+    if not isinstance(cases, list) or not cases:
+        raise InputError(f"{path}: 'cases' must be a non-empty list")
+    rows = []
+    for i, case in enumerate(cases):
+        if not isinstance(case, dict) or not isinstance(
+                case.get("name"), str):
+            raise InputError(f"{path}: cases[{i}] missing string 'name'")
+        counters = case.get("counters")
+        if not isinstance(counters, dict):
+            raise InputError(f"{path}: cases[{i}] missing 'counters' object")
+        for k, v in counters.items():
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                raise InputError(
+                    f"{path}: cases[{i}].counters[{k!r}] is not a number")
+        rows.append((case["name"], {k: fmt(v) for k, v in counters.items()}))
     return rows
 
 
 def main():
-    if len(sys.argv) != 2:
+    if len(sys.argv) < 2:
         print(__doc__)
         return 2
-    rows = parse(sys.argv[1])
+    rows = []
+    for path in sys.argv[1:]:
+        if path.endswith(".stats.json") or path.endswith(".json"):
+            rows.extend(parse_sidecar(path))
+        else:
+            rows.extend(parse_log(path))
+
     groups = defaultdict(list)
     for name, counters in rows:
         # group by the leading figure tag (before the first '/')
@@ -44,10 +121,10 @@ def main():
         # choose interesting counters present in this group
         keys = []
         for _, c in groups[fig]:
-            for k in ("Mops", "miss_ratio", "log_growth_MBps", "fuzzy_pct",
-                      "log_bw_MBps", "cache_hit_pct", "storage_reads_pct"):
+            for k in INTERESTING:
                 if k in c and k not in keys:
                     keys.append(k)
+        keys.sort(key=INTERESTING.index)
         header = "| case | " + " | ".join(keys) + " |"
         print(header)
         print("|" + "---|" * (len(keys) + 1))
@@ -55,6 +132,7 @@ def main():
             # strip the figure prefix and trailing arg echo google-benchmark
             # appends (the numeric /a/b/c tail duplicates the name)
             case = "/".join(name.split("/")[1:])
+            case = re.sub(r"(/-?\d+)+(/iterations:\d+)?$", "", case)
             case = re.sub(r"(/-?\d+)+$", "", case)
             cells = [c.get(k, "") for k in keys]
             print("| " + case + " | " + " | ".join(cells) + " |")
@@ -64,5 +142,8 @@ def main():
 if __name__ == "__main__":
     try:
         sys.exit(main())
+    except InputError as e:
+        print(f"summarize_bench: error: {e}", file=sys.stderr)
+        sys.exit(1)
     except BrokenPipeError:
         sys.exit(0)
