@@ -141,6 +141,36 @@ struct FasterAdapter {
     store.Upsert(key, MakeValue<typename F::Value>(seq));
   }
   void DoRmw(uint64_t key) { store.Rmw(key, 1); }
+  void DoBatch(const OpGenerator::Op* ops, size_t n) {
+    // Outputs are thread_local so a read that goes pending still has a
+    // live destination at CompletePending time (same as DoRead's out).
+    thread_local std::vector<typename F::Output> outs(256);
+    thread_local uint64_t seq = 0;
+    using Store = FasterKv<F>;
+    typename Store::BatchOp b[256];
+    if (outs.size() < n) outs.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      switch (ops[i].kind) {
+        case OpKind::kRead:
+          b[i].kind = Store::BatchOp::Kind::kRead;
+          b[i].key = ops[i].key;
+          b[i].input = 1;
+          b[i].output = &outs[i];
+          break;
+        case OpKind::kUpsert:
+          b[i].kind = Store::BatchOp::Kind::kUpsert;
+          b[i].key = ops[i].key;
+          b[i].value = MakeValue<typename F::Value>(seq++);
+          break;
+        case OpKind::kRmw:
+          b[i].kind = Store::BatchOp::Kind::kRmw;
+          b[i].key = ops[i].key;
+          b[i].input = 1;
+          break;
+      }
+    }
+    store.ExecuteBatch(b, n);
+  }
   void Idle() { store.CompletePending(false); }
 };
 

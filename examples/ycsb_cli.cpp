@@ -4,8 +4,8 @@
 //
 //   ycsb_cli [--keys N] [--threads T] [--seconds S] [--dist uniform|zipf|hotset]
 //            [--reads F] [--rmws F] [--memory-mb M] [--mutable F]
-//            [--append-only] [--read-cache] [--stats [--stats-interval S]]
-//            [--stats-json]
+//            [--batch N] [--append-only] [--read-cache]
+//            [--stats [--stats-interval S]] [--stats-json]
 //
 // Prints throughput, log growth, fuzzy-op and storage-read percentages.
 // With --stats (requires a -DFASTER_STATS=ON build to be useful), also dumps
@@ -19,6 +19,7 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "core/faster.h"
 #include "core/functions.h"
@@ -38,6 +39,7 @@ struct Options {
   double rmws = 0.0;
   uint64_t memory_mb = 64;
   double mutable_fraction = 0.9;
+  uint32_t batch = 1;
   bool append_only = false;
   bool read_cache = false;
   bool stats = false;
@@ -50,7 +52,7 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s [--keys N] [--threads T] [--seconds S]\n"
       "          [--dist uniform|zipf|hotset] [--reads F] [--rmws F]\n"
-      "          [--memory-mb M] [--mutable F] [--append-only] "
+      "          [--memory-mb M] [--mutable F] [--batch N] [--append-only] "
       "[--read-cache]\n"
       "          [--stats] [--stats-interval S] [--stats-json]\n",
       argv0);
@@ -72,6 +74,11 @@ Options Parse(int argc, char** argv) {
     else if (a == "--rmws") o.rmws = std::atof(next());
     else if (a == "--memory-mb") o.memory_mb = std::strtoull(next(), nullptr, 10);
     else if (a == "--mutable") o.mutable_fraction = std::atof(next());
+    else if (a == "--batch") {
+      long b = std::atol(next());
+      if (b < 1 || b > 256) Usage(argv[0]);
+      o.batch = static_cast<uint32_t>(b);
+    }
     else if (a == "--append-only") o.append_only = true;
     else if (a == "--read-cache") o.read_cache = true;
     else if (a == "--stats") o.stats = true;
@@ -95,7 +102,8 @@ Options Parse(int argc, char** argv) {
 }
 
 struct Adapter {
-  FasterKv<CountStoreFunctions>& store;
+  using Store = FasterKv<CountStoreFunctions>;
+  Store& store;
   void Begin() { store.StartSession(); }
   void End() { store.StopSession(); }
   void DoRead(uint64_t key) {
@@ -104,6 +112,36 @@ struct Adapter {
   }
   void DoUpsert(uint64_t key, uint64_t seq) { store.Upsert(key, seq); }
   void DoRmw(uint64_t key) { store.Rmw(key, 1); }
+  void DoBatch(const OpGenerator::Op* ops, size_t n) {
+    // Outputs live in a thread_local so pending reads still have a valid
+    // destination when they complete in a later Idle() (bench semantics,
+    // same as DoRead's thread_local out).
+    thread_local std::vector<uint64_t> outs(256);
+    thread_local uint64_t seq = 0;
+    Store::BatchOp b[256];
+    if (outs.size() < n) outs.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      switch (ops[i].kind) {
+        case OpKind::kRead:
+          b[i].kind = Store::BatchOp::Kind::kRead;
+          b[i].key = ops[i].key;
+          b[i].input = 1;
+          b[i].output = &outs[i];
+          break;
+        case OpKind::kUpsert:
+          b[i].kind = Store::BatchOp::Kind::kUpsert;
+          b[i].key = ops[i].key;
+          b[i].value = seq++;
+          break;
+        case OpKind::kRmw:
+          b[i].kind = Store::BatchOp::Kind::kRmw;
+          b[i].key = ops[i].key;
+          b[i].input = 1;
+          break;
+      }
+    }
+    store.ExecuteBatch(b, n);
+  }
   void Idle() { store.CompletePending(false); }
 };
 
@@ -129,8 +167,8 @@ int main(int argc, char** argv) {
   store.StopSession();
 
   auto spec = WorkloadSpec::Ycsb(o.reads, o.rmws, o.dist, o.keys);
-  std::printf("running %s with %u threads for %.1fs...\n",
-              spec.Name().c_str(), o.threads, o.seconds);
+  std::printf("running %s with %u threads (batch %u) for %.1fs...\n",
+              spec.Name().c_str(), o.threads, o.batch, o.seconds);
   Address tail_before = store.hlog().tail_address();
   Adapter adapter{store};
 
@@ -160,7 +198,8 @@ int main(int argc, char** argv) {
     });
   }
 
-  auto r = RunWorkload(adapter, spec, o.threads, o.seconds);
+  auto r = RunWorkload(adapter, spec, o.threads, o.seconds, /*seed=*/1,
+                       o.batch);
   if (monitor.joinable()) {
     monitor_stop.store(true, std::memory_order_relaxed);
     monitor.join();

@@ -21,9 +21,24 @@ LightEpoch::~LightEpoch() {
 
 uint64_t LightEpoch::Protect() {
   uint32_t tid = Thread::Id();
+  ++table_[tid].protect_serial;
   uint64_t current = current_epoch_.load(std::memory_order_acquire);
-  table_[tid].local_epoch.store(current, std::memory_order_seq_cst);
-  return current;
+  // Publish-then-recheck: between reading E and publishing it, another
+  // thread may bump E and compute a safe epoch that excludes this (still
+  // invisible) thread, leaving E_s >= our local epoch. Republishing until
+  // a seq_cst re-read confirms E did not move restores the invariant: any
+  // bump ordered after the confirmed publication scans the table with our
+  // entry visible, so E_s stays below our local epoch. (Refresh() does not
+  // need this: an already-protected thread's old local epoch pins the
+  // minimum during the store.)
+  for (;;) {
+    table_[tid].local_epoch.store(current, std::memory_order_seq_cst);
+    uint64_t now = current_epoch_.load(std::memory_order_seq_cst);
+    if (now == current) {
+      return current;
+    }
+    current = now;
+  }
 }
 
 bool LightEpoch::IsProtected() const {
@@ -36,6 +51,7 @@ uint64_t LightEpoch::Refresh() {
   uint64_t current = current_epoch_.load(std::memory_order_acquire);
   assert(table_[tid].local_epoch.load(std::memory_order_relaxed) !=
          kUnprotected);
+  ++table_[tid].protect_serial;
   table_[tid].local_epoch.store(current, std::memory_order_seq_cst);
   uint64_t safe = ComputeNewSafeToReclaimEpoch();
   if (drain_count_.load(std::memory_order_acquire) > 0) {
@@ -45,6 +61,7 @@ uint64_t LightEpoch::Refresh() {
 }
 
 void LightEpoch::Unprotect() {
+  ++table_[Thread::Id()].protect_serial;
   table_[Thread::Id()].local_epoch.store(kUnprotected,
                                          std::memory_order_release);
 }
@@ -107,6 +124,9 @@ uint64_t LightEpoch::BumpCurrentEpoch(std::function<void()> action) {
     Drain(ComputeNewSafeToReclaimEpoch());
     if (drain_count_.load(std::memory_order_acquire) >= kDrainListSize &&
         IsProtected()) {
+      // This advances local_epoch exactly like Refresh() would, so it must
+      // also invalidate any outstanding BatchScope.
+      ++table_[Thread::Id()].protect_serial;
       table_[Thread::Id()].local_epoch.store(
           current_epoch_.load(std::memory_order_acquire),
           std::memory_order_seq_cst);

@@ -379,6 +379,119 @@ class FasterKv {
     }
   }
 
+  // -------------------------------------------------------------------
+  // Batched operations (software pipelining / group prefetching; see
+  // DESIGN.md "Batched pipeline"). Each chunk of up to kBatchChunk ops is
+  // processed in three stages: (1) hash every key and prefetch its hash
+  // bucket, (2) resolve all index entries against one stable-table
+  // snapshot and prefetch the head records, (3) execute each op against
+  // the now-warm cache lines. Ops the fast path cannot serve (resize in
+  // flight, read-cache entries, tentative/CAS conflicts, intra-batch
+  // dependencies, page rollovers) fall through to the single-op methods,
+  // so results are always identical to executing the ops sequentially in
+  // issue order. All on-disk reads discovered in a chunk are issued as one
+  // coalesced device submission and complete through CompletePending() as
+  // usual. One epoch refresh check covers the whole chunk.
+  // -------------------------------------------------------------------
+
+  /// Largest number of ops processed per pipeline pass; bigger batches are
+  /// split. 64 keeps the per-chunk stack state small while exceeding the
+  /// memory-level parallelism of current cores.
+  static constexpr size_t kBatchChunk = 64;
+
+  /// One operation in a mixed batch. For reads, `output` must be non-null
+  /// and (like the single-op API) stay valid until the op completes if its
+  /// status comes back kPending.
+  struct BatchOp {
+    enum class Kind : uint8_t { kRead, kUpsert, kRmw };
+    Kind kind = Kind::kRead;
+    Key key{};
+    Input input{};            // read input / RMW operand
+    Value value{};            // upsert payload
+    Output* output = nullptr; // reads only
+    void* user_context = nullptr;
+    Status status = Status::kOk;  // result, per op
+  };
+
+  /// Executes `count` mixed ops with the staged pipeline, filling each
+  /// op's `status`. Results are identical to calling Read/Upsert/Rmw
+  /// sequentially on the same thread in array order.
+  void ExecuteBatch(BatchOp* ops, size_t count) {
+    size_t done = 0;
+    while (done < count) {
+      size_t n = std::min(count - done, kBatchChunk);
+      ExecuteChunk(ops + done, n);
+      done += n;
+    }
+  }
+
+  /// Batched reads: outputs[i] receives the value for keys[i] and
+  /// statuses[i] the per-op result (kPending completes via
+  /// CompletePending, reporting user_contexts[i] if provided).
+  void ReadBatch(const Key* keys, const Input* inputs, Output* outputs,
+                 Status* statuses, size_t count,
+                 void* const* user_contexts = nullptr) {
+    BatchOp ops[kBatchChunk];
+    size_t done = 0;
+    while (done < count) {
+      size_t n = std::min(count - done, kBatchChunk);
+      for (size_t i = 0; i < n; ++i) {
+        ops[i] = BatchOp{};
+        ops[i].kind = BatchOp::Kind::kRead;
+        ops[i].key = keys[done + i];
+        ops[i].input = inputs[done + i];
+        ops[i].output = &outputs[done + i];
+        if (user_contexts != nullptr) {
+          ops[i].user_context = user_contexts[done + i];
+        }
+      }
+      ExecuteChunk(ops, n);
+      for (size_t i = 0; i < n; ++i) statuses[done + i] = ops[i].status;
+      done += n;
+    }
+  }
+
+  /// Batched blind upserts; always complete synchronously.
+  void UpsertBatch(const Key* keys, const Value* values, Status* statuses,
+                   size_t count) {
+    BatchOp ops[kBatchChunk];
+    size_t done = 0;
+    while (done < count) {
+      size_t n = std::min(count - done, kBatchChunk);
+      for (size_t i = 0; i < n; ++i) {
+        ops[i] = BatchOp{};
+        ops[i].kind = BatchOp::Kind::kUpsert;
+        ops[i].key = keys[done + i];
+        ops[i].value = values[done + i];
+      }
+      ExecuteChunk(ops, n);
+      for (size_t i = 0; i < n; ++i) statuses[done + i] = ops[i].status;
+      done += n;
+    }
+  }
+
+  /// Batched RMWs; kPending statuses complete via CompletePending.
+  void RmwBatch(const Key* keys, const Input* inputs, Status* statuses,
+                size_t count, void* const* user_contexts = nullptr) {
+    BatchOp ops[kBatchChunk];
+    size_t done = 0;
+    while (done < count) {
+      size_t n = std::min(count - done, kBatchChunk);
+      for (size_t i = 0; i < n; ++i) {
+        ops[i] = BatchOp{};
+        ops[i].kind = BatchOp::Kind::kRmw;
+        ops[i].key = keys[done + i];
+        ops[i].input = inputs[done + i];
+        if (user_contexts != nullptr) {
+          ops[i].user_context = user_contexts[done + i];
+        }
+      }
+      ExecuteChunk(ops, n);
+      for (size_t i = 0; i < n; ++i) statuses[done + i] = ops[i].status;
+      done += n;
+    }
+  }
+
   /// Processes this thread's pending work: storage-read completions and
   /// fuzzy-region RMW retries. If `wait`, blocks (refreshing the epoch)
   /// until everything this thread issued has completed. Returns true if
@@ -698,6 +811,12 @@ class FasterKv {
     obs::StatCounter checkpoints;
     obs::StatHistogram checkpoint_index_ns;
     obs::StatHistogram checkpoint_flush_ns;
+    // Batched pipeline (group prefetching). Prefetch-hit ratio =
+    // batch_fast / (batch_fast + batch_fallback).
+    obs::StatHistogram batch_sizes;    // ops per executed chunk
+    obs::StatCounter batch_fast;       // ops completed in stage 3
+    obs::StatCounter batch_fallback;   // ops routed to the single-op path
+    obs::StatHistogram batch_io_group_size;  // reads per coalesced submit
   };
   const ObsStats& obs_stats() const { return obs_stats_; }
 
@@ -739,6 +858,10 @@ class FasterKv {
     reg.Add("store.checkpoints", &obs_stats_.checkpoints);
     reg.Add("store.checkpoint_index_ns", &obs_stats_.checkpoint_index_ns);
     reg.Add("store.checkpoint_flush_ns", &obs_stats_.checkpoint_flush_ns);
+    reg.Add("store.batch_sizes", &obs_stats_.batch_sizes);
+    reg.Add("store.batch_fast", &obs_stats_.batch_fast);
+    reg.Add("store.batch_fallback", &obs_stats_.batch_fallback);
+    reg.Add("store.batch_io_group_size", &obs_stats_.batch_io_group_size);
     index_.RegisterStats(reg, "index");
     hlog_.RegisterStats(reg, "hlog");
     epoch_.RegisterStats(reg, "epoch");
@@ -1248,6 +1371,311 @@ class FasterKv {
     }
     hlog_.AsyncGetFromDisk(addr, RecordT::size(), ctx->buffer,
                            &FasterKv::IoCallback, ctx);
+  }
+
+  // -------------------------------------------------------------------
+  // Batched pipeline internals (see the public batch API above).
+  // -------------------------------------------------------------------
+
+  /// Executes one op through the ordinary single-op entry points.
+  void ExecuteSingle(BatchOp& op) {
+    switch (op.kind) {
+      case BatchOp::Kind::kRead:
+        op.status = Read(op.key, op.input, op.output, op.user_context);
+        break;
+      case BatchOp::Kind::kUpsert:
+        op.status = Upsert(op.key, op.value);
+        break;
+      case BatchOp::Kind::kRmw:
+        op.status = Rmw(op.key, op.input, op.user_context);
+        break;
+    }
+  }
+
+  /// Builds a pending read context with the same bookkeeping as
+  /// IssuePendingIo, but defers the device submission so a chunk's disk
+  /// reads coalesce into one grouped submission.
+  PendingContext* MakePendingRead(ThreadState& ts, BatchOp& op, KeyHash hash,
+                                  Address addr) {
+    auto* ctx = new PendingContext(this, OpType::kRead, op.key, hash,
+                                   op.input, op.output, Thread::Id());
+    ctx->user_context = op.user_context;
+    ctx->address = addr;
+    ctx->chain_bottom = addr;
+    ++ts.outstanding_ios;
+    ++ts.ios_issued;
+    obs_stats_.pending_ios.Inc();
+    if constexpr (obs::kStatsEnabled) ctx->issue_ns = obs::NowNs();
+    trace_.Emit(obs::Ev::kPendingIoIssued, ctx->owner);
+    return ctx;
+  }
+
+  /// Stage-3 read against a stage-2 resolution. Returns false if the op
+  /// must take the single-op path; otherwise fills op.status (possibly
+  /// kPending, appending the I/O context to `io_ctxs` for coalescing).
+  bool FastRead(ThreadState& ts, BatchOp& op, KeyHash hash, bool entry_found,
+                HashIndex::FindResult& fr, PendingContext** io_ctxs,
+                size_t* num_ios) {
+    if (rc_log_ != nullptr) return false;  // cache lookups → single-op
+    if constexpr (kMergeable) return false;  // CRDT reads reconcile chains
+    if (!entry_found) {
+      ++ts.reads;
+      obs_stats_.read_miss.Inc();
+      op.status = Status::kNotFound;
+      return true;
+    }
+    Address addr = fr.entry.address();
+    Address begin = hlog_.begin_address();
+    if (!addr.IsValid() || addr < begin) {
+      return false;  // stale entry: single-op path runs the lazy cleanup
+    }
+    Address head = hlog_.head_address();
+    Address min_mem = std::max(head, begin);
+    RecordT* rec = nullptr;
+    Address found = TraceBack(op.key, addr, min_mem, &rec);
+    if (rec != nullptr) {
+      ++ts.reads;
+      if (rec->info().tombstone()) {
+        obs_stats_.read_miss.Inc();
+        op.status = Status::kNotFound;
+        return true;
+      }
+      if (found < hlog_.safe_read_only_address()) {
+        obs_stats_.read_readonly.Inc();
+        F::SingleReader(op.key, op.input, rec->value, *op.output);
+      } else {
+        if constexpr (obs::kStatsEnabled) {
+          if (found >= hlog_.read_only_address()) {
+            obs_stats_.read_mutable.Inc();
+          } else {
+            obs_stats_.read_fuzzy.Inc();
+          }
+        }
+        F::ConcurrentReader(op.key, op.input, rec->value, *op.output);
+      }
+      op.status = Status::kOk;
+      return true;
+    }
+    if (!found.IsValid() || found < begin) {
+      ++ts.reads;
+      obs_stats_.tag_false_positives.Inc();
+      obs_stats_.read_miss.Inc();
+      op.status = Status::kNotFound;
+      return true;
+    }
+    // Chain continues on storage: coalesce with the chunk's other misses.
+    ++ts.reads;
+    obs_stats_.read_stable.Inc();
+    io_ctxs[(*num_ios)++] = MakePendingRead(ts, op, hash, found);
+    op.status = Status::kPending;
+    return true;
+  }
+
+  /// Stage-3 upsert. Consumes a pre-reserved extent slot when available.
+  bool FastUpsert(ThreadState& ts, BatchOp& op, bool entry_found,
+                  HashIndex::FindResult& fr, Address* extent,
+                  uint32_t* extent_left) {
+    if (rc_log_ != nullptr) return false;  // cache-aware chains → single-op
+    if (!entry_found) return false;  // needs FindOrCreateEntry
+    Address addr = fr.entry.address();
+    Address begin = hlog_.begin_address();
+    Address head = hlog_.head_address();
+    RecordT* rec = nullptr;
+    if (addr.IsValid() && addr >= begin && addr >= head) {
+      Address found = TraceBack(op.key, addr, std::max(head, begin), &rec);
+      if (rec != nullptr && !rec->info().tombstone() && !config_.force_rcu &&
+          found >= hlog_.read_only_address()) {
+        ++ts.upserts;
+        F::ConcurrentWriter(op.key, op.value, rec->value);
+        obs_stats_.upsert_inplace.Inc();
+        op.status = Status::kOk;
+        return true;
+      }
+    }
+    // Append path (read-only/fuzzy/on-disk/key-absent chain), mirroring
+    // the single-op blind append.
+    Address new_addr;
+    bool from_extent = *extent_left > 0;
+    if (from_extent) {
+      new_addr = *extent;
+      *extent = *extent + RecordT::size();
+      --*extent_left;
+    } else {
+      new_addr = TryAllocateRecord();
+      if (!new_addr.IsValid()) {
+        return false;  // page rollover refreshed the epoch: re-resolve
+      }
+    }
+    RecordT* new_rec = RecordAt(new_addr);
+    new_rec->key = op.key;
+    F::SingleWriter(op.key, op.value, new_rec->value);
+    new_rec->set_info(RecordInfo{addr, false, false});
+    if (index_.TryUpdateEntry(&fr, new_addr)) {
+      ++ts.upserts;
+      ++ts.appended_records;
+      obs_stats_.upsert_append.Inc();
+      if (rec != nullptr) rec->SetOverwritten();  // Appendix C
+      op.status = Status::kOk;
+      return true;
+    }
+    new_rec->SetInvalid();  // lost the CAS; single-op path retries
+    return false;
+  }
+
+  /// Stage-3 RMW: only the mutable-region in-place case runs here; every
+  /// other outcome (copy, initial, fuzzy deferral, disk) reuses the
+  /// single-op machinery.
+  bool FastRmw(ThreadState& ts, BatchOp& op, bool entry_found,
+               HashIndex::FindResult& fr) {
+    if (rc_log_ != nullptr) return false;
+    if (!entry_found) return false;  // InitialUpdater needs FindOrCreate
+    Address addr = fr.entry.address();
+    Address begin = hlog_.begin_address();
+    Address head = hlog_.head_address();
+    if (!addr.IsValid() || addr < begin || addr < head) return false;
+    RecordT* rec = nullptr;
+    Address found = TraceBack(op.key, addr, std::max(head, begin), &rec);
+    if (rec == nullptr || rec->info().tombstone() || config_.force_rcu ||
+        found < hlog_.read_only_address()) {
+      return false;
+    }
+    ++ts.rmws;
+    F::InPlaceUpdater(op.key, op.input, rec->value);
+    obs_stats_.rmw_inplace.Inc();
+    op.status = Status::kOk;
+    return true;
+  }
+
+  /// The three-stage pipeline over one chunk of at most kBatchChunk ops.
+  void ExecuteChunk(BatchOp* ops, size_t n) {
+    if (n == 0) return;
+    assert(n <= kBatchChunk);
+    ThreadState& ts = thread_states_[Thread::Id()];
+    // One refresh check covers the chunk (amortized epoch bookkeeping).
+    ts.ops_since_refresh += static_cast<uint32_t>(n);
+    if (ts.ops_since_refresh >= config_.refresh_interval) {
+      ts.ops_since_refresh = 0;
+      epoch_.Refresh();
+    }
+    obs_stats_.batch_sizes.Record(n);
+
+    // ---- Stage 1: hash every key; prefetch its hash bucket. ----
+    KeyHash hashes[kBatchChunk];
+    for (size_t i = 0; i < n; ++i) {
+      hashes[i] = Hasher{}(ops[i].key);
+      index_.PrefetchBucket(hashes[i]);
+    }
+    // Intra-batch dependencies: an op must observe the effects of every
+    // earlier write in the same chunk, but stage-2 resolutions are all
+    // taken before any of the chunk executes. Conservatively (by hash, so
+    // tag collisions are covered too) route any op that follows a write
+    // with an equal hash to the ordered single-op path.
+    bool dep[kBatchChunk] = {};
+    {
+      size_t write_idx[kBatchChunk];
+      size_t num_writes = 0;
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t w = 0; w < num_writes; ++w) {
+          if (hashes[write_idx[w]] == hashes[i]) {
+            dep[i] = true;
+            break;
+          }
+        }
+        if (ops[i].kind != BatchOp::Kind::kRead) write_idx[num_writes++] = i;
+      }
+    }
+
+    // ---- Stage 2: resolve index entries; prefetch head records. ----
+    // BatchScope pins the validity of everything resolved here: if this
+    // thread refreshes its epoch mid-chunk (page rollover or a fallback
+    // op), all remaining resolutions are discarded.
+    LightEpoch::BatchScope batch_scope{epoch_};
+    HashIndex::FindResult frs[kBatchChunk];
+    bool entry_found[kBatchChunk];
+    bool stable = index_.TryFindEntriesStable(hashes, dep, n, frs,
+                                              entry_found);
+    Address extent = Address::Invalid();
+    uint32_t extent_left = 0;
+    if (stable) {
+      Address begin = hlog_.begin_address();
+      Address head = hlog_.head_address();
+      Address read_only = hlog_.read_only_address();
+      uint32_t predicted_appends = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (dep[i]) continue;
+        Address a = frs[i].entry.address();
+        bool in_mem = entry_found[i] &&
+                      (rc_log_ == nullptr || !InReadCache(a)) &&
+                      a.IsValid() && a >= begin && a >= head;
+        if (in_mem) hlog_.Prefetch(a, static_cast<uint32_t>(RecordT::size()));
+        if (ops[i].kind == BatchOp::Kind::kUpsert && rc_log_ == nullptr &&
+            entry_found[i] && !(in_mem && a >= read_only)) {
+          // Likely an append (chain head immutable, on disk, or invalid).
+          ++predicted_appends;
+        }
+      }
+      if (predicted_appends >= 2) {
+        extent = hlog_.AllocateExtent(
+            static_cast<uint32_t>(RecordT::size()), predicted_appends);
+        if (extent.IsValid()) {
+          extent_left = predicted_appends;
+          // Give every reserved slot a dead header now: log scans treat an
+          // all-zero slot as page padding and would skip the rest of the
+          // page. A slot is made live only while this thread has not
+          // refreshed (BatchScope), i.e. before any flush of this range
+          // can have been issued, so the dead header is never persisted
+          // for a slot that later becomes live.
+          for (uint32_t s = 0; s < predicted_appends; ++s) {
+            RecordAt(extent + s * RecordT::size())
+                ->set_info(
+                    RecordInfo{Address::Invalid(), /*invalid=*/true, false});
+          }
+        }
+      }
+    }
+
+    // ---- Stage 3: execute against warm lines; fall back as needed. ----
+    PendingContext* io_ctxs[kBatchChunk];
+    size_t num_ios = 0;
+    for (size_t i = 0; i < n; ++i) {
+      BatchOp& op = ops[i];
+      bool fast = false;
+      if (stable && !dep[i] && !batch_scope.interrupted()) {
+        switch (op.kind) {
+          case BatchOp::Kind::kRead:
+            fast = FastRead(ts, op, hashes[i], entry_found[i], frs[i],
+                            io_ctxs, &num_ios);
+            break;
+          case BatchOp::Kind::kUpsert:
+            fast = FastUpsert(ts, op, entry_found[i], frs[i], &extent,
+                              &extent_left);
+            break;
+          case BatchOp::Kind::kRmw:
+            fast = FastRmw(ts, op, entry_found[i], frs[i]);
+            break;
+        }
+      }
+      if (fast) {
+        obs_stats_.batch_fast.Inc();
+      } else {
+        obs_stats_.batch_fallback.Inc();
+        ExecuteSingle(op);
+      }
+    }
+    // Unused extent slots keep the dead headers written at reservation.
+
+    // Coalesced submission of every disk read the chunk discovered.
+    if (num_ios > 0) {
+      IoReadRequest reqs[kBatchChunk];
+      for (size_t i = 0; i < num_ios; ++i) {
+        PendingContext* c = io_ctxs[i];
+        reqs[i] = IoReadRequest{c->address.control(), c->buffer,
+                                static_cast<uint32_t>(RecordT::size()),
+                                &FasterKv::IoCallback, c};
+      }
+      obs_stats_.batch_io_group_size.Record(num_ios);
+      hlog_.AsyncGetFromDiskBatch(reqs, static_cast<uint32_t>(num_ios));
+    }
   }
 
   static void IoCallback(void* context, Status result, uint32_t /*bytes*/) {

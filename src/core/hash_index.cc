@@ -179,6 +179,32 @@ bool HashIndex::FindEntry(const OpScope& scope, KeyHash hash,
   return hit;
 }
 
+bool HashIndex::TryFindEntriesStable(const KeyHash* hashes, const bool* skip,
+                                     size_t n, FindResult* out,
+                                     bool* found) const {
+  ResizeInfo info = resize_info();
+  if (info.phase != Phase::kStable) {
+    return false;
+  }
+  HashBucket* table = tables_[info.version].load(std::memory_order_acquire);
+  uint64_t size = table_size_[info.version].load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    if (skip != nullptr && skip[i]) {
+      found[i] = false;
+      continue;
+    }
+    uint16_t tag = EffectiveTag(hashes[i]);
+    HashBucket* bucket = &table[hashes[i].Bucket(size)];
+    obs_stats_.finds.Inc();
+    // const_cast: ScanChain only performs atomic loads here.
+    bool hit = const_cast<HashIndex*>(this)->ScanChain(bucket, tag, &out[i],
+                                                       nullptr, 0);
+    if (hit) obs_stats_.find_hits.Inc();
+    found[i] = hit;
+  }
+  return true;
+}
+
 void HashIndex::FindOrCreateEntry(const OpScope& scope, KeyHash hash,
                                   FindResult* out) {
   uint16_t tag = EffectiveTag(hash);

@@ -74,6 +74,36 @@ class HashIndex {
   /// Returns false if no such entry exists.
   bool FindEntry(const OpScope& scope, KeyHash hash, FindResult* out) const;
 
+  /// Prefetches `hash`'s bucket cache line (batched pipeline stage 1).
+  /// No-op while a resize is in flight (the batch falls back to single-op
+  /// execution then anyway, and the bucket location is version-dependent).
+  void PrefetchBucket(KeyHash hash) const {
+    ResizeInfo info = resize_info();
+    if (info.phase != Phase::kStable) return;
+    const HashBucket* table =
+        tables_[info.version].load(std::memory_order_acquire);
+    uint64_t size = table_size_[info.version].load(std::memory_order_acquire);
+    __builtin_prefetch(&table[hash.Bucket(size)], /*rw=*/0, /*locality=*/3);
+  }
+
+  /// Batched FindEntry for the stable (non-resizing) phase: resolves all
+  /// `n` hashes against one table-version snapshot, without per-op
+  /// OpScope/pin overhead, so stage 3 can reuse the FindResults instead of
+  /// re-probing the (now warm) buckets. `skip[i]` (optional) marks ops the
+  /// caller will route to the single-op path regardless; they are not
+  /// probed. Returns false — with no probing done — if a resize is in
+  /// flight.
+  ///
+  /// Safety: this elides the OpScope chunk pin. The caller must be
+  /// epoch-protected and must discard every result if it refreshes its
+  /// epoch afterwards (LightEpoch::BatchScope). Under that contract the
+  /// snapshot stays valid: migration out of the observed table only starts
+  /// in the resizing phase, which is entered by an epoch trigger action
+  /// that cannot run until this thread refreshes; table retirement is
+  /// likewise epoch-deferred.
+  bool TryFindEntriesStable(const KeyHash* hashes, const bool* skip, size_t n,
+                            FindResult* out, bool* found) const;
+
   /// Finds the entry matching `hash`'s tag, creating one (with an invalid
   /// address) via the two-phase tentative insert if absent.
   void FindOrCreateEntry(const OpScope& scope, KeyHash hash, FindResult* out);

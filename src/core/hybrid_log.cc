@@ -85,6 +85,24 @@ Address HybridLog::Allocate(uint32_t size, uint64_t* closed_page) {
   return Address::Invalid();
 }
 
+Address HybridLog::AllocateExtent(uint32_t size, uint32_t count) {
+  assert(size % 8 == 0 && size > 0 && count > 0);
+  uint64_t total = static_cast<uint64_t>(size) * count;
+  if (total > Address::kPageSize) {
+    return Address::Invalid();
+  }
+  uint64_t tpo =
+      tail_page_offset_.fetch_add(total, std::memory_order_acq_rel);
+  uint64_t page = tpo >> 32;
+  uint64_t offset = tpo & 0xffffffffull;
+  if (offset + total <= Address::kPageSize) {
+    return Address{page, offset};
+  }
+  // Overflowed the page. Leave the page closing to the next per-record
+  // Allocate, whose failure path drives NewPage + epoch refresh.
+  return Address::Invalid();
+}
+
 bool HybridLog::NewPage(uint64_t old_page) {
   // Page transitions are rare (once per page); a mutex keeps the
   // frame-recycling logic simple without touching the allocation fast path.
@@ -231,6 +249,11 @@ void HybridLog::CompleteFlush(Address start, Address end) {
 Status HybridLog::AsyncGetFromDisk(Address address, uint32_t size, void* dst,
                                    IoCallback callback, void* context) {
   return device_->ReadAsync(address.control(), dst, size, callback, context);
+}
+
+Status HybridLog::AsyncGetFromDiskBatch(const IoReadRequest* requests,
+                                        uint32_t n) {
+  return device_->ReadBatchAsync(requests, n);
 }
 
 Status HybridLog::ReadFromDiskSync(Address address, uint32_t size, void* dst) {

@@ -66,6 +66,16 @@ class HybridLog {
   /// invoke `NewPage(closed_page)`, `epoch->Refresh()`, and retry.
   Address Allocate(uint32_t size, uint64_t* closed_page);
 
+  /// Reserves one contiguous extent of `count` records of `size` bytes each
+  /// with a single tail bump, for a batch of upserts. Returns the address
+  /// of the first slot, or an invalid address if the extent does not fit on
+  /// the current page — the caller then falls back to per-record Allocate,
+  /// whose own overflow handling closes the page. The caller owns every
+  /// reserved slot and must write a real record header (possibly an
+  /// invalidated one) into each: a slot left all-zero would read as page
+  /// padding and terminate scans of the page early.
+  Address AllocateExtent(uint32_t size, uint32_t count);
+
   /// Closes `old_page` and opens `old_page + 1`, advancing the head and
   /// read-only offsets as needed. Returns false if the new page's frame is
   /// not yet recyclable (flush or eviction still pending); the caller
@@ -76,6 +86,16 @@ class HybridLog {
   /// checked `address >= head_address()` under epoch protection).
   uint8_t* Get(Address address) const {
     return frames_[address.page() % buffer_pages_] + address.offset();
+  }
+
+  /// Prefetches the first `bytes` of the in-memory record at `address`
+  /// into cache (batched pipeline stage 2). Same precondition as Get():
+  /// `address >= head_address()` under epoch protection.
+  void Prefetch(Address address, uint32_t bytes) const {
+    const uint8_t* p = Get(address);
+    for (uint32_t off = 0; off < bytes; off += 64) {
+      __builtin_prefetch(p + off, /*rw=*/0, /*locality=*/3);
+    }
   }
 
   Address begin_address() const { return Load(begin_address_); }
@@ -94,6 +114,12 @@ class HybridLog {
   /// the device (stable region).
   Status AsyncGetFromDisk(Address address, uint32_t size, void* dst,
                           IoCallback callback, void* context);
+
+  /// Issues a group of stable-region reads as one coalesced device
+  /// submission. `requests[i].offset` must already hold the logical
+  /// address (`Address::control()`), as filled in by the store's batch
+  /// pipeline; callbacks complete into the usual pending machinery.
+  Status AsyncGetFromDiskBatch(const IoReadRequest* requests, uint32_t n);
 
   /// Synchronously reads from the stable region (recovery / log scan).
   Status ReadFromDiskSync(Address address, uint32_t size, void* dst);

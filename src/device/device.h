@@ -15,6 +15,16 @@ namespace faster {
 /// bytes transferred.
 using IoCallback = void (*)(void* context, Status result, uint32_t bytes);
 
+/// One read in a coalesced batch submission (see ReadBatchAsync). Plain
+/// aggregate so callers can build an array on the stack.
+struct IoReadRequest {
+  uint64_t offset = 0;
+  void* dst = nullptr;
+  uint32_t len = 0;
+  IoCallback callback = nullptr;
+  void* context = nullptr;
+};
+
 /// Abstract block device backing the HybridLog's stable region (Sec. 5.2).
 ///
 /// The log issues sector-aligned page flushes (write) and record-sized
@@ -35,6 +45,20 @@ class IDevice {
   /// `dst` (caller-owned, must outlive the operation).
   virtual Status ReadAsync(uint64_t offset, void* dst, uint32_t len,
                            IoCallback callback, void* context) = 0;
+
+  /// Issues `n` reads as one group. Each request's callback fires exactly
+  /// once, as with ReadAsync. Pool-backed devices override this to enqueue
+  /// the whole group under a single lock acquisition; the default just
+  /// loops. Returns kOk if every request was accepted.
+  virtual Status ReadBatchAsync(const IoReadRequest* requests, uint32_t n) {
+    Status result = Status::kOk;
+    for (uint32_t i = 0; i < n; ++i) {
+      const IoReadRequest& r = requests[i];
+      Status s = ReadAsync(r.offset, r.dst, r.len, r.callback, r.context);
+      if (s != Status::kOk) result = s;
+    }
+    return result;
+  }
 
   /// Blocks until every operation issued before this call has completed.
   virtual void Drain() = 0;

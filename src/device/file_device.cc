@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <stdexcept>
@@ -52,11 +53,10 @@ Status FileDevice::WriteAsync(const void* src, uint64_t offset, uint32_t len,
   return Status::kOk;
 }
 
-Status FileDevice::ReadAsync(uint64_t offset, void* dst, uint32_t len,
-                             IoCallback callback, void* context) {
-  uint64_t t0 = 0;
-  if constexpr (obs::kStatsEnabled) t0 = obs::NowNs();
-  pool_->Submit([this, dst, offset, len, callback, context, t0] {
+IoJob FileDevice::MakeReadJob(uint64_t offset, void* dst, uint32_t len,
+                              IoCallback callback, void* context,
+                              uint64_t t0) {
+  return IoJob{[this, dst, offset, len, callback, context, t0] {
     char* p = static_cast<char*>(dst);
     uint64_t off = offset;
     uint32_t remaining = len;
@@ -75,7 +75,32 @@ Status FileDevice::ReadAsync(uint64_t offset, void* dst, uint32_t len,
       obs_stats_.read_ns.Record(obs::NowNs() - t0);
     }
     callback(context, Status::kOk, len);
-  });
+  }};
+}
+
+Status FileDevice::ReadAsync(uint64_t offset, void* dst, uint32_t len,
+                             IoCallback callback, void* context) {
+  uint64_t t0 = 0;
+  if constexpr (obs::kStatsEnabled) t0 = obs::NowNs();
+  pool_->Submit(MakeReadJob(offset, dst, len, callback, context, t0));
+  return Status::kOk;
+}
+
+Status FileDevice::ReadBatchAsync(const IoReadRequest* requests, uint32_t n) {
+  uint64_t t0 = 0;
+  if constexpr (obs::kStatsEnabled) t0 = obs::NowNs();
+  constexpr uint32_t kChunk = 64;
+  IoJob jobs[kChunk];
+  uint32_t i = 0;
+  while (i < n) {
+    uint32_t m = std::min(n - i, kChunk);
+    for (uint32_t j = 0; j < m; ++j) {
+      const IoReadRequest& r = requests[i + j];
+      jobs[j] = MakeReadJob(r.offset, r.dst, r.len, r.callback, r.context, t0);
+    }
+    pool_->SubmitBatch(jobs, m);
+    i += m;
+  }
   return Status::kOk;
 }
 

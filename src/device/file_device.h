@@ -25,6 +25,7 @@ class FileDevice : public IDevice {
                     IoCallback callback, void* context) override;
   Status ReadAsync(uint64_t offset, void* dst, uint32_t len,
                    IoCallback callback, void* context) override;
+  Status ReadBatchAsync(const IoReadRequest* requests, uint32_t n) override;
   void Drain() override;
   uint64_t bytes_written() const override {
     return bytes_written_.load(std::memory_order_relaxed);
@@ -39,6 +40,9 @@ class FileDevice : public IDevice {
   }
 
  private:
+  IoJob MakeReadJob(uint64_t offset, void* dst, uint32_t len,
+                    IoCallback callback, void* context, uint64_t t0);
+
   std::string path_;
   int fd_;
   std::unique_ptr<IoThreadPool> pool_;

@@ -19,7 +19,7 @@ IoThreadPool::~IoThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
-void IoThreadPool::Submit(std::function<void()> job) {
+void IoThreadPool::Submit(IoJob job) {
   {
     std::lock_guard<std::mutex> lock{mutex_};
     queue_.push_back(std::move(job));
@@ -28,6 +28,20 @@ void IoThreadPool::Submit(std::function<void()> job) {
     obs_stats_.depth_at_submit.Record(queue_.size());
   }
   cv_.notify_one();
+}
+
+void IoThreadPool::SubmitBatch(IoJob* jobs, uint32_t n) {
+  if (n == 0) return;
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    for (uint32_t i = 0; i < n; ++i) {
+      queue_.push_back(std::move(jobs[i]));
+      obs_stats_.jobs.Inc();
+      obs_stats_.queue_depth.Inc();
+    }
+    obs_stats_.depth_at_submit.Record(queue_.size());
+  }
+  cv_.notify_all();
 }
 
 void IoThreadPool::Drain() {
@@ -40,7 +54,7 @@ void IoThreadPool::WorkerLoop() {
   for (;;) {
     cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
     if (stop_ && queue_.empty()) return;
-    std::function<void()> job = std::move(queue_.front());
+    IoJob job = std::move(queue_.front());
     queue_.pop_front();
     obs_stats_.queue_depth.Dec();
     ++active_;

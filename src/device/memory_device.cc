@@ -1,5 +1,6 @@
 #include "device/memory_device.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -76,11 +77,10 @@ Status MemoryDevice::ReadSync(uint64_t offset, void* dst, uint32_t len) {
   return Status::kOk;
 }
 
-Status MemoryDevice::ReadAsync(uint64_t offset, void* dst, uint32_t len,
-                               IoCallback callback, void* context) {
-  uint64_t t0 = 0;
-  if constexpr (obs::kStatsEnabled) t0 = obs::NowNs();
-  pool_->Submit([this, dst, offset, len, callback, context, t0] {
+IoJob MemoryDevice::MakeReadJob(uint64_t offset, void* dst, uint32_t len,
+                                IoCallback callback, void* context,
+                                uint64_t t0) {
+  return IoJob{[this, dst, offset, len, callback, context, t0] {
     if (latency_us_ > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(latency_us_));
     }
@@ -90,7 +90,33 @@ Status MemoryDevice::ReadAsync(uint64_t offset, void* dst, uint32_t len,
       obs_stats_.read_ns.Record(obs::NowNs() - t0);
     }
     callback(context, s, s == Status::kOk ? len : 0);
-  });
+  }};
+}
+
+Status MemoryDevice::ReadAsync(uint64_t offset, void* dst, uint32_t len,
+                               IoCallback callback, void* context) {
+  uint64_t t0 = 0;
+  if constexpr (obs::kStatsEnabled) t0 = obs::NowNs();
+  pool_->Submit(MakeReadJob(offset, dst, len, callback, context, t0));
+  return Status::kOk;
+}
+
+Status MemoryDevice::ReadBatchAsync(const IoReadRequest* requests,
+                                    uint32_t n) {
+  uint64_t t0 = 0;
+  if constexpr (obs::kStatsEnabled) t0 = obs::NowNs();
+  constexpr uint32_t kChunk = 64;
+  IoJob jobs[kChunk];
+  uint32_t i = 0;
+  while (i < n) {
+    uint32_t m = std::min(n - i, kChunk);
+    for (uint32_t j = 0; j < m; ++j) {
+      const IoReadRequest& r = requests[i + j];
+      jobs[j] = MakeReadJob(r.offset, r.dst, r.len, r.callback, r.context, t0);
+    }
+    pool_->SubmitBatch(jobs, m);
+    i += m;
+  }
   return Status::kOk;
 }
 

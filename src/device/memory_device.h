@@ -32,6 +32,7 @@ class MemoryDevice : public IDevice {
                     IoCallback callback, void* context) override;
   Status ReadAsync(uint64_t offset, void* dst, uint32_t len,
                    IoCallback callback, void* context) override;
+  Status ReadBatchAsync(const IoReadRequest* requests, uint32_t n) override;
   void Drain() override;
   uint64_t bytes_written() const override {
     return bytes_written_.load(std::memory_order_relaxed);
@@ -51,6 +52,8 @@ class MemoryDevice : public IDevice {
   static constexpr uint64_t kSegmentSize = uint64_t{1} << kSegmentBits;
 
   uint8_t* SegmentFor(uint64_t offset, bool create);
+  IoJob MakeReadJob(uint64_t offset, void* dst, uint32_t len,
+                    IoCallback callback, void* context, uint64_t t0);
 
   std::unique_ptr<IoThreadPool> pool_;
   uint32_t latency_us_;

@@ -1,6 +1,7 @@
 #ifndef FASTER_WORKLOAD_YCSB_H_
 #define FASTER_WORKLOAD_YCSB_H_
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -95,9 +96,19 @@ struct RunResult {
   uint64_t p999_ns = 0;
 };
 
+/// Detects the optional batched adapter hook: DoBatch(ops, n) executes
+/// `n` generated ops as one batch. Used when RunWorkload's `batch`
+/// argument exceeds 1; adapters without it always run the single-op loop.
+template <class A>
+concept HasDoBatch =
+    requires(A a, const typename OpGenerator::Op* ops, size_t n) {
+      a.DoBatch(ops, n);
+    };
+
 /// Drives `adapter` with `num_threads` worker threads for ~`seconds`
 /// seconds of the given workload (the paper runs each test for 30 s; the
-/// scaled-down harness defaults to shorter runs).
+/// scaled-down harness defaults to shorter runs). With `batch` > 1 and an
+/// adapter providing DoBatch, ops are issued in batches of that size.
 ///
 /// Adapter concept:
 ///   void Begin();                 // per-thread session start
@@ -106,10 +117,11 @@ struct RunResult {
 ///   void DoUpsert(uint64_t key, uint64_t value_seed);
 ///   void DoRmw(uint64_t key);
 ///   void Idle();                  // periodic (CompletePending etc.)
+///   void DoBatch(const OpGenerator::Op*, size_t);  // optional, see above
 template <class Adapter>
 RunResult RunWorkload(Adapter& adapter, const WorkloadSpec& spec,
                       uint32_t num_threads, double seconds,
-                      uint64_t seed = 1) {
+                      uint64_t seed = 1, uint32_t batch = 1) {
   std::atomic<uint64_t> total_ops{0};
   std::atomic<bool> stop{false};
   // Sharded across workers; a no-op (no allocation, no clock reads) unless
@@ -119,6 +131,37 @@ RunResult RunWorkload(Adapter& adapter, const WorkloadSpec& spec,
     OpGenerator gen{spec, seed + tid * 7919};
     adapter.Begin();
     uint64_t ops = 0;
+    if constexpr (HasDoBatch<Adapter>) {
+      if (batch > 1) {
+        constexpr uint32_t kMaxBatch = 256;
+        uint32_t b = std::min(batch, kMaxBatch);
+        typename OpGenerator::Op buf[kMaxBatch];
+        while (!stop.load(std::memory_order_relaxed)) {
+          // Same 256-op block structure as the single-op loop, with one
+          // latency sample per block.
+          for (uint32_t done = 0; done < 256; done += b) {
+            uint32_t m = std::min(b, 256u - done);
+            for (uint32_t j = 0; j < m; ++j) buf[j] = gen.Next();
+            uint64_t t0 = 0;
+            if constexpr (obs::kStatsEnabled) {
+              if (done == 0) t0 = obs::NowNs();
+            }
+            adapter.DoBatch(buf, m);
+            if constexpr (obs::kStatsEnabled) {
+              // Attribute the whole batch's latency per-op (divide by the
+              // batch size) so percentiles stay comparable between
+              // --batch 1 and --batch N.
+              if (done == 0) op_latency.Record((obs::NowNs() - t0) / m);
+            }
+            ops += m;
+          }
+          adapter.Idle();
+        }
+        adapter.End();
+        total_ops.fetch_add(ops, std::memory_order_relaxed);
+        return;
+      }
+    }
     while (!stop.load(std::memory_order_relaxed)) {
       for (int i = 0; i < 256; ++i) {
         auto op = gen.Next();

@@ -1,0 +1,387 @@
+// The batched pipeline's correctness contract (DESIGN.md "Batched
+// pipeline"): ExecuteBatch/ReadBatch/UpsertBatch/RmwBatch must be
+// observably identical to issuing the same ops one at a time in order —
+// across every HybridLog region (mutable in-place, safe-read-only RCU,
+// fuzzy deferral, on-storage pending reads), through intra-batch
+// dependencies, and across an index Grow. The harness runs every sequence
+// against a mirror store using the single-op API and compares statuses,
+// outputs, and final state.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/faster.h"
+#include "core/functions.h"
+#include "device/memory_device.h"
+
+namespace faster {
+namespace {
+
+using Store = FasterKv<CountStoreFunctions>;
+using BatchOp = Store::BatchOp;
+using Kind = Store::BatchOp::Kind;
+
+Store::Config Cfg() {
+  Store::Config cfg;
+  cfg.table_size = 1024;
+  cfg.log.memory_size_bytes = 16ull << Address::kOffsetBits;
+  cfg.log.mutable_fraction = 0.9;
+  return cfg;
+}
+
+// One op of a test sequence, plus the slots the two executions fill in.
+struct TestOp {
+  Kind kind = Kind::kRead;
+  uint64_t key = 0;
+  uint64_t arg = 0;  // rmw delta / upsert value
+  uint64_t batch_out = UINT64_MAX;
+  uint64_t seq_out = UINT64_MAX;
+  Status batch_status = Status::kOk;
+  Status seq_status = Status::kOk;
+};
+
+// Executes `ops` against `batch_store` via ExecuteBatch (in batches of
+// `batch_size`) and against `mirror` via the single-op API, then asserts
+// statuses and (post-CompletePending) outputs are identical.
+void RunBoth(Store& batch_store, Store& mirror, std::vector<TestOp>& ops,
+             size_t batch_size) {
+  std::vector<BatchOp> b(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    b[i].kind = ops[i].kind;
+    b[i].key = ops[i].key;
+    if (ops[i].kind == Kind::kRead) {
+      b[i].input = 0;
+      b[i].output = &ops[i].batch_out;
+    } else if (ops[i].kind == Kind::kUpsert) {
+      b[i].value = ops[i].arg;
+    } else {
+      b[i].input = ops[i].arg;
+    }
+  }
+  for (size_t done = 0; done < ops.size(); done += batch_size) {
+    size_t n = std::min(batch_size, ops.size() - done);
+    batch_store.ExecuteBatch(b.data() + done, n);
+  }
+  for (size_t i = 0; i < ops.size(); ++i) ops[i].batch_status = b[i].status;
+
+  for (auto& op : ops) {
+    switch (op.kind) {
+      case Kind::kRead:
+        op.seq_status = mirror.Read(op.key, 0, &op.seq_out);
+        break;
+      case Kind::kUpsert:
+        op.seq_status = mirror.Upsert(op.key, op.arg);
+        break;
+      case Kind::kRmw:
+        op.seq_status = mirror.Rmw(op.key, op.arg);
+        break;
+    }
+  }
+
+  for (size_t i = 0; i < ops.size(); ++i) {
+    ASSERT_EQ(ops[i].batch_status, ops[i].seq_status)
+        << "op " << i << " key " << ops[i].key;
+  }
+  ASSERT_TRUE(batch_store.CompletePending(true));
+  ASSERT_TRUE(mirror.CompletePending(true));
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == Kind::kRead &&
+        ops[i].seq_status != Status::kNotFound) {
+      ASSERT_EQ(ops[i].batch_out, ops[i].seq_out)
+          << "op " << i << " key " << ops[i].key;
+    }
+  }
+}
+
+// Reads every key in [0, n) from both stores and asserts identical state.
+void AssertSameState(Store& a, Store& b, uint64_t n) {
+  for (uint64_t k = 0; k < n; ++k) {
+    uint64_t va = UINT64_MAX, vb = UINT64_MAX;
+    Status sa = a.Read(k, 0, &va);
+    Status sb = b.Read(k, 0, &vb);
+    if (sa == Status::kPending) {
+      ASSERT_TRUE(a.CompletePending(true));
+      sa = Status::kOk;
+    }
+    if (sb == Status::kPending) {
+      ASSERT_TRUE(b.CompletePending(true));
+      sb = Status::kOk;
+    }
+    ASSERT_EQ(sa, sb) << "key " << k;
+    if (sa == Status::kOk) {
+      ASSERT_EQ(va, vb) << "key " << k;
+    }
+  }
+}
+
+std::vector<TestOp> RandomMix(uint64_t key_space, size_t count,
+                              uint64_t seed) {
+  std::mt19937_64 rng{seed};
+  std::vector<TestOp> ops(count);
+  for (auto& op : ops) {
+    uint64_t p = rng() % 100;
+    op.key = rng() % key_space;
+    if (p < 50) {
+      op.kind = Kind::kRead;
+    } else if (p < 75) {
+      op.kind = Kind::kUpsert;
+      op.arg = rng() % 100000;
+    } else {
+      op.kind = Kind::kRmw;
+      op.arg = rng() % 1000;
+    }
+  }
+  return ops;
+}
+
+class BatchTest : public ::testing::Test {
+ protected:
+  MemoryDevice device_a_, device_b_;
+};
+
+// --- Mutable region: fast in-place reads/updates. --------------------------
+
+TEST_F(BatchTest, MutableRegionMatchesSequential) {
+  Store batch{Cfg(), &device_a_};
+  Store mirror{Cfg(), &device_b_};
+  batch.StartSession();
+  mirror.StartSession();
+  for (uint64_t k = 0; k < 512; ++k) {
+    ASSERT_EQ(batch.Upsert(k, k * 3), Status::kOk);
+    ASSERT_EQ(mirror.Upsert(k, k * 3), Status::kOk);
+  }
+  // Key space double the loaded range, so reads/RMWs hit absent keys too.
+  auto ops = RandomMix(1024, 512, /*seed=*/42);
+  RunBoth(batch, mirror, ops, 32);
+  AssertSameState(batch, mirror, 1024);
+  batch.StopSession();
+  mirror.StopSession();
+}
+
+// --- Safe read-only region: reads via SingleReader, updates RCU. -----------
+
+TEST_F(BatchTest, ReadOnlyRegionMatchesSequential) {
+  auto cfg = Cfg();
+  cfg.refresh_interval = 1u << 30;  // tests drive epochs explicitly
+  Store batch{cfg, &device_a_};
+  Store mirror{cfg, &device_b_};
+  batch.StartSession();
+  mirror.StartSession();
+  for (uint64_t k = 0; k < 512; ++k) {
+    ASSERT_EQ(batch.Upsert(k, k + 7), Status::kOk);
+    ASSERT_EQ(mirror.Upsert(k, k + 7), Status::kOk);
+  }
+  // Make all loaded records read-only *and* safe in both stores.
+  for (Store* s : {&batch, &mirror}) {
+    s->hlog().ShiftReadOnlyToTail(false);
+    s->Refresh();
+    s->Refresh();
+    ASSERT_EQ(s->hlog().safe_read_only_address(),
+              s->hlog().read_only_address());
+  }
+  auto ops = RandomMix(1024, 512, /*seed=*/43);
+  RunBoth(batch, mirror, ops, 64);
+  AssertSameState(batch, mirror, 1024);
+  batch.StopSession();
+  mirror.StopSession();
+}
+
+// --- Fuzzy region: batch RMWs must defer exactly like single ops. ----------
+
+TEST_F(BatchTest, FuzzyRegionRmwDefersLikeSequential) {
+  auto cfg = Cfg();
+  cfg.refresh_interval = 1u << 30;
+  Store batch{cfg, &device_a_};
+  Store mirror{cfg, &device_b_};
+  batch.StartSession();
+  mirror.StartSession();
+  for (uint64_t k = 0; k < 64; ++k) {
+    ASSERT_EQ(batch.Rmw(k, 10), Status::kOk);
+    ASSERT_EQ(mirror.Rmw(k, 10), Status::kOk);
+  }
+  // Shift RO but do NOT refresh: records are observably fuzzy.
+  for (Store* s : {&batch, &mirror}) {
+    s->hlog().ShiftReadOnlyToTail(false);
+    ASSERT_LT(s->hlog().safe_read_only_address(),
+              s->hlog().read_only_address());
+  }
+  std::vector<TestOp> ops(64);
+  for (uint64_t k = 0; k < 64; ++k) {
+    ops[k] = TestOp{Kind::kRmw, k, 5};
+  }
+  RunBoth(batch, mirror, ops, 32);
+  // Both paths must have deferred (fuzzy RMW => kPending, Sec. 6.2)...
+  EXPECT_EQ(batch.GetStats().fuzzy_rmws, mirror.GetStats().fuzzy_rmws);
+  EXPECT_GT(batch.GetStats().fuzzy_rmws, 0u);
+  // ...and no increment may be lost after completion.
+  AssertSameState(batch, mirror, 64);
+  uint64_t out = 0;
+  ASSERT_EQ(batch.Read(0, 0, &out), Status::kOk);
+  EXPECT_EQ(out, 15u);
+  batch.StopSession();
+  mirror.StopSession();
+}
+
+// --- On storage: batch reads coalesce into pending I/O. --------------------
+
+TEST_F(BatchTest, OnDiskReadsMatchSequential) {
+  auto cfg = Cfg();
+  cfg.log.memory_size_bytes = 2ull << Address::kOffsetBits;
+  cfg.log.mutable_fraction = 0.5;
+  cfg.refresh_interval = 256;
+  Store batch{cfg, &device_a_};
+  Store mirror{cfg, &device_b_};
+  batch.StartSession();
+  mirror.StartSession();
+  for (uint64_t k = 0; k < 400000; ++k) {
+    ASSERT_EQ(batch.Upsert(k, k * 2 + 1), Status::kOk);
+    ASSERT_EQ(mirror.Upsert(k, k * 2 + 1), Status::kOk);
+  }
+  ASSERT_GT(batch.hlog().head_address().control(), 64u);
+  ASSERT_GT(mirror.hlog().head_address().control(), 64u);
+
+  uint64_t ios_before = batch.GetStats().pending_ios;
+  // The oldest keys are on storage now; a batch of reads for them must go
+  // pending (issued as one coalesced submission) and complete with the
+  // same values the mirror's sequential pending reads produce.
+  std::vector<TestOp> ops(64);
+  for (uint64_t k = 0; k < 64; ++k) {
+    ops[k] = TestOp{Kind::kRead, k};
+  }
+  RunBoth(batch, mirror, ops, 64);
+  EXPECT_GT(batch.GetStats().pending_ios, ios_before);
+  for (uint64_t k = 0; k < 64; ++k) {
+    EXPECT_EQ(ops[k].batch_out, k * 2 + 1) << "key " << k;
+  }
+  batch.StopSession();
+  mirror.StopSession();
+}
+
+// --- Intra-batch dependencies: later ops see earlier writes. ---------------
+
+TEST_F(BatchTest, IntraBatchDependenciesAreOrdered) {
+  Store batch{Cfg(), &device_a_};
+  Store mirror{Cfg(), &device_b_};
+  batch.StartSession();
+  mirror.StartSession();
+  // Every pattern that requires issue-order semantics within one chunk:
+  // write-then-read, rmw-then-read, write-then-rmw-then-read, duplicate
+  // writes (last wins), read-before-write (sees the old value).
+  std::vector<TestOp> ops;
+  ops.push_back({Kind::kUpsert, 1, 100});
+  ops.push_back({Kind::kRead, 1});           // must see 100
+  ops.push_back({Kind::kRmw, 1, 11});
+  ops.push_back({Kind::kRead, 1});           // must see 111
+  ops.push_back({Kind::kUpsert, 2, 5});
+  ops.push_back({Kind::kUpsert, 2, 6});      // last write wins
+  ops.push_back({Kind::kRead, 2});           // must see 6
+  ops.push_back({Kind::kRead, 3});           // absent before the write...
+  ops.push_back({Kind::kUpsert, 3, 9});
+  ops.push_back({Kind::kRead, 3});           // ...present after
+  ops.push_back({Kind::kRmw, 4, 2});         // InitialUpdater on absent
+  ops.push_back({Kind::kRead, 4});           // must see 2
+  RunBoth(batch, mirror, ops, ops.size());   // all in ONE chunk
+  EXPECT_EQ(ops[1].batch_out, 100u);
+  EXPECT_EQ(ops[3].batch_out, 111u);
+  EXPECT_EQ(ops[6].batch_out, 6u);
+  EXPECT_EQ(ops[7].batch_status, Status::kNotFound);
+  EXPECT_EQ(ops[9].batch_out, 9u);
+  EXPECT_EQ(ops[11].batch_out, 2u);
+  batch.StopSession();
+  mirror.StopSession();
+}
+
+// --- Grow: batches before and after an index doubling. ---------------------
+
+TEST_F(BatchTest, BatchesAcrossGrow) {
+  auto cfg = Cfg();
+  cfg.table_size = 64;  // heavy chains; Grow doubles twice below
+  Store batch{cfg, &device_a_};
+  Store mirror{cfg, &device_b_};
+  uint64_t initial_size = batch.index().size();
+  batch.StartSession();
+  mirror.StartSession();
+  auto ops1 = RandomMix(2048, 512, /*seed=*/44);
+  RunBoth(batch, mirror, ops1, 64);
+  batch.GrowIndex();
+  batch.GrowIndex();
+  ASSERT_EQ(batch.index().size(), initial_size * 4);
+  // Every record written pre-Grow must be reachable via the doubled
+  // index through the batch path, and new batches must keep matching.
+  auto ops2 = RandomMix(2048, 512, /*seed=*/45);
+  RunBoth(batch, mirror, ops2, 64);
+  AssertSameState(batch, mirror, 2048);
+  batch.StopSession();
+  mirror.StopSession();
+}
+
+// --- Degenerate shapes: empty batches, single-op batches, chunk spans. -----
+
+TEST_F(BatchTest, EmptyAndSingleOpBatches) {
+  Store store{Cfg(), &device_a_};
+  store.StartSession();
+  store.ExecuteBatch(nullptr, 0);  // must be a no-op
+
+  BatchOp one{};
+  one.kind = Kind::kUpsert;
+  one.key = 7;
+  one.value = 70;
+  store.ExecuteBatch(&one, 1);
+  EXPECT_EQ(one.status, Status::kOk);
+
+  uint64_t out = 0;
+  one = BatchOp{};
+  one.kind = Kind::kRead;
+  one.key = 7;
+  one.output = &out;
+  store.ExecuteBatch(&one, 1);
+  EXPECT_EQ(one.status, Status::kOk);
+  EXPECT_EQ(out, 70u);
+  store.StopSession();
+}
+
+// --- Typed wrappers, including counts that span multiple chunks. -----------
+
+TEST_F(BatchTest, TypedWrappersMatchSequential) {
+  Store batch{Cfg(), &device_a_};
+  Store mirror{Cfg(), &device_b_};
+  batch.StartSession();
+  mirror.StartSession();
+
+  constexpr size_t kN = 150;  // spans three kBatchChunk=64 chunks
+  std::vector<uint64_t> keys(kN), values(kN), inputs(kN, 3);
+  std::vector<uint64_t> outputs(kN, UINT64_MAX);
+  std::vector<Status> statuses(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    keys[i] = i % 100;  // duplicates exercise the dependency path
+    values[i] = i * 10;
+  }
+
+  batch.UpsertBatch(keys.data(), values.data(), statuses.data(), kN);
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(statuses[i], mirror.Upsert(keys[i], values[i])) << i;
+  }
+
+  batch.RmwBatch(keys.data(), inputs.data(), statuses.data(), kN);
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(statuses[i], mirror.Rmw(keys[i], inputs[i])) << i;
+  }
+
+  batch.ReadBatch(keys.data(), inputs.data(), outputs.data(),
+                  statuses.data(), kN);
+  ASSERT_TRUE(batch.CompletePending(true));
+  for (size_t i = 0; i < kN; ++i) {
+    uint64_t expect = UINT64_MAX;
+    ASSERT_EQ(mirror.Read(keys[i], 0, &expect), Status::kOk) << i;
+    ASSERT_EQ(outputs[i], expect) << "key " << keys[i];
+  }
+  AssertSameState(batch, mirror, 100);
+  batch.StopSession();
+  mirror.StopSession();
+}
+
+}  // namespace
+}  // namespace faster

@@ -1,0 +1,231 @@
+// Stress: the batched pipeline racing single-op threads, fuzzy
+// checkpoints, log GC, and an index Grow on a tiny spilling log. The
+// batch fast path elides per-op epoch work and reuses one stable-table
+// snapshot per chunk, so the hazards to hunt are: stale index snapshots
+// surviving a refresh (BatchScope), extent records colliding with
+// page-close flushes, batch reads racing RCU appends, and the kStable
+// check racing Grow's migration.
+//
+// Verification mirrors stress_ops_test: keys are owner-sharded, each
+// owner keeps an exact model (keys within one batch are distinct, and
+// any kPending completes before the next batch, so models stay exact
+// despite concurrent foreign readers). Any lost update, torn value, or
+// stale-snapshot bug surfaces as a model mismatch; memory-order bugs
+// surface under TSan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/faster.h"
+#include "core/functions.h"
+#include "device/memory_device.h"
+#include "stress_common.h"
+
+namespace faster {
+namespace {
+
+using Store = FasterKv<CountStoreFunctions>;
+
+TEST(StressBatchTest, BatchedOpsUnderChurn) {
+  constexpr int kBatchThreads = 2;
+  constexpr int kSingleThreads = 1;
+  constexpr int kThreads = kBatchThreads + kSingleThreads;
+  constexpr uint64_t kKeySpace = 4096;
+  constexpr size_t kBatch = 32;
+  const uint64_t kBatchesPerThread = stress::ScaleOps(60000);
+  const std::string ckpt_dir = "/tmp/faster_stress_batch_ckpt";
+  std::filesystem::remove_all(ckpt_dir);
+
+  MemoryDevice device;
+  Store::Config cfg;
+  cfg.table_size = 2048;
+  cfg.log.memory_size_bytes = 4ull << Address::kOffsetBits;  // 4 pages
+  cfg.log.mutable_fraction = 0.5;  // constant region crossings
+  Store store{cfg, &device};
+
+  std::vector<std::unordered_map<uint64_t, uint64_t>> models(kThreads);
+  std::atomic<uint64_t> read_errors{0};
+  std::atomic<bool> churn_stop{false};
+  std::atomic<int> checkpoints_done{0};
+
+  auto owned_key = [&](std::mt19937_64& rng, int t) {
+    return (rng() % (kKeySpace / kThreads)) * kThreads +
+           static_cast<uint64_t>(t);
+  };
+
+  std::vector<std::thread> threads;
+  // Batched workers: mixed chunks of distinct owned keys + one foreign
+  // read per batch (its value races, but it must not crash or tear).
+  for (int t = 0; t < kBatchThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng = stress::ThreadRng(static_cast<uint64_t>(t));
+      auto& model = models[t];
+      std::vector<uint64_t> outs(kBatch);
+      // Foreign-read sink; thread_local so a pending read completing in a
+      // later CompletePending still has a live destination.
+      thread_local uint64_t foreign_out;
+      store.StartSession();
+      for (uint64_t i = 0; i < kBatchesPerThread; ++i) {
+        Store::BatchOp ops[kBatch];
+        uint64_t keys[kBatch];
+        uint64_t args[kBatch];
+        // Distinct owned keys within the batch keep the model exact.
+        uint64_t base = rng() % (kKeySpace / kThreads);
+        for (size_t j = 0; j + 1 < kBatch; ++j) {
+          keys[j] = ((base + j) % (kKeySpace / kThreads)) * kThreads +
+                    static_cast<uint64_t>(t);
+          uint64_t p = rng() % 100;
+          ops[j] = Store::BatchOp{};
+          ops[j].key = keys[j];
+          if (p < 35) {
+            ops[j].kind = Store::BatchOp::Kind::kUpsert;
+            args[j] = rng() % 100000;
+            ops[j].value = args[j];
+          } else if (p < 70) {
+            ops[j].kind = Store::BatchOp::Kind::kRmw;
+            args[j] = rng() % 1000;
+            ops[j].input = args[j];
+          } else {
+            ops[j].kind = Store::BatchOp::Kind::kRead;
+            ops[j].input = 0;
+            outs[j] = UINT64_MAX;
+            ops[j].output = &outs[j];
+          }
+        }
+        ops[kBatch - 1] = Store::BatchOp{};
+        ops[kBatch - 1].kind = Store::BatchOp::Kind::kRead;
+        ops[kBatch - 1].key = rng() % kKeySpace;  // foreign
+        ops[kBatch - 1].output = &foreign_out;
+
+        store.ExecuteBatch(ops, kBatch);
+
+        bool any_pending = false;
+        for (size_t j = 0; j < kBatch; ++j) {
+          if (ops[j].status == Status::kPending) any_pending = true;
+        }
+        if (any_pending) {
+          ASSERT_TRUE(store.CompletePending(true));
+        }
+
+        for (size_t j = 0; j + 1 < kBatch; ++j) {
+          switch (ops[j].kind) {
+            case Store::BatchOp::Kind::kUpsert:
+              ASSERT_EQ(ops[j].status, Status::kOk);
+              model[keys[j]] = args[j];
+              break;
+            case Store::BatchOp::Kind::kRmw:
+              ASSERT_TRUE(ops[j].status == Status::kOk ||
+                          ops[j].status == Status::kPending);
+              model[keys[j]] += args[j];
+              break;
+            case Store::BatchOp::Kind::kRead: {
+              Status s = ops[j].status;
+              auto it = model.find(keys[j]);
+              if (it == model.end()) {
+                if (s != Status::kNotFound) {
+                  read_errors.fetch_add(1);
+                }
+              } else if (s == Status::kOk || s == Status::kPending) {
+                // Owned key: after completion the out must be exact.
+                if (outs[j] != it->second) read_errors.fetch_add(1);
+              } else {
+                read_errors.fetch_add(1);
+              }
+              break;
+            }
+          }
+        }
+      }
+      store.StopSession();
+    });
+  }
+  // Single-op workers on their own shards, interleaving with the batches.
+  for (int t = kBatchThreads; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937_64 rng = stress::ThreadRng(static_cast<uint64_t>(t));
+      auto& model = models[t];
+      store.StartSession();
+      for (uint64_t i = 0; i < kBatchesPerThread * kBatch / 2; ++i) {
+        uint64_t k = owned_key(rng, t);
+        if (rng() % 2 == 0) {
+          uint64_t v = rng() % 100000;
+          ASSERT_EQ(store.Upsert(k, v), Status::kOk);
+          model[k] = v;
+        } else {
+          uint64_t d = rng() % 1000;
+          Status s = store.Rmw(k, d);
+          if (s == Status::kPending) {
+            ASSERT_TRUE(store.CompletePending(true));
+            s = Status::kOk;
+          }
+          ASSERT_EQ(s, Status::kOk);
+          model[k] += d;
+        }
+        if (i % 256 == 0) store.CompletePending(false);
+      }
+      store.StopSession();
+    });
+  }
+  // Churn: fuzzy checkpoints, log GC (compaction + begin shift), and one
+  // index Grow — each forces the batch path's fallbacks (interrupted
+  // BatchScope, non-kStable index) while the workers hammer the store.
+  std::thread churn([&] {
+    store.StartSession();
+    int c = 0;
+    bool grown = false;
+    while (!churn_stop.load(std::memory_order_acquire)) {
+      std::string dir = ckpt_dir + "/" + std::to_string(c++);
+      ASSERT_EQ(store.Checkpoint(dir), Status::kOk);
+      checkpoints_done.fetch_add(1, std::memory_order_relaxed);
+      if (!grown) {
+        store.GrowIndex();
+        grown = true;
+      }
+      Address safe_ro = store.hlog().safe_read_only_address();
+      Address head = store.hlog().head_address();
+      if (head > store.hlog().begin_address()) {
+        // GC everything below head (records already on storage).
+        store.CompactLog(head < safe_ro ? head : safe_ro);
+      }
+      store.Refresh();
+    }
+    store.StopSession();
+  });
+
+  for (auto& t : threads) t.join();
+  // The churn must genuinely have overlapped the workload.
+  EXPECT_GT(checkpoints_done.load(), 0);
+  churn_stop.store(true, std::memory_order_release);
+  churn.join();
+  EXPECT_EQ(read_errors.load(), 0u);
+
+  // Final validation: every owner's model must be byte-exact.
+  store.StartSession();
+  for (int t = 0; t < kThreads; ++t) {
+    for (const auto& [k, v] : models[t]) {
+      uint64_t out = UINT64_MAX;
+      Status s = store.Read(k, 0, &out);
+      if (s == Status::kPending) {
+        ASSERT_TRUE(store.CompletePending(true));
+        s = Status::kOk;
+      }
+      ASSERT_EQ(s, Status::kOk) << "key " << k;
+      ASSERT_EQ(out, v) << "key " << k;
+    }
+  }
+  store.StopSession();
+
+  // The run must actually have exercised the fast path and the log:
+  Store::Stats stats = store.GetStats();
+  EXPECT_GT(stats.appended_records, 0u);
+  std::filesystem::remove_all(ckpt_dir);
+}
+
+}  // namespace
+}  // namespace faster

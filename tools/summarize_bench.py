@@ -33,7 +33,7 @@ SIDECAR_SCHEMA = "faster-bench-v1"
 
 # Counters worth a table column, in display order.
 INTERESTING = (
-    "Mops", "miss_ratio", "log_growth_MBps", "fuzzy_pct", "log_bw_MBps",
+    "B", "Mops", "miss_ratio", "log_growth_MBps", "fuzzy_pct", "log_bw_MBps",
     "cache_hit_pct", "storage_reads_pct", "p50_us", "p99_us", "p999_us",
 )
 
@@ -136,7 +136,31 @@ def main():
             case = re.sub(r"(/-?\d+)+$", "", case)
             cells = [c.get(k, "") for k in keys]
             print("| " + case + " | " + " | ".join(cells) + " |")
+        report_batch_speedup(groups[fig])
     return 0
+
+
+def report_batch_speedup(group):
+    """For batch-size sweeps (cases carrying a B counter), prints the
+    best-B throughput speedup over the B=1 baseline per sweep case."""
+    sweeps = defaultdict(dict)  # case-minus-B -> {B: Mops}
+    for name, c in group:
+        if "B" not in c or "Mops" not in c:
+            continue
+        case = "/".join(name.split("/")[1:])
+        case = re.sub(r"(/-?\d+)+(/iterations:\d+)?$", "", case)
+        case = re.sub(r"/B:\d+", "", case)
+        try:
+            sweeps[case][int(float(c["B"]))] = float(c["Mops"])
+        except ValueError:
+            continue
+    for case, by_b in sorted(sweeps.items()):
+        if 1 not in by_b or by_b[1] <= 0 or len(by_b) < 2:
+            continue
+        best_b = max(by_b, key=lambda b: by_b[b])
+        speedup = by_b[best_b] / by_b[1]
+        print(f"\nbatch speedup ({case}): B=1 {by_b[1]:.3g} Mops -> "
+              f"B={best_b} {by_b[best_b]:.3g} Mops ({speedup:.2f}x)")
 
 
 if __name__ == "__main__":
