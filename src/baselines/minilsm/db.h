@@ -97,9 +97,14 @@ class MiniLsm {
   std::mutex maintenance_mutex_;  // serializes flush/compaction
   std::unique_ptr<Wal> wal_;
   std::array<std::mutex, 64> rmw_stripes_;
+  // order: relaxed fetch_add — a unique-id allocator; file creation is
+  // serialized by maintenance_mutex_, not by this counter.
   std::atomic<uint64_t> next_file_{0};
+  // order: relaxed fetch_add/load — stats counter.
   std::atomic<uint64_t> flushes_{0};
+  // order: relaxed fetch_add/load — stats counter.
   std::atomic<uint64_t> compactions_{0};
+  // order: relaxed fetch_add/load — stats counter.
   std::atomic<uint64_t> bytes_flushed_{0};
 };
 

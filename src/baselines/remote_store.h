@@ -76,7 +76,11 @@ class RemoteStore {
   /// decimal text); conversions happen per command.
   std::unordered_map<std::string, std::string> table_;
   std::thread server_;
+  // order: release store requests shutdown; acquire load in the server
+  // loop pairs with it so the loop's final pass sees all prior writes.
   std::atomic<bool> stop_{false};
+  // order: relaxed fetch_add/load — a monotone command counter for stats;
+  // no data is published through it.
   std::atomic<uint64_t> commands_{0};
   int epoll_fd_;
   int wake_fds_[2];

@@ -119,6 +119,10 @@ class ShardHashMap {
   /// Reader-writer spinlock (TBB's spin_rw_mutex design point):
   /// state == -1 writer held; state >= 0 count of readers.
   struct RwSpin {
+    // order: acquire CAS takes the lock in Lock/LockShared (the critical
+    // section's reads see prior writers); release store/fetch_sub in
+    // Unlock/UnlockShared publishes the critical section; relaxed loads
+    // only spin/probe before retrying the CAS.
     std::atomic<int32_t> state{0};
     void Lock() {
       for (;;) {
@@ -158,6 +162,8 @@ class ShardHashMap {
 
   std::unique_ptr<Bucket[]> buckets_;
   uint64_t mask_;
+  // order: relaxed fetch_add/fetch_sub/load — element counter for stats;
+  // no data is published through it.
   std::atomic<uint64_t> size_{0};
 };
 

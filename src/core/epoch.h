@@ -2,10 +2,12 @@
 #define FASTER_CORE_EPOCH_H_
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <string>
 
+#include "core/annotations.h"
 #include "core/thread.h"
 #include "obs/stats.h"
 
@@ -45,14 +47,14 @@ class LightEpoch {
   /// Enter the epoch-protected region: reserve the calling thread's entry
   /// and set its local epoch to the current epoch (paper: `Acquire`).
   /// Returns the thread's current local epoch.
-  uint64_t Protect();
+  uint64_t Protect() FASTER_ACQUIRES_EPOCH();
 
   /// Update the calling thread's local epoch to the current epoch, advance
   /// the safe epoch, and run any ready trigger actions (paper: `Refresh`).
-  uint64_t Refresh();
+  uint64_t Refresh() FASTER_REQUIRES_EPOCH();
 
   /// Leave the epoch-protected region (paper: `Release`).
-  void Unprotect();
+  void Unprotect() FASTER_RELEASES_EPOCH();
 
   /// True if the calling thread currently holds epoch protection.
   bool IsProtected() const;
@@ -61,8 +63,11 @@ class LightEpoch {
   uint64_t BumpCurrentEpoch();
 
   /// Increment the current epoch from `c` to `c+1` and register `action`
-  /// to run once epoch `c` is safe (paper: `BumpEpoch(Action)`).
-  uint64_t BumpCurrentEpoch(std::function<void()> action);
+  /// to run once epoch `c` is safe (paper: `BumpEpoch(Action)`). Requires
+  /// protection: when the drain list is full the caller drains in-line,
+  /// which only terminates if this thread's refreshes can advance safety.
+  uint64_t BumpCurrentEpoch(std::function<void()> action)
+      FASTER_REQUIRES_EPOCH();
 
   /// Current epoch `E`.
   uint64_t CurrentEpoch() const {
@@ -85,7 +90,7 @@ class LightEpoch {
 
   /// Spin (refreshing) until epoch `target` is safe and all drain-list
   /// actions registered up to it have run. Must be called while protected.
-  void SpinWaitForSafety(uint64_t target);
+  void SpinWaitForSafety(uint64_t target) FASTER_REQUIRES_EPOCH();
 
   /// Count of the calling thread's Protect()/Refresh() transitions. A
   /// refresh (or re-protect) is the only way this thread's view of the
@@ -145,6 +150,11 @@ class LightEpoch {
  private:
   /// One cache line per thread (avoids false sharing on refresh).
   struct alignas(64) Entry {
+    // order: seq_cst store on Protect/Refresh (orders prior record reads
+    // before the epoch publication — the edge that makes "epoch c safe"
+    // imply "no thread still reads pages <= c"; DESIGN.md §5); release
+    // store on Unprotect; acquire loads in the safety scan; relaxed load
+    // in IsProtected (owner thread observing its own store).
     std::atomic<uint64_t> local_epoch{kUnprotected};
     /// Written and read only by the owning thread (see ProtectSerial), so
     /// a plain field suffices.
@@ -159,6 +169,9 @@ class LightEpoch {
   struct DrainEntry {
     static constexpr uint64_t kFree = UINT64_MAX;
     static constexpr uint64_t kLocked = UINT64_MAX - 1;
+    // order: acq_rel CAS claims the slot for arming or draining
+    // (exactly-once execution); release store publishes the armed action;
+    // acquire load pairs with it before the drainer reads `action`.
     std::atomic<uint64_t> epoch{kFree};
     std::function<void()> action;
     /// Stats only: NowNs() when the action was armed. Written while the
@@ -170,13 +183,30 @@ class LightEpoch {
   /// Try to run every drain-list action whose epoch is now safe.
   void Drain(uint64_t safe_epoch);
 
+  // order: acq_rel fetch_add on bump (publishes the drain-list entry armed
+  // just before it); acquire loads on refresh/scan; seq_cst re-read in
+  // Protect's publish-then-recheck loop (see DESIGN.md §5).
   alignas(64) std::atomic<uint64_t> current_epoch_;
+  // order: acquire loads; acq_rel CAS for the monotonic advance.
   alignas(64) std::atomic<uint64_t> safe_to_reclaim_epoch_;
   Entry table_[Thread::kMaxThreads];
   DrainEntry drain_list_[kDrainListSize];
+  // order: acq_rel fetch_add/fetch_sub bracketing arm/drain; acquire loads
+  // deciding whether a drain pass is needed.
   std::atomic<uint32_t> drain_count_{0};
   mutable ObsStats obs_stats_;
 };
+
+/// Re-establishes the epoch capability inside lambdas and callbacks that
+/// the epoch protocol guarantees run on protected threads (trigger actions
+/// drain only from Refresh/BumpCurrentEpoch/SpinWaitForSafety, all of
+/// which require protection). The annotation informs the static analysis;
+/// the assert keeps the claim honest at run time.
+inline void AssertEpochProtected(const LightEpoch& epoch)
+    FASTER_ASSERTS_EPOCH() {
+  assert(epoch.IsProtected());
+  (void)epoch;
+}
 
 }  // namespace faster
 

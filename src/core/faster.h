@@ -17,7 +17,9 @@
 #include <vector>
 
 #include "core/address.h"
+#include "core/annotations.h"
 #include "core/epoch.h"
+#include "core/epoch_check.h"
 #include "core/functions.h"
 #include "core/hash_index.h"
 #include "core/hybrid_log.h"
@@ -128,17 +130,17 @@ class FasterKv {
   // -------------------------------------------------------------------
 
   /// Registers the calling thread with the epoch protection framework.
-  void StartSession() { epoch_.Protect(); }
+  void StartSession() FASTER_ACQUIRES_EPOCH() { epoch_.Protect(); }
 
   /// Completes outstanding work for this thread and deregisters it.
-  void StopSession() {
+  void StopSession() FASTER_RELEASES_EPOCH() {
     CompletePending(/*wait=*/true);
     epoch_.Unprotect();
   }
 
   /// Moves the calling thread to the current epoch and runs ready trigger
   /// actions. Called automatically every `refresh_interval` operations.
-  void Refresh() { epoch_.Refresh(); }
+  void Refresh() FASTER_REQUIRES_EPOCH() { epoch_.Refresh(); }
 
   // -------------------------------------------------------------------
   // Operations (Sec. 2.2; Algorithms 2-4).
@@ -151,7 +153,7 @@ class FasterKv {
   /// which reports `user_context` through the completion callback
   /// (Appendix E).
   Status Read(const Key& key, const Input& input, Output* output,
-              void* user_context = nullptr) {
+              void* user_context = nullptr) FASTER_REQUIRES_EPOCH() {
     ThreadState& ts = AutoRefresh();
     ++ts.reads;
     KeyHash hash = Hasher{}(key);
@@ -235,7 +237,7 @@ class FasterKv {
   /// Blind upsert (Alg. 3): replaces the value for `key`, in place if the
   /// newest record is in the mutable region, otherwise by appending a new
   /// record. Never performs storage reads. Always completes synchronously.
-  Status Upsert(const Key& key, const Value& value) {
+  Status Upsert(const Key& key, const Value& value) FASTER_REQUIRES_EPOCH() {
     ThreadState& ts = AutoRefresh();
     ++ts.upserts;
     KeyHash hash = Hasher{}(key);
@@ -258,6 +260,7 @@ class FasterKv {
         if (rec != nullptr && !rec->info().tombstone() && !config_.force_rcu &&
             found >= hlog_.read_only_address()) {
           // Mutable region: in-place update (Table 1 row 4).
+          hlog_.VerifyMutableAddress(found);
           F::ConcurrentWriter(key, value, rec->value);
           obs_stats_.upsert_inplace.Inc();
           return Status::kOk;
@@ -289,7 +292,7 @@ class FasterKv {
   /// falls in the fuzzy region, Sec. 6.2-6.3); completion is reported via
   /// the completion callback with `user_context` (Appendix E).
   Status Rmw(const Key& key, const Input& input,
-             void* user_context = nullptr) {
+             void* user_context = nullptr) FASTER_REQUIRES_EPOCH() {
     ThreadState& ts = AutoRefresh();
     ++ts.rmws;
     KeyHash hash = Hasher{}(key);
@@ -320,7 +323,7 @@ class FasterKv {
 
   /// Deletes `key` (Sec. 4 / Sec. 5.3): sets the tombstone bit in place in
   /// the mutable region, otherwise appends a tombstone record.
-  Status Delete(const Key& key) {
+  Status Delete(const Key& key) FASTER_REQUIRES_EPOCH() {
     ThreadState& ts = AutoRefresh();
     ++ts.deletes;
     KeyHash hash = Hasher{}(key);
@@ -355,6 +358,7 @@ class FasterKv {
       if (rec != nullptr) {
         if (rec->info().tombstone()) return Status::kNotFound;
         if (!config_.force_rcu && found >= hlog_.read_only_address()) {
+          hlog_.VerifyMutableAddress(found);
           rec->SetTombstone();
           obs_stats_.delete_inplace.Inc();
           return Status::kOk;
@@ -416,7 +420,7 @@ class FasterKv {
   /// Executes `count` mixed ops with the staged pipeline, filling each
   /// op's `status`. Results are identical to calling Read/Upsert/Rmw
   /// sequentially on the same thread in array order.
-  void ExecuteBatch(BatchOp* ops, size_t count) {
+  void ExecuteBatch(BatchOp* ops, size_t count) FASTER_REQUIRES_EPOCH() {
     size_t done = 0;
     while (done < count) {
       size_t n = std::min(count - done, kBatchChunk);
@@ -430,7 +434,8 @@ class FasterKv {
   /// CompletePending, reporting user_contexts[i] if provided).
   void ReadBatch(const Key* keys, const Input* inputs, Output* outputs,
                  Status* statuses, size_t count,
-                 void* const* user_contexts = nullptr) {
+                 void* const* user_contexts = nullptr)
+      FASTER_REQUIRES_EPOCH() {
     BatchOp ops[kBatchChunk];
     size_t done = 0;
     while (done < count) {
@@ -453,7 +458,7 @@ class FasterKv {
 
   /// Batched blind upserts; always complete synchronously.
   void UpsertBatch(const Key* keys, const Value* values, Status* statuses,
-                   size_t count) {
+                   size_t count) FASTER_REQUIRES_EPOCH() {
     BatchOp ops[kBatchChunk];
     size_t done = 0;
     while (done < count) {
@@ -472,7 +477,8 @@ class FasterKv {
 
   /// Batched RMWs; kPending statuses complete via CompletePending.
   void RmwBatch(const Key* keys, const Input* inputs, Status* statuses,
-                size_t count, void* const* user_contexts = nullptr) {
+                size_t count, void* const* user_contexts = nullptr)
+      FASTER_REQUIRES_EPOCH() {
     BatchOp ops[kBatchChunk];
     size_t done = 0;
     while (done < count) {
@@ -496,7 +502,8 @@ class FasterKv {
   /// fuzzy-region RMW retries. If `wait`, blocks (refreshing the epoch)
   /// until everything this thread issued has completed. Returns true if
   /// nothing remains pending.
-  bool CompletePending(bool wait = false) {
+  bool CompletePending(bool wait = false) FASTER_REQUIRES_EPOCH() {
+    assert(epoch_.IsProtected());
     ThreadState& ts = thread_states_[Thread::Id()];
     for (;;) {
       ProcessRetries(ts);
@@ -517,7 +524,8 @@ class FasterKv {
   /// the read-only offset to the tail and waits for the flush. Requires an
   /// active session; other threads may keep operating (the checkpoint does
   /// not quiesce the store).
-  Status Checkpoint(const std::string& dir) {
+  Status Checkpoint(const std::string& dir) FASTER_REQUIRES_EPOCH() {
+    assert(epoch_.IsProtected());
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     obs_stats_.checkpoints.Inc();
@@ -536,6 +544,9 @@ class FasterKv {
       // Appendix D: persisted index entries must point at the primary log,
       // so cached addresses are swung back to the address they displaced.
       transform = [this](const std::atomic<uint64_t>& slot) -> uint64_t {
+        // Runs inside WriteCheckpoint on the checkpointing thread, which
+        // holds an active session (lambdas are analyzed in isolation).
+        AssertEpochProtected(epoch_);
         for (;;) {
           HashBucketEntry e{slot.load(std::memory_order_acquire)};
           if (e.tentative()) return 0;
@@ -591,7 +602,7 @@ class FasterKv {
   /// device must contain the flushed log. Restores the fuzzy index, then
   /// repairs it by scanning log records in [t1, t2) in order (Sec. 6.5).
   /// Must be called before any session starts.
-  Status Recover(const std::string& dir) {
+  Status Recover(const std::string& dir) FASTER_EXCLUDES_EPOCH() {
     CheckpointMetadata meta;
     int fd = ::open((dir + "/meta.dat").c_str(), O_RDONLY);
     if (fd < 0) return Status::kIoError;
@@ -616,6 +627,9 @@ class FasterKv {
     Status scan_status = Status::kOk;
     epoch_.Protect();
     ScanDiskRange(t1, t2, [&](Address addr, const RecordT& rec) {
+      // Bracketed by the Protect/Unprotect above; the lambda body is
+      // analyzed in isolation, so re-establish the capability here.
+      AssertEpochProtected(epoch_);
       if (rec.info().invalid()) return;
       KeyHash hash = Hasher{}(rec.key);
       typename HashIndex::OpScope scope{index_, hash};
@@ -643,7 +657,8 @@ class FasterKv {
   /// Doubles the hash index on-line (Appendix B). Requires an active
   /// session; all live sessions must keep issuing operations (or Refresh)
   /// for the grow to complete.
-  void GrowIndex() {
+  void GrowIndex() FASTER_REQUIRES_EPOCH() {
+    assert(epoch_.IsProtected());
     if constexpr (obs::kStatsEnabled) {
       trace_.Emit(obs::Ev::kGrowBegin,
                   static_cast<uint32_t>(std::bit_width(index_.size()) - 1));
@@ -669,7 +684,9 @@ class FasterKv {
     uint64_t dead_by_trace = 0;
     uint64_t copied = 0;
   };
-  Status CompactLog(Address until, CompactionStats* stats = nullptr) {
+  Status CompactLog(Address until, CompactionStats* stats = nullptr)
+      FASTER_REQUIRES_EPOCH() {
+    assert(epoch_.IsProtected());
     static_assert(!kMergeable || sizeof(F) >= 0);
     if constexpr (kMergeable) {
       return Status::kInvalid;
@@ -724,7 +741,8 @@ class FasterKv {
   /// invalid and tombstone records (callers filter via RecordInfo).
   /// Requires an active session.
   template <class Fn>
-  void ScanLog(Address from, Address to, Fn&& fn) {
+  void ScanLog(Address from, Address to, Fn&& fn) FASTER_REQUIRES_EPOCH() {
+    assert(epoch_.IsProtected());
     Address begin = std::max(from, hlog_.begin_address());
     Address end = std::min(to, hlog_.tail_address());
     Address head = hlog_.head_address();
@@ -925,6 +943,8 @@ class FasterKv {
   /// load+store, never an RMW — same codegen as a bare uint64_t), but
   /// atomic so a concurrent GetStats()/DumpStats() reads it race-free.
   struct RelaxedTally {
+    // order: relaxed load+store by the owner thread, relaxed load in
+    // GetStats — a per-thread counter; no data is published through it.
     std::atomic<uint64_t> v{0};
     RelaxedTally& operator++() {
       v.store(v.load(std::memory_order_relaxed) + 1,
@@ -949,7 +969,7 @@ class FasterKv {
     RelaxedTally rc_hits;
   };
 
-  RecordT* RecordAt(Address addr) const {
+  RecordT* RecordAt(Address addr) const FASTER_REQUIRES_EPOCH() {
     return reinterpret_cast<RecordT*>(hlog_.Get(addr));
   }
 
@@ -965,8 +985,16 @@ class FasterKv {
   static Address StripRc(Address a) { return Address{a.control() & ~kRcBit}; }
   static Address TagRc(Address a) { return Address{a.control() | kRcBit}; }
 
-  RecordT* RcRecordAt(Address addr) const {
+  RecordT* RcRecordAt(Address addr) const FASTER_REQUIRES_EPOCH() {
     return reinterpret_cast<RecordT*>(rc_log_->Get(addr));
+  }
+
+  /// Record access for the eviction redirect only: RcEvict walks cache
+  /// addresses that are already below the cache's head (the frames survive
+  /// until the eviction trigger returns), which Get()'s head check would
+  /// reject.
+  RecordT* RcRecordAtEvicted(Address addr) const FASTER_REQUIRES_EPOCH() {
+    return reinterpret_cast<RecordT*>(rc_log_->GetEvicted(addr));
   }
 
   /// Resolves an index entry to the primary-log chain start, surfacing the
@@ -974,7 +1002,7 @@ class FasterKv {
   /// Returns false if the cache page was evicted but the entry has not
   /// been redirected yet (caller refreshes and restarts).
   bool ResolveEntry(const HashIndex::FindResult& fr, Address* start,
-                    RecordT** rc_rec) const {
+                    RecordT** rc_rec) const FASTER_REQUIRES_EPOCH() {
     *rc_rec = nullptr;
     Address a = fr.entry.address();
     if (rc_log_ == nullptr || !InReadCache(a)) {
@@ -993,7 +1021,7 @@ class FasterKv {
 
   /// Allocates one record in the read cache; a single page-rollover retry,
   /// then gives up (cache insertion is best-effort).
-  Address TryAllocateRcRecord() {
+  Address TryAllocateRcRecord() FASTER_REQUIRES_EPOCH() {
     for (int attempt = 0; attempt < 2; ++attempt) {
       uint64_t closed_page = 0;
       Address addr = rc_log_->Allocate(RecordT::size(), &closed_page);
@@ -1007,7 +1035,8 @@ class FasterKv {
   }
 
   /// Inserts a value read from storage into the read cache (best-effort).
-  void TryInsertToCache(const Key& key, KeyHash hash, const Value& value) {
+  void TryInsertToCache(const Key& key, KeyHash hash, const Value& value)
+      FASTER_REQUIRES_EPOCH() {
     typename HashIndex::OpScope scope{index_, hash};
     HashIndex::FindResult fr;
     if (!index_.FindEntry(scope, hash, &fr)) return;
@@ -1031,7 +1060,8 @@ class FasterKv {
   /// region copies the record to the cache tail, exactly like the primary
   /// HybridLog's shaping behaviour.
   void RcSecondChance(const Key& key, RecordT* rc_rec,
-                      const HashIndex::FindResult& fr) {
+                      const HashIndex::FindResult& fr)
+      FASTER_REQUIRES_EPOCH() {
     Address new_addr = TryAllocateRcRecord();
     if (!new_addr.IsValid()) return;
     RecordT* rec = RcRecordAt(new_addr);
@@ -1051,13 +1081,17 @@ class FasterKv {
   /// the cache's head; swings index entries pointing at evicted cache
   /// records back to the primary-log addresses they displaced.
   void RcEvict(Address from, Address to) {
+    // Invoked through the eviction std::function from an epoch trigger
+    // action; the running thread is protected, but the analysis cannot see
+    // through the type-erased callback, so re-establish the capability.
+    AssertEpochProtected(epoch_);
     Address addr = from;
     while (addr < to) {
       if (addr.offset() + RecordT::size() > Address::kPageSize) {
         addr = addr.NextPageStart();
         continue;
       }
-      RecordT* rec = RcRecordAt(addr);
+      RecordT* rec = RcRecordAtEvicted(addr);
       if (!rec->info().in_use()) {
         addr = addr.NextPageStart();  // page padding
         continue;
@@ -1077,7 +1111,7 @@ class FasterKv {
     }
   }
 
-  ThreadState& AutoRefresh() {
+  ThreadState& AutoRefresh() FASTER_REQUIRES_EPOCH() {
     ThreadState& ts = thread_states_[Thread::Id()];
     if (++ts.ops_since_refresh >= config_.refresh_interval) {
       ts.ops_since_refresh = 0;
@@ -1090,7 +1124,7 @@ class FasterKv {
   /// for `key`. On match sets `*rec` and returns the record's address; on
   /// miss returns the first address below `min_mem` (or invalid).
   Address TraceBack(const Key& key, Address from, Address min_mem,
-                    RecordT** rec) const {
+                    RecordT** rec) const FASTER_REQUIRES_EPOCH() {
     Address addr = from;
     while (addr.IsValid() && addr >= min_mem) {
       RecordT* r = RecordAt(addr);
@@ -1108,7 +1142,8 @@ class FasterKv {
   /// `start`, following the chain through memory and storage (used by
   /// compaction's liveness check). Returns the invalid address if the key
   /// has no record at or above `begin`; sets `*tombstone` accordingly.
-  Address TraceNewestSync(const Key& key, Address start, bool* tombstone) {
+  Address TraceNewestSync(const Key& key, Address start, bool* tombstone)
+      FASTER_REQUIRES_EPOCH() {
     Address begin = hlog_.begin_address();
     Address head = hlog_.head_address();
     Address addr = start;
@@ -1137,7 +1172,8 @@ class FasterKv {
   /// Copies a (potentially live) record to the tail if it is still the
   /// newest version of its key; returns true if a copy was installed,
   /// false if the record turned out to be dead.
-  bool CompactOneRecord(Address addr, const RecordT& rec) {
+  bool CompactOneRecord(Address addr, const RecordT& rec)
+      FASTER_REQUIRES_EPOCH() {
     KeyHash hash = Hasher{}(rec.key);
     for (;;) {
       typename HashIndex::OpScope scope{index_, hash};
@@ -1168,7 +1204,7 @@ class FasterKv {
   /// the epoch had to be refreshed (page rollover); the caller must
   /// restart its operation, since any record pointers it held may have
   /// been invalidated by the refresh.
-  Address TryAllocateRecord() {
+  Address TryAllocateRecord() FASTER_REQUIRES_EPOCH() {
     uint64_t closed_page = 0;
     Address addr = hlog_.Allocate(RecordT::size(), &closed_page);
     if (addr.IsValid()) return addr;
@@ -1192,7 +1228,8 @@ class FasterKv {
   /// `disk_bottom` (continuation path); kNone on the initial attempt.
   RmwOutcome RmwInMemory(ThreadState& ts, const Key& key, KeyHash hash,
                          const Input& input, DiskState disk_state,
-                         const Value* disk_value, Address disk_bottom) {
+                         const Value* disk_value, Address disk_bottom)
+      FASTER_REQUIRES_EPOCH() {
     for (;;) {
       typename HashIndex::OpScope scope{index_, hash};
       HashIndex::FindResult fr;
@@ -1227,6 +1264,7 @@ class FasterKv {
       if (rec != nullptr && !rec->info().tombstone()) {
         if (!config_.force_rcu && found >= hlog_.read_only_address()) {
           // Mutable region: in-place update (Table 2 bottom row).
+          hlog_.VerifyMutableAddress(found);
           F::InPlaceUpdater(key, input, rec->value);
           obs_stats_.rmw_inplace.Inc();
           return {RmwOutcome::kDone, Status::kOk, {}};
@@ -1298,7 +1336,7 @@ class FasterKv {
   /// index CAS failed). `old_value` is required for kCopy.
   bool AppendRecord(ThreadState& ts, const Key& key, const Input& input,
                     HashIndex::FindResult* fr, RecordKind kind,
-                    const Value* old_value) {
+                    const Value* old_value) FASTER_REQUIRES_EPOCH() {
     return AppendRecordWithPrev(ts, key, input, fr, kind, old_value,
                                 fr->entry.address());
   }
@@ -1308,7 +1346,7 @@ class FasterKv {
   bool AppendRecordWithPrev(ThreadState& ts, const Key& key,
                             const Input& input, HashIndex::FindResult* fr,
                             RecordKind kind, const Value* old_value,
-                            Address prev) {
+                            Address prev) FASTER_REQUIRES_EPOCH() {
     Address new_addr = TryAllocateRecord();
     if (!new_addr.IsValid()) return false;
     RecordT* new_rec = RecordAt(new_addr);
@@ -1344,7 +1382,8 @@ class FasterKv {
 
   Status IssuePendingIo(ThreadState& ts, OpType op, const Key& key,
                         KeyHash hash, const Input& input, Output* output,
-                        Address addr, void* user_context = nullptr) {
+                        Address addr, void* user_context = nullptr)
+      FASTER_REQUIRES_EPOCH() {
     auto* ctx =
         new PendingContext(this, op, key, hash, input, output, Thread::Id());
     ctx->user_context = user_context;
@@ -1378,7 +1417,7 @@ class FasterKv {
   // -------------------------------------------------------------------
 
   /// Executes one op through the ordinary single-op entry points.
-  void ExecuteSingle(BatchOp& op) {
+  void ExecuteSingle(BatchOp& op) FASTER_REQUIRES_EPOCH() {
     switch (op.kind) {
       case BatchOp::Kind::kRead:
         op.status = Read(op.key, op.input, op.output, op.user_context);
@@ -1415,7 +1454,7 @@ class FasterKv {
   /// kPending, appending the I/O context to `io_ctxs` for coalescing).
   bool FastRead(ThreadState& ts, BatchOp& op, KeyHash hash, bool entry_found,
                 HashIndex::FindResult& fr, PendingContext** io_ctxs,
-                size_t* num_ios) {
+                size_t* num_ios) FASTER_REQUIRES_EPOCH() {
     if (rc_log_ != nullptr) return false;  // cache lookups → single-op
     if constexpr (kMergeable) return false;  // CRDT reads reconcile chains
     if (!entry_found) {
@@ -1474,7 +1513,7 @@ class FasterKv {
   /// Stage-3 upsert. Consumes a pre-reserved extent slot when available.
   bool FastUpsert(ThreadState& ts, BatchOp& op, bool entry_found,
                   HashIndex::FindResult& fr, Address* extent,
-                  uint32_t* extent_left) {
+                  uint32_t* extent_left) FASTER_REQUIRES_EPOCH() {
     if (rc_log_ != nullptr) return false;  // cache-aware chains → single-op
     if (!entry_found) return false;  // needs FindOrCreateEntry
     Address addr = fr.entry.address();
@@ -1486,6 +1525,7 @@ class FasterKv {
       if (rec != nullptr && !rec->info().tombstone() && !config_.force_rcu &&
           found >= hlog_.read_only_address()) {
         ++ts.upserts;
+        hlog_.VerifyMutableAddress(found);
         F::ConcurrentWriter(op.key, op.value, rec->value);
         obs_stats_.upsert_inplace.Inc();
         op.status = Status::kOk;
@@ -1526,7 +1566,7 @@ class FasterKv {
   /// other outcome (copy, initial, fuzzy deferral, disk) reuses the
   /// single-op machinery.
   bool FastRmw(ThreadState& ts, BatchOp& op, bool entry_found,
-               HashIndex::FindResult& fr) {
+               HashIndex::FindResult& fr) FASTER_REQUIRES_EPOCH() {
     if (rc_log_ != nullptr) return false;
     if (!entry_found) return false;  // InitialUpdater needs FindOrCreate
     Address addr = fr.entry.address();
@@ -1540,6 +1580,7 @@ class FasterKv {
       return false;
     }
     ++ts.rmws;
+    hlog_.VerifyMutableAddress(found);
     F::InPlaceUpdater(op.key, op.input, rec->value);
     obs_stats_.rmw_inplace.Inc();
     op.status = Status::kOk;
@@ -1547,9 +1588,10 @@ class FasterKv {
   }
 
   /// The three-stage pipeline over one chunk of at most kBatchChunk ops.
-  void ExecuteChunk(BatchOp* ops, size_t n) {
+  void ExecuteChunk(BatchOp* ops, size_t n) FASTER_REQUIRES_EPOCH() {
     if (n == 0) return;
     assert(n <= kBatchChunk);
+    assert(epoch_.IsProtected());
     ThreadState& ts = thread_states_[Thread::Id()];
     // One refresh check covers the chunk (amortized epoch bookkeeping).
     ts.ops_since_refresh += static_cast<uint32_t>(n);
@@ -1706,7 +1748,7 @@ class FasterKv {
     }
   }
 
-  void ProcessCompletions(ThreadState& ts) {
+  void ProcessCompletions(ThreadState& ts) FASTER_REQUIRES_EPOCH() {
     std::vector<PendingContext*> ready;
     {
       std::lock_guard<std::mutex> lock{ts.mutex};
@@ -1766,7 +1808,8 @@ class FasterKv {
   }
 
   /// The disk chain ran out without finding the key.
-  void CompleteChainMiss(ThreadState& ts, PendingContext* ctx) {
+  void CompleteChainMiss(ThreadState& ts, PendingContext* ctx)
+      FASTER_REQUIRES_EPOCH() {
     if (ctx->op == OpType::kRead) {
       if constexpr (kMergeable) {
         CompleteMergeFinal(ts, ctx);
@@ -1779,7 +1822,7 @@ class FasterKv {
   }
 
   void RmwContinue(ThreadState& ts, PendingContext* ctx, DiskState state,
-                   const Value* disk_value) {
+                   const Value* disk_value) FASTER_REQUIRES_EPOCH() {
     RmwOutcome oc = RmwInMemory(ts, ctx->key, ctx->hash, ctx->input, state,
                                 disk_value, ctx->chain_bottom);
     switch (oc.kind) {
@@ -1806,7 +1849,7 @@ class FasterKv {
     }
   }
 
-  void ProcessRetries(ThreadState& ts) {
+  void ProcessRetries(ThreadState& ts) FASTER_REQUIRES_EPOCH() {
     if (ts.retries.empty()) return;
     std::vector<PendingContext*> work;
     work.swap(ts.retries);
@@ -1840,7 +1883,7 @@ class FasterKv {
   // -------------------------------------------------------------------
 
   Status MergeableRead(ThreadState& ts, const Key& key, KeyHash hash,
-                       Address addr, Output* output) {
+                       Address addr, Output* output) FASTER_REQUIRES_EPOCH() {
     static_assert(!kMergeable || std::is_same_v<Value, Output>,
                   "mergeable stores require Output == Value");
     Value acc{};
@@ -1888,7 +1931,7 @@ class FasterKv {
   }
 
   void CompleteMergeStep(ThreadState& ts, PendingContext* ctx,
-                         const RecordT* rec) {
+                         const RecordT* rec) FASTER_REQUIRES_EPOCH() {
     RecordInfo info = rec->info();
     if (info.tombstone()) {
       CompleteMergeFinal(ts, ctx);

@@ -62,9 +62,20 @@ static_assert(sizeof(HashBucketEntry) == 8);
 struct alignas(64) HashBucket {
   static constexpr uint32_t kNumEntries = 7;
 
+  // order: acquire loads on every chain scan; acq_rel CAS for the
+  // two-phase tentative insert and TryUpdate/TryDelete (the CAS is the
+  // publication point for a new record: the writer fills the record with
+  // plain stores, the CAS releases them); release store to back off a
+  // tentative entry, finalize an owned slot, or (migration) publish into a
+  // not-yet-shared table; relaxed loads/stores only in single-writer
+  // phases (migration scan, checkpoint restore).
   std::atomic<uint64_t> entries[kNumEntries];
   /// Physical pointer (as integer) to the next (overflow) bucket; 0 if
   /// none. Overflow buckets are cache-line aligned too.
+  // order: acquire loads following the chain; acq_rel CAS appends a bucket
+  // (publishes its zeroed cache line); release store during migration
+  // (single writer per chunk); relaxed in single-writer phases (migration
+  // scan, checkpoint restore).
   std::atomic<uint64_t> overflow;
 };
 

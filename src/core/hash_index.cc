@@ -87,6 +87,10 @@ HashBucket* HashIndex::AllocateOverflowBucket(uint8_t version) {
 
 HashIndex::OpScope::OpScope(HashIndex& index, KeyHash hash)
     : index_{index}, pinned_chunk_{-1} {
+  // Every index operation walks bucket chains whose memory is reclaimed
+  // epoch-deferred (Grow retires tables, overflow pools are version-tied).
+  FASTER_EPOCH_VERIFY(index.epoch_->IsProtected(),
+                      "index operation (OpScope) without epoch protection");
   for (;;) {
     ResizeInfo info = index.resize_info();
     uint8_t v = info.version;
@@ -169,6 +173,8 @@ bool HashIndex::ScanChain(HashBucket* bucket, uint16_t tag, FindResult* match,
 
 bool HashIndex::FindEntry(const OpScope& scope, KeyHash hash,
                           FindResult* out) const {
+  FASTER_EPOCH_VERIFY(epoch_->IsProtected(),
+                      "bucket read (FindEntry) without epoch protection");
   uint16_t tag = EffectiveTag(hash);
   HashBucket* bucket = &scope.table_[hash.Bucket(scope.table_size_)];
   obs_stats_.finds.Inc();
@@ -182,6 +188,10 @@ bool HashIndex::FindEntry(const OpScope& scope, KeyHash hash,
 bool HashIndex::TryFindEntriesStable(const KeyHash* hashes, const bool* skip,
                                      size_t n, FindResult* out,
                                      bool* found) const {
+  // This path elides the OpScope pin entirely, so protection is the only
+  // thing keeping the observed table alive (see the header contract).
+  FASTER_EPOCH_VERIFY(epoch_->IsProtected(),
+                      "TryFindEntriesStable without epoch protection");
   ResizeInfo info = resize_info();
   if (info.phase != Phase::kStable) {
     return false;
@@ -281,6 +291,8 @@ void HashIndex::FindOrCreateEntry(const OpScope& scope, KeyHash hash,
 }
 
 bool HashIndex::TryUpdateEntry(FindResult* result, Address address) {
+  FASTER_EPOCH_VERIFY(epoch_->IsProtected(),
+                      "index CAS (TryUpdateEntry) without epoch protection");
   HashBucketEntry desired{address, result->entry.tag(), /*tentative=*/false};
   uint64_t expected = result->entry.control();
   if (result->slot->compare_exchange_strong(expected, desired.control(),
@@ -294,6 +306,8 @@ bool HashIndex::TryUpdateEntry(FindResult* result, Address address) {
 }
 
 bool HashIndex::TryDeleteEntry(FindResult* result) {
+  FASTER_EPOCH_VERIFY(epoch_->IsProtected(),
+                      "index CAS (TryDeleteEntry) without epoch protection");
   uint64_t expected = result->entry.control();
   if (result->slot->compare_exchange_strong(expected, 0,
                                             std::memory_order_acq_rel)) {
@@ -358,6 +372,8 @@ void HashIndex::Grow() {
   // Announce the resize; once every thread has observed the prepare phase
   // (i.e., the bumped epoch is safe), flip to the resizing phase.
   set_resize_state(Phase::kPrepare, old_version);
+  // order: release store in the trigger action, acquire load in the wait
+  // loop below (a plain completion flag).
   std::atomic<bool> resizing_started{false};
   epoch_->BumpCurrentEpoch([this, old_version, &resizing_started]() {
     set_resize_state(Phase::kResizing, old_version);
@@ -392,6 +408,8 @@ void HashIndex::Grow() {
     std::lock_guard<std::mutex> lock{overflow_mutex_};
     old_overflow.swap(overflow_pool_[old_version]);
   }
+  // order: release store in the trigger action, acquire load in the wait
+  // loop below (a plain completion flag).
   std::atomic<bool> freed{false};
   epoch_->BumpCurrentEpoch([old_table, old_overflow = std::move(old_overflow),
                             &freed]() {
@@ -499,6 +517,9 @@ constexpr uint64_t kIndexMagic = 0xFA57E21D4E5ULL;
 
 Status HashIndex::WriteCheckpoint(int fd,
                                   const EntryTransform& transform) const {
+  // The fuzzy checkpoint reads the live table; protection keeps a
+  // concurrent Grow from retiring it mid-scan.
+  assert(epoch_->IsProtected());
   ResizeInfo info = resize_info();
   if (info.phase != Phase::kStable) return Status::kInvalid;
   const HashBucket* table = tables_[info.version].load(std::memory_order_acquire);

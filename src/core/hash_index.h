@@ -9,7 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "core/annotations.h"
 #include "core/epoch.h"
+#include "core/epoch_check.h"
 #include "core/hash_bucket.h"
 #include "core/key_hash.h"
 #include "core/status.h"
@@ -47,7 +49,7 @@ class HashIndex {
   /// chunk (prepare phase) or helps migrate it (resizing phase).
   class OpScope {
    public:
-    OpScope(HashIndex& index, KeyHash hash);
+    OpScope(HashIndex& index, KeyHash hash) FASTER_REQUIRES_EPOCH();
     ~OpScope();
     OpScope(const OpScope&) = delete;
     OpScope& operator=(const OpScope&) = delete;
@@ -72,12 +74,13 @@ class HashIndex {
 
   /// Finds the non-tentative entry matching `hash`'s tag, if any.
   /// Returns false if no such entry exists.
-  bool FindEntry(const OpScope& scope, KeyHash hash, FindResult* out) const;
+  bool FindEntry(const OpScope& scope, KeyHash hash, FindResult* out) const
+      FASTER_REQUIRES_EPOCH();
 
   /// Prefetches `hash`'s bucket cache line (batched pipeline stage 1).
   /// No-op while a resize is in flight (the batch falls back to single-op
   /// execution then anyway, and the bucket location is version-dependent).
-  void PrefetchBucket(KeyHash hash) const {
+  void PrefetchBucket(KeyHash hash) const FASTER_REQUIRES_EPOCH() {
     ResizeInfo info = resize_info();
     if (info.phase != Phase::kStable) return;
     const HashBucket* table =
@@ -102,19 +105,23 @@ class HashIndex {
   /// that cannot run until this thread refreshes; table retirement is
   /// likewise epoch-deferred.
   bool TryFindEntriesStable(const KeyHash* hashes, const bool* skip, size_t n,
-                            FindResult* out, bool* found) const;
+                            FindResult* out, bool* found) const
+      FASTER_REQUIRES_EPOCH();
 
   /// Finds the entry matching `hash`'s tag, creating one (with an invalid
   /// address) via the two-phase tentative insert if absent.
-  void FindOrCreateEntry(const OpScope& scope, KeyHash hash, FindResult* out);
+  void FindOrCreateEntry(const OpScope& scope, KeyHash hash, FindResult* out)
+      FASTER_REQUIRES_EPOCH();
 
   /// CAS the slot in `result` from the observed entry to a new entry with
   /// `address` and the same tag. On success updates `result->entry`; on
-  /// failure reloads the current value into `result->entry`.
-  bool TryUpdateEntry(FindResult* result, Address address);
+  /// failure reloads the current value into `result->entry`. The slot
+  /// pointer is only valid under the epoch protection it was found under.
+  bool TryUpdateEntry(FindResult* result, Address address)
+      FASTER_REQUIRES_EPOCH();
 
   /// CAS the slot in `result` from the observed entry to empty (0).
-  bool TryDeleteEntry(FindResult* result);
+  bool TryDeleteEntry(FindResult* result) FASTER_REQUIRES_EPOCH();
 
   /// Number of buckets in the active version.
   uint64_t size() const {
@@ -147,7 +154,7 @@ class HashIndex {
   /// Doubles the index on-line (Appendix B). Must be called from an
   /// epoch-protected thread; concurrent operations cooperate. Blocks until
   /// the grow completes.
-  void Grow();
+  void Grow() FASTER_REQUIRES_EPOCH();
 
   /// True while a grow is in progress.
   bool IsResizing() const {
@@ -162,7 +169,8 @@ class HashIndex {
   /// tentative entries and persists the rest verbatim.
   using EntryTransform =
       std::function<uint64_t(const std::atomic<uint64_t>&)>;
-  Status WriteCheckpoint(int fd, const EntryTransform& transform = {}) const;
+  Status WriteCheckpoint(int fd, const EntryTransform& transform = {}) const
+      FASTER_REQUIRES_EPOCH();
   /// Restores a table written by WriteCheckpoint. The index must be
   /// otherwise idle.
   Status ReadCheckpoint(int fd);
@@ -243,13 +251,29 @@ class HashIndex {
   // Atomic because OpScope resolves the active table concurrently with
   // Grow() swapping and retiring versions; the epoch protocol keeps the
   // *contents* alive, but the pointer/size reads themselves are racy.
+  // order: release stores in Grow/checkpoint-restore (install or retire a
+  // version, publishing the array it points to); acquire loads in
+  // OpScope/MigrateChunk/stats; relaxed load only to free a retired
+  // version no reader can reach (destructor, next Grow).
   std::atomic<HashBucket*> tables_[2] = {nullptr, nullptr};
+  // order: release store paired with the tables_ install; acquire loads.
   std::atomic<uint64_t> table_size_[2] = {0, 0};
+  // order: release store on every phase transition (writes to the new
+  // version's arrays happen-before the announcement); acquire load in
+  // resize_info().
   std::atomic<uint16_t> resize_state_;
 
   // Resize machinery (Appendix B).
+  // order: acq_rel CAS pins a chunk (or claims it for migration with
+  // kChunkLocked) and acq_rel fetch_sub unpins; acquire loads observe the
+  // pin state before deciding.
   std::vector<std::unique_ptr<std::atomic<int64_t>>> pins_;
+  // order: release store after MigrateChunk's writes land (publishes the
+  // migrated buckets); acquire loads in EnsureMigrated's wait loops.
   std::vector<std::unique_ptr<std::atomic<bool>>> migrated_;
+  // order: acq_rel fetch_add per migrated chunk; acquire load in Grow's
+  // completion wait; release store resets the counter before the resize
+  // phase is announced.
   std::atomic<uint64_t> num_migrated_chunks_{0};
   uint64_t num_chunks_ = 0;
   std::mutex grow_mutex_;  // serializes concurrent Grow() callers only

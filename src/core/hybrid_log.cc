@@ -72,6 +72,8 @@ Address HybridLog::tail_address() const {
 }
 
 Address HybridLog::Allocate(uint32_t size, uint64_t* closed_page) {
+  FASTER_EPOCH_VERIFY(epoch_->IsProtected(),
+                      "log allocation without epoch protection");
   assert(size % 8 == 0 && size > 0 && size <= Address::kPageSize);
   uint64_t tpo = tail_page_offset_.fetch_add(size, std::memory_order_acq_rel);
   uint64_t page = tpo >> 32;
@@ -86,6 +88,8 @@ Address HybridLog::Allocate(uint32_t size, uint64_t* closed_page) {
 }
 
 Address HybridLog::AllocateExtent(uint32_t size, uint32_t count) {
+  FASTER_EPOCH_VERIFY(epoch_->IsProtected(),
+                      "log extent allocation without epoch protection");
   assert(size % 8 == 0 && size > 0 && count > 0);
   uint64_t total = static_cast<uint64_t>(size) * count;
   if (total > Address::kPageSize) {
@@ -104,6 +108,9 @@ Address HybridLog::AllocateExtent(uint32_t size, uint32_t count) {
 }
 
 bool HybridLog::NewPage(uint64_t old_page) {
+  // The epoch triggers armed here (safe-RO propagation, frame eviction)
+  // only drain if this thread's refreshes can advance safety.
+  assert(epoch_->IsProtected());
   // Page transitions are rare (once per page); a mutex keeps the
   // frame-recycling logic simple without touching the allocation fast path.
   std::lock_guard<std::recursive_mutex> lock{flush_mutex_};
@@ -122,8 +129,12 @@ bool HybridLog::NewPage(uint64_t old_page) {
     Address desired_ro{(new_page - ro_lag_pages_) << Address::kOffsetBits};
     Address winner;
     if (MonotonicUpdate(read_only_address_, desired_ro, &winner)) {
-      epoch_->BumpCurrentEpoch(
-          [this, winner]() { UpdateSafeReadOnly(winner); });
+      epoch_->BumpCurrentEpoch([this, winner]() {
+        // Trigger actions drain only from epoch calls that require
+        // protection, so the running thread holds the capability.
+        AssertEpochProtected(*epoch_);
+        UpdateSafeReadOnly(winner);
+      });
     }
   }
 
@@ -142,6 +153,7 @@ bool HybridLog::NewPage(uint64_t old_page) {
       uint64_t from_page = old_head.page();
       uint64_t to_page = winner.page();
       epoch_->BumpCurrentEpoch([this, from_page, to_page]() {
+        AssertEpochProtected(*epoch_);
         // The epoch is safe: no thread still reads these pages. Let the
         // eviction callback (read cache, Appendix D) inspect them before
         // the frames become recyclable.
@@ -257,6 +269,8 @@ Status HybridLog::AsyncGetFromDiskBatch(const IoReadRequest* requests,
 }
 
 Status HybridLog::ReadFromDiskSync(Address address, uint32_t size, void* dst) {
+  // order: release store from the IO callback publishes `result`; acquire
+  // load in the spin loop pairs with it.
   std::atomic<int> done{0};
   Status result = Status::kOk;
   struct SyncCtx {
@@ -278,11 +292,14 @@ Status HybridLog::ReadFromDiskSync(Address address, uint32_t size, void* dst) {
 }
 
 Address HybridLog::ShiftReadOnlyToTail(bool wait) {
+  assert(epoch_->IsProtected());
   Address tail = tail_address();
   Address winner;
   if (MonotonicUpdate(read_only_address_, tail, &winner)) {
-    epoch_->BumpCurrentEpoch(
-        [this, winner]() { UpdateSafeReadOnly(winner); });
+    epoch_->BumpCurrentEpoch([this, winner]() {
+      AssertEpochProtected(*epoch_);
+      UpdateSafeReadOnly(winner);
+    });
   }
   if (wait) {
     while (Load(flushed_until_) < tail) {

@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "core/address.h"
+#include "core/annotations.h"
 #include "core/epoch.h"
+#include "core/epoch_check.h"
 #include "core/status.h"
 #include "device/device.h"
 #include "obs/stats.h"
@@ -64,7 +66,8 @@ class HybridLog {
   /// If the current page overflowed, returns an invalid address and sets
   /// `*closed_page` to the page that must be closed; the caller should
   /// invoke `NewPage(closed_page)`, `epoch->Refresh()`, and retry.
-  Address Allocate(uint32_t size, uint64_t* closed_page);
+  Address Allocate(uint32_t size, uint64_t* closed_page)
+      FASTER_REQUIRES_EPOCH();
 
   /// Reserves one contiguous extent of `count` records of `size` bytes each
   /// with a single tail bump, for a batch of upserts. Returns the address
@@ -74,28 +77,68 @@ class HybridLog {
   /// reserved slot and must write a real record header (possibly an
   /// invalidated one) into each: a slot left all-zero would read as page
   /// padding and terminate scans of the page early.
-  Address AllocateExtent(uint32_t size, uint32_t count);
+  Address AllocateExtent(uint32_t size, uint32_t count)
+      FASTER_REQUIRES_EPOCH();
 
   /// Closes `old_page` and opens `old_page + 1`, advancing the head and
   /// read-only offsets as needed. Returns false if the new page's frame is
   /// not yet recyclable (flush or eviction still pending); the caller
   /// should refresh its epoch and retry.
-  bool NewPage(uint64_t old_page);
+  bool NewPage(uint64_t old_page) FASTER_REQUIRES_EPOCH();
 
   /// Physical pointer for an in-memory logical address (caller must have
   /// checked `address >= head_address()` under epoch protection).
-  uint8_t* Get(Address address) const {
+  uint8_t* Get(Address address) const FASTER_REQUIRES_EPOCH() {
+    FASTER_EPOCH_VERIFY(epoch_->IsProtected(),
+                        "log dereference (Get) without epoch protection");
+    FASTER_EPOCH_VERIFY(
+        address >= head_address(),
+        "log dereference (Get) below the head address — the frame may "
+        "already be recycled for a newer page");
+    return frames_[address.page() % buffer_pages_] + address.offset();
+  }
+
+  /// As Get(), but for addresses in a range the eviction callback is being
+  /// told about: those are already below the head, yet their frames are
+  /// still intact — frame recycling is gated on `closed_page_`, which is
+  /// stored only after the callback returns. Valid solely inside the
+  /// eviction callback; epoch protection is still required.
+  uint8_t* GetEvicted(Address address) const FASTER_REQUIRES_EPOCH() {
+    FASTER_EPOCH_VERIFY(
+        epoch_->IsProtected(),
+        "log dereference (GetEvicted) without epoch protection");
     return frames_[address.page() % buffer_pages_] + address.offset();
   }
 
   /// Prefetches the first `bytes` of the in-memory record at `address`
   /// into cache (batched pipeline stage 2). Same precondition as Get():
   /// `address >= head_address()` under epoch protection.
-  void Prefetch(Address address, uint32_t bytes) const {
+  void Prefetch(Address address, uint32_t bytes) const
+      FASTER_REQUIRES_EPOCH() {
     const uint8_t* p = Get(address);
     for (uint32_t off = 0; off < bytes; off += 64) {
       __builtin_prefetch(p + off, /*rw=*/0, /*locality=*/3);
     }
+  }
+
+  /// FASTER_EPOCH_CHECK hook for in-place update sites: the store calls
+  /// this immediately before mutating record bytes at `address` in place.
+  /// The non-vacuous invariant is the *safe* read-only bound: the store
+  /// gates in-place updates on the (possibly lagging) read-only offset,
+  /// and the epoch protocol is what guarantees safe-RO — the flush
+  /// frontier — cannot pass an address a protected thread is still
+  /// mutating. Compiled out (empty) without FASTER_EPOCH_CHECK.
+  void VerifyMutableAddress(Address address) const {
+    FASTER_EPOCH_VERIFY(epoch_->IsProtected(),
+                        "in-place update without epoch protection");
+    FASTER_EPOCH_VERIFY(
+        address >= safe_read_only_address(),
+        "in-place update below the safe read-only offset — these bytes may "
+        "be flushing (torn write to storage)");
+    FASTER_EPOCH_VERIFY(
+        address >= head_address(),
+        "in-place update below the head address (truncated region)");
+    (void)address;
   }
 
   Address begin_address() const { return Load(begin_address_); }
@@ -128,7 +171,7 @@ class HybridLog {
   /// permits) flushes everything below it. If `wait`, blocks (refreshing
   /// the epoch) until `flushed_until >= tail`; requires epoch protection.
   /// Returns the tail address the log will be durable up to.
-  Address ShiftReadOnlyToTail(bool wait);
+  Address ShiftReadOnlyToTail(bool wait) FASTER_REQUIRES_EPOCH();
 
   /// Truncates the log: addresses below `new_begin` become invalid
   /// (expiration-based garbage collection, Appendix C).
@@ -190,12 +233,13 @@ class HybridLog {
                               Address* winner = nullptr);
 
   /// Epoch-trigger target: propagate the read-only offset to the safe
-  /// read-only offset and issue flushes for newly immutable bytes.
-  void UpdateSafeReadOnly(Address new_safe);
-  void UpdateSafeReadOnlyLocked(Address new_safe);
+  /// read-only offset and issue flushes for newly immutable bytes. Runs on
+  /// whichever protected thread drains the trigger action.
+  void UpdateSafeReadOnly(Address new_safe) FASTER_REQUIRES_EPOCH();
+  void UpdateSafeReadOnlyLocked(Address new_safe) FASTER_REQUIRES_EPOCH();
   /// Issues device writes for [flush_issued_, limit). Caller holds
-  /// flush_mutex_.
-  void IssueFlushesLocked(Address limit);
+  /// flush_mutex_ and epoch protection (reads page frames via Get).
+  void IssueFlushesLocked(Address limit) FASTER_REQUIRES_EPOCH();
   /// Flush-completion bookkeeping: advance flushed_until_ contiguously.
   void CompleteFlush(Address start, Address end);
 
@@ -218,15 +262,31 @@ class HybridLog {
   /// closed_page_[f]: the latest page whose eviction from frame f has
   /// completed; frame f may host page P iff P < buffer_pages_ or
   /// closed_page_[f] == P - buffer_pages_.
+  // order: release store inside the eviction trigger action (epoch safety
+  // for all readers of the frame happens-before the store); acquire load
+  // in NewPage before recycling the frame; release stores in RecoverTo
+  // (idle log).
   std::vector<std::unique_ptr<std::atomic<int64_t>>> closed_page_;
 
   /// Packed (page << 32 | offset); offset may transiently exceed the page
   /// size while a page transition is in progress.
+  // order: acq_rel fetch_add in Allocate/AllocateExtent (Alg. 1); acq_rel
+  // CAS for the page rollover — threads that observe the new page's offset
+  // also observe its memset; acquire loads; release store in RecoverTo.
   alignas(64) std::atomic<uint64_t> tail_page_offset_;
+  // Region markers: monotone frontiers — acquire loads, acq_rel CAS-loop
+  // in MonotonicUpdate; release store only in RecoverTo (idle log).
+  // Safe-RO and eviction propagate only through epoch trigger actions
+  // (§6.2), so a marker observed by any thread is already safe for all.
+  // order: acquire load; acq_rel CAS; release store (RecoverTo).
   alignas(64) std::atomic<uint64_t> begin_address_;
+  // order: acquire load; acq_rel CAS; release store (RecoverTo).
   alignas(64) std::atomic<uint64_t> head_address_;
+  // order: acquire load; acq_rel CAS; release store (RecoverTo).
   alignas(64) std::atomic<uint64_t> read_only_address_;
+  // order: acquire load; acq_rel CAS; release store (RecoverTo).
   alignas(64) std::atomic<uint64_t> safe_read_only_address_;
+  // order: acquire load; acq_rel CAS; release store (RecoverTo).
   alignas(64) std::atomic<uint64_t> flushed_until_;
 
   // Flush issuance/completion state (off the fast path). Recursive because
@@ -235,6 +295,9 @@ class HybridLog {
   std::recursive_mutex flush_mutex_;
   Address flush_issued_;
   std::map<uint64_t, uint64_t> completed_flushes_;  // start -> end
+  // order: release store from the flush-completion callback (IO thread);
+  // acquire load in io_error() so the reader observes the failed write's
+  // bookkeeping.
   std::atomic<bool> io_error_{false};
 
   mutable ObsStats obs_stats_;

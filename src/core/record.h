@@ -72,6 +72,9 @@ struct Record {
   static_assert(std::is_trivially_copyable_v<Value>);
   static_assert(alignof(Key) <= 8 && alignof(Value) <= 8);
 
+  // order: release store in set_info (fill the record before publishing
+  // its header); acquire load in info(); acq_rel fetch_or for the
+  // invalid/tombstone/overwritten one-way flag bits.
   std::atomic<uint64_t> header;
   Key key;
   Value value;

@@ -31,7 +31,13 @@ class Thread {
  private:
   static uint32_t Acquire();
 
+  // order: acq_rel CAS claims a slot in Acquire; release store frees it in
+  // Release (orders the exiting thread's last epoch-table writes before
+  // the slot can be reused).
   static std::atomic<bool> in_use_[kMaxThreads];
+  // order: relaxed CAS/load on the monotone high-water advance (counts
+  // only; no data published through it); acquire load in HighWaterMark
+  // pairs with slot claims for epoch-table scans.
   static std::atomic<uint32_t> high_water_;
 };
 

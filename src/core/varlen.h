@@ -33,8 +33,17 @@ namespace faster {
 /// store can over-provision (slack) to keep updates in place even as
 /// values grow.
 struct VarRecordHeader {
+  // order: release store in InitRecord publishes the fully written record;
+  // acquire load pairs with it before reading key/value bytes; acq_rel
+  // fetch_or for the one-way flag bits (invalid, tombstone, overwritten);
+  // relaxed load where the record is known published (single-writer
+  // re-checks and scans behind the index CAS).
   std::atomic<uint64_t> info;
   uint32_t key_size;
+  // order: release store publishes in-place value bytes before the new
+  // length, acquire load pairs with it (concurrent readers); relaxed
+  // store in InitRecord (the info release store publishes the record) and
+  // relaxed load on paths ordered by an earlier acquire of `info`.
   std::atomic<uint32_t> value_size;
   uint32_t value_capacity;
   uint32_t pad;

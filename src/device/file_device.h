@@ -46,6 +46,8 @@ class FileDevice : public IDevice {
   std::string path_;
   int fd_;
   std::unique_ptr<IoThreadPool> pool_;
+  // order: relaxed fetch_add/load — a monotonically increasing byte
+  // counter for stats and tests; no data is published through it.
   std::atomic<uint64_t> bytes_written_{0};
   mutable DeviceObsStats obs_stats_;
 };

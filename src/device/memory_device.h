@@ -59,6 +59,8 @@ class MemoryDevice : public IDevice {
   uint32_t latency_us_;
   std::mutex segments_mutex_;
   std::vector<std::unique_ptr<uint8_t[]>> segments_;
+  // order: relaxed fetch_add/load — a monotonically increasing byte
+  // counter for stats and tests; no data is published through it.
   std::atomic<uint64_t> bytes_written_{0};
   mutable DeviceObsStats obs_stats_;
 };
@@ -84,6 +86,8 @@ class NullDevice : public IDevice {
   }
 
  private:
+  // order: relaxed fetch_add/load — a monotonically increasing byte
+  // counter for stats and tests; no data is published through it.
   std::atomic<uint64_t> bytes_written_{0};
 };
 

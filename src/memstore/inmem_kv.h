@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "core/annotations.h"
 #include "core/epoch.h"
 #include "core/functions.h"
 #include "core/hash_index.h"
@@ -51,16 +52,17 @@ class InMemKv {
   InMemKv(const InMemKv&) = delete;
   InMemKv& operator=(const InMemKv&) = delete;
 
-  void StartSession() { epoch_.Protect(); }
-  void StopSession() { epoch_.Unprotect(); }
-  void Refresh() {
+  void StartSession() FASTER_ACQUIRES_EPOCH() { epoch_.Protect(); }
+  void StopSession() FASTER_RELEASES_EPOCH() { epoch_.Unprotect(); }
+  void Refresh() FASTER_REQUIRES_EPOCH() {
     epoch_.Refresh();
     DrainFreeList();
   }
 
   /// Reads the value for `key` (always via ConcurrentReader: every
   /// in-memory record may race with in-place updates).
-  Status Read(const Key& key, const Input& input, Output* output) {
+  Status Read(const Key& key, const Input& input, Output* output)
+      FASTER_REQUIRES_EPOCH() {
     AutoRefresh();
     KeyHash hash = Hasher{}(key);
     typename HashIndex::OpScope scope{index_, hash};
@@ -74,7 +76,7 @@ class InMemKv {
 
   /// Blind update: in place when the key exists, else insert at the head
   /// of the chain.
-  Status Upsert(const Key& key, const Value& value) {
+  Status Upsert(const Key& key, const Value& value) FASTER_REQUIRES_EPOCH() {
     AutoRefresh();
     KeyHash hash = Hasher{}(key);
     for (;;) {
@@ -98,7 +100,7 @@ class InMemKv {
 
   /// RMW: in place when the key exists (the paper's count-store example
   /// uses fetch-and-increment here), else insert the initial value.
-  Status Rmw(const Key& key, const Input& input) {
+  Status Rmw(const Key& key, const Input& input) FASTER_REQUIRES_EPOCH() {
     AutoRefresh();
     KeyHash hash = Hasher{}(key);
     for (;;) {
@@ -125,7 +127,7 @@ class InMemKv {
   /// on the hash bucket entry — the singleton case resets the entry to 0,
   /// freeing the slot for future inserts) and retire the memory under
   /// epoch protection.
-  Status Delete(const Key& key) {
+  Status Delete(const Key& key) FASTER_REQUIRES_EPOCH() {
     AutoRefresh();
     KeyHash hash = Hasher{}(key);
     typename HashIndex::OpScope scope{index_, hash};
@@ -161,7 +163,7 @@ class InMemKv {
     return reinterpret_cast<RecordT*>(addr.control());
   }
 
-  void AutoRefresh() {
+  void AutoRefresh() FASTER_REQUIRES_EPOCH() {
     FreeList& fl = free_lists_[Thread::Id()];
     if (++fl.ops_since_refresh >= 256) {
       fl.ops_since_refresh = 0;
@@ -190,7 +192,8 @@ class InMemKv {
   /// Physically unlinks tombstoned records from the head of the chain
   /// (progressive reclamation; mid-chain tombstones surface as their
   /// predecessors are removed). Updates `fr` to the new chain head.
-  void TryCollectChainHead(HashIndex::FindResult* fr) {
+  void TryCollectChainHead(HashIndex::FindResult* fr)
+      FASTER_REQUIRES_EPOCH() {
     while (fr->entry.address().IsValid()) {
       RecordT* head = AddressToPointer(fr->entry.address());
       if (!head->info().tombstone()) return;
@@ -210,7 +213,7 @@ class InMemKv {
     fl.retired.emplace_back(epoch_.CurrentEpoch(), rec);
   }
 
-  void DrainFreeList() {
+  void DrainFreeList() FASTER_REQUIRES_EPOCH() {
     FreeList& fl = free_lists_[Thread::Id()];
     if (fl.retired.empty()) return;
     uint64_t safe = epoch_.SafeToReclaimEpoch();

@@ -82,6 +82,8 @@ class Counter {
 
  private:
   struct alignas(64) Shard {
+    // order: relaxed fetch_add/load — statistics; no data is published
+    // through the counter.
     std::atomic<uint64_t> value{0};
   };
   std::unique_ptr<Shard[]> shards_;
@@ -114,6 +116,8 @@ class Gauge {
 
  private:
   struct alignas(64) Shard {
+    // order: relaxed fetch_add/load — statistics; no data is published
+    // through the gauge.
     std::atomic<int64_t> value{0};
   };
   std::unique_ptr<Shard[]> shards_;
@@ -191,6 +195,8 @@ class Histogram {
 
  private:
   struct alignas(64) Shard {
+    // order: relaxed fetch_add/load — statistics; no data is published
+    // through the histogram.
     std::atomic<uint64_t> buckets[kNumBuckets] = {};
   };
   std::unique_ptr<Shard[]> shards_;

@@ -89,11 +89,17 @@ class EventRing {
 
  private:
   struct Slot {
+    // order: relaxed stores/loads — best-effort trace ring; a snapshot
+    // racing a writer may see a torn event, which is acceptable here.
     std::atomic<uint64_t> ns{0};
+    // order: relaxed stores/loads — see `ns`.
     std::atomic<uint32_t> arg{0};
+    // order: relaxed stores/loads — see `ns`.
     std::atomic<uint16_t> id{0};
   };
   struct alignas(64) Shard {
+    // order: relaxed load/store — single-writer ring position; snapshot
+    // readers tolerate the race (best-effort ring).
     std::atomic<uint64_t> next{0};
     Slot slots[kEventsPerThread];
   };

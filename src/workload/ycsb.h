@@ -122,7 +122,11 @@ template <class Adapter>
 RunResult RunWorkload(Adapter& adapter, const WorkloadSpec& spec,
                       uint32_t num_threads, double seconds,
                       uint64_t seed = 1, uint32_t batch = 1) {
+  // order: relaxed fetch_add by workers; relaxed load at the end — the
+  // thread joins synchronize the final value.
   std::atomic<uint64_t> total_ops{0};
+  // order: relaxed store/load — stop flag; workers exit on eventual
+  // visibility and join() provides the final synchronization.
   std::atomic<bool> stop{false};
   // Sharded across workers; a no-op (no allocation, no clock reads) unless
   // built with FASTER_STATS.
@@ -200,7 +204,7 @@ RunResult RunWorkload(Adapter& adapter, const WorkloadSpec& spec,
   auto end = std::chrono::steady_clock::now();
 
   RunResult r;
-  r.total_ops = total_ops.load();
+  r.total_ops = total_ops.load(std::memory_order_relaxed);
   r.seconds = std::chrono::duration<double>(end - start).count();
   r.mops = static_cast<double>(r.total_ops) / r.seconds / 1e6;
   r.latency_samples = op_latency.Count();

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Diff-only clang-format check: verifies that files *changed since a base
+# ref* conform to the checked-in .clang-format. Deliberately not a mass
+# reformat — the existing tree keeps its hand-tuned layout; only lines an
+# author touches are held to the tool.
+#
+# Usage: tools/check_format.sh [base-ref]
+#   base-ref: git ref to diff against (default: HEAD~1)
+#
+# Skips (exit 0, loudly) when clang-format is unavailable; CI installs it.
+set -u
+
+cd "$(dirname "$0")/.."
+
+BASE="${1:-HEAD~1}"
+
+CFMT="${CLANG_FORMAT:-}"
+if [[ -z "${CFMT}" ]]; then
+  for c in clang-format clang-format-20 clang-format-19 clang-format-18; do
+    if command -v "$c" > /dev/null 2>&1; then
+      CFMT="$c"
+      break
+    fi
+  done
+fi
+if [[ -z "${CFMT}" ]]; then
+  echo "check_format: SKIP (no clang-format found; set CLANG_FORMAT=...)"
+  exit 0
+fi
+if ! git rev-parse --verify --quiet "${BASE}" > /dev/null; then
+  echo "check_format: SKIP (base ref '${BASE}' not found — shallow clone?)"
+  exit 0
+fi
+
+mapfile -t FILES < <(git diff --name-only --diff-filter=ACMR "${BASE}" -- \
+  'src/*.h' 'src/*.cc' 'tests/*.h' 'tests/*.cc' 'tools/*.cc' | sort)
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "check_format: no C++ files changed since ${BASE}"
+  exit 0
+fi
+
+# git-clang-format checks only the changed *lines*; fall back to whole-file
+# --dry-run when the helper is not installed alongside clang-format.
+GCF="${GIT_CLANG_FORMAT:-}"
+if [[ -z "${GCF}" ]]; then
+  for c in git-clang-format "git-clang-format-${CFMT##*-}"; do
+    if command -v "$c" > /dev/null 2>&1; then
+      GCF="$c"
+      break
+    fi
+  done
+fi
+
+if [[ -n "${GCF}" ]]; then
+  echo "check_format: ${GCF} --diff ${BASE} (${#FILES[@]} file(s))"
+  out=$("${GCF}" --binary "$(command -v "${CFMT}")" --diff "${BASE}" -- \
+        "${FILES[@]}")
+  if [[ -n "${out}" && "${out}" != *"no modified files to format"* && \
+        "${out}" != *"did not modify any files"* ]]; then
+    echo "${out}"
+    echo "check_format: FAIL (run: ${GCF} ${BASE} to fix)"
+    exit 1
+  fi
+else
+  echo "check_format: git-clang-format not found; whole-file check on" \
+       "${#FILES[@]} changed file(s)"
+  if ! "${CFMT}" --dry-run --Werror "${FILES[@]}"; then
+    echo "check_format: FAIL (run: ${CFMT} -i <files> to fix)"
+    exit 1
+  fi
+fi
+
+echo "check_format: OK"

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Clang thread-safety analysis gate for the epoch capability annotations
+# (src/core/annotations.h).
+#
+#   1. tools/ts_harness.cc — instantiates both stores and drives every
+#      annotated entry point with correct session bracketing; must compile
+#      with -Wthread-safety -Werror=thread-safety with NO diagnostics.
+#   2. tools/ts_violation.cc — deliberately unprotected calls; the same
+#      flags MUST reject it (proves the analysis has teeth).
+#
+# Skips (exit 0, loudly) when no clang is available — the annotations are
+# no-ops on GCC, so there is nothing to check locally; CI installs clang.
+set -u
+
+cd "$(dirname "$0")/.."
+
+CLANGXX="${CLANGXX:-}"
+if [[ -z "${CLANGXX}" ]]; then
+  for c in clang++ clang++-20 clang++-19 clang++-18 clang++-17; do
+    if command -v "$c" > /dev/null 2>&1; then
+      CLANGXX="$c"
+      break
+    fi
+  done
+fi
+if [[ -z "${CLANGXX}" ]]; then
+  echo "check_thread_safety: SKIP (no clang++ found; set CLANGXX=...)"
+  exit 0
+fi
+
+FLAGS=(-std=c++20 -fsyntax-only -Isrc -Wthread-safety
+       -Werror=thread-safety -Wno-unused-result)
+
+echo "check_thread_safety: using ${CLANGXX}"
+
+echo "check_thread_safety: [1/2] harness must be clean"
+if ! "${CLANGXX}" "${FLAGS[@]}" tools/ts_harness.cc; then
+  echo "check_thread_safety: FAIL — annotated API does not analyze cleanly"
+  exit 1
+fi
+
+echo "check_thread_safety: [2/2] violation TU must be rejected"
+if "${CLANGXX}" "${FLAGS[@]}" tools/ts_violation.cc 2> /tmp/ts_violation.log
+then
+  echo "check_thread_safety: FAIL — unprotected calls compiled cleanly;"
+  echo "  the capability annotations have regressed."
+  exit 1
+fi
+if ! grep -q "thread-safety" /tmp/ts_violation.log; then
+  echo "check_thread_safety: FAIL — ts_violation.cc failed for a reason"
+  echo "  other than thread-safety analysis:"
+  cat /tmp/ts_violation.log
+  exit 1
+fi
+
+echo "check_thread_safety: OK"

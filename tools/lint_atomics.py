@@ -1,0 +1,468 @@
+#!/usr/bin/env python3
+"""Memory-order contract linter (DESIGN.md §5).
+
+Enforces three rules over the C++ sources:
+
+  [missing-contract]  Every `std::atomic` variable declaration must carry an
+                      adjacent `// order:` comment (same line or the comment
+                      block immediately above) stating which memory orders
+                      are used and why.
+  [implicit-order]    Every atomic operation (.load/.store/.exchange/
+                      .fetch_*/.compare_exchange_*) must pass its memory
+                      order explicitly; relying on the seq_cst default is an
+                      error (it silences the author's intent and costs a
+                      fence on ARM).
+  [contract]          The order an operation passes must be one of the
+                      orders listed in the variable's `// order:` contract,
+                      matched by variable name.
+
+Primary implementation is a deterministic regex/token scan so the linter
+runs anywhere (no clang needed). When libclang is importable and a
+compile_commands.json is present, `--mode clang` cross-checks declarations
+against the AST; `--mode auto` (default) tries clang and silently falls
+back to the regex scan. CI pins `--mode regex` for reproducibility.
+
+Exit status: 0 when no violations, 1 otherwise (2 on usage errors).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+ATOMIC_OPS = (
+    "load",
+    "store",
+    "exchange",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "compare_exchange_weak",
+    "compare_exchange_strong",
+)
+
+ORDER_TOKENS = ("seq_cst", "acq_rel", "acquire", "release", "relaxed",
+                "consume")
+
+DECL_RE = re.compile(r"std\s*::\s*atomic\s*<")
+OP_RE = re.compile(
+    r"([A-Za-z_]\w*)\s*(?:\.|->)\s*(" + "|".join(ATOMIC_OPS) + r")\s*\(")
+ORDER_USE_RE = re.compile(
+    r"memory_order(?:_|\s*::\s*)(" + "|".join(ORDER_TOKENS) + r")\b")
+ORDER_DECL_RE = re.compile(r"\b(" + "|".join(ORDER_TOKENS) + r")\b")
+ALIGNAS_RE = re.compile(r"\balignas\s*\([^)]*\)\s*")
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_strings(line):
+    """Blank out string/char literals so tokens inside them are ignored."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    out.append("  ")
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    out.append(quote)
+                    i += 1
+                    break
+                out.append(" ")
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def declarator_name(code):
+    """Extract the declared variable name from an atomic declaration line
+    (comments and strings already stripped, `;`-terminated)."""
+    code = code.rstrip().rstrip(";").rstrip()
+    # Drop initializers: `{...}` or `= ...`.
+    brace = code.find("{")
+    if brace != -1:
+        code = code[:brace]
+    eq = code.find("=")
+    if eq != -1:
+        code = code[:eq]
+    # Drop array extents.
+    bracket = code.find("[")
+    if bracket != -1:
+        code = code[:bracket]
+    names = re.findall(r"[A-Za-z_]\w*", code)
+    return names[-1] if names else None
+
+
+def out_of_class_definition(code):
+    """True for `std::atomic<T> Class::member...;` — the contract belongs on
+    the in-class declaration, not the definition."""
+    m = re.search(r">\s*((?:[A-Za-z_]\w*\s*::\s*)+)[A-Za-z_]\w*\s*[\[;{=]",
+                  code)
+    return m is not None
+
+
+def collect_contract(lines, idx):
+    """Return the `// order:` contract text adjacent to line `idx`
+    (0-based), or None. Looks at the trailing comment on the declaration
+    line(s) and the contiguous `//` comment block immediately above."""
+    texts = []
+    m = re.search(r"//(.*)$", lines[idx])
+    if m:
+        texts.append(m.group(1))
+    j = idx - 1
+    block = []
+    while j >= 0:
+        stripped = lines[j].strip()
+        if stripped.startswith("//"):
+            block.append(stripped[2:])
+            j -= 1
+            continue
+        break
+    block.reverse()
+    texts = block + texts
+    joined = "\n".join(texts)
+    if "order:" not in joined:
+        return None
+    return joined[joined.index("order:") + len("order:"):]
+
+
+def parse_allowed_orders(contract_text):
+    return set(ORDER_DECL_RE.findall(contract_text))
+
+
+def scan_declarations(path, lines, contracts, violations, allow):
+    """Find atomic declarations; record name -> allowed orders; flag
+    declarations lacking an `// order:` contract."""
+    for idx, raw in enumerate(lines):
+        code = strip_strings(raw)
+        code_nc = LINE_COMMENT_RE.sub("", code)
+        if not DECL_RE.search(code_nc):
+            continue
+        code_nc = ALIGNAS_RE.sub("", code_nc)
+        stripped = code_nc.strip()
+        # Function signatures / calls / lambdas: not a plain declaration.
+        if "(" in stripped:
+            continue
+        # Pointers/references to atomics: the pointee's declaration carries
+        # the contract.
+        if re.search(r">\s*[*&]", stripped):
+            continue
+        if not stripped.endswith(";"):
+            continue
+        # `using`/`typedef` aliases declare no variable.
+        if stripped.startswith(("using ", "typedef ")):
+            continue
+        if out_of_class_definition(stripped):
+            continue
+        name = declarator_name(stripped)
+        if name is None:
+            continue
+        contract = collect_contract(lines, idx)
+        if contract is None:
+            if f"{path}:{name}" not in allow:
+                violations.append(Violation(
+                    path, idx + 1, "missing-contract",
+                    f"std::atomic `{name}` has no adjacent `// order:` "
+                    "contract comment (DESIGN.md §5)"))
+            continue
+        orders = parse_allowed_orders(contract)
+        if not orders:
+            if f"{path}:{name}" not in allow:
+                violations.append(Violation(
+                    path, idx + 1, "missing-contract",
+                    f"`// order:` contract for `{name}` names no memory "
+                    f"orders ({', '.join(ORDER_TOKENS)})"))
+            continue
+        if name in contracts:
+            contracts[name] |= orders  # same name in several files: merge
+        else:
+            contracts[name] = set(orders)
+
+
+def balanced_args(text, open_paren):
+    """Return the argument text between text[open_paren] == '(' and its
+    matching ')', or None if unbalanced (truncated file)."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1:i]
+    return None
+
+
+def scan_operations(path, text, line_starts, contracts, violations, allow):
+    for m in OP_RE.finditer(text):
+        base, op = m.group(1), m.group(2)
+        line = text.count("\n", 0, m.start()) + 1
+        open_paren = text.index("(", m.end() - 1)
+        args = balanced_args(text, open_paren)
+        if args is None:
+            continue
+        used = set(ORDER_USE_RE.findall(args))
+        key = f"{path}:{base}"
+        if not used:
+            if key not in allow:
+                violations.append(Violation(
+                    path, line, "implicit-order",
+                    f"`{base}.{op}(...)` relies on the implicit seq_cst "
+                    "default; pass the memory order explicitly"))
+            continue
+        if base in contracts:
+            extra = used - contracts[base]
+            if extra and key not in allow:
+                violations.append(Violation(
+                    path, line, "contract",
+                    f"`{base}.{op}(...)` uses memory_order_"
+                    f"{'/'.join(sorted(extra))} but the `// order:` "
+                    f"contract for `{base}` permits only "
+                    f"{', '.join(sorted(contracts[base]))}"))
+
+
+def strip_block_comments(text):
+    """Blank out /* ... */ comments (preserving newlines) so ops inside
+    them are ignored. Line comments are kept: contracts live there."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end == -1:
+                end = n - 2
+            chunk = text[i:end + 2]
+            out.append("".join(c if c == "\n" else " " for c in chunk))
+            i = end + 2
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def lint_file(path, contracts, violations, allow):
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        violations.append(Violation(path, 0, "io", str(e)))
+        return
+    text = strip_block_comments(text)
+    lines = text.split("\n")
+    scan_declarations(path, lines, contracts, violations, allow)
+
+
+def lint_ops(path, contracts, violations, allow):
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    text = strip_block_comments(text)
+    # Remove line comments for the op scan only (ops never live in them).
+    no_comments = "\n".join(
+        LINE_COMMENT_RE.sub("", strip_strings(l)) for l in text.split("\n"))
+    scan_operations(path, no_comments, None, contracts, violations, allow)
+
+
+def gather_files(paths):
+    exts = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+    files = []
+    for p in paths:
+        if os.path.isfile(p):
+            files.append(p)
+            continue
+        for root, dirs, names in os.walk(p):
+            dirs[:] = sorted(d for d in dirs if not d.startswith("."))
+            for n in sorted(names):
+                if n.endswith(exts):
+                    files.append(os.path.join(root, n))
+    return files
+
+
+def load_allowlist(path):
+    allow = set()
+    if path is None or not os.path.exists(path):
+        return allow
+    with open(path, "r", encoding="utf-8") as f:
+        for raw in f:
+            entry = raw.split("#", 1)[0].strip()
+            if entry:
+                allow.add(entry)
+    return allow
+
+
+def run_regex(paths, allow, contracts_out=None):
+    files = gather_files(paths)
+    contracts = {} if contracts_out is None else contracts_out
+    violations = []
+    # Pass 1: declarations (builds the global name -> orders map, so a
+    # contract in a header governs uses in any .cc).
+    for f in files:
+        lint_file(f, contracts, violations, allow)
+    # Pass 2: operations.
+    for f in files:
+        lint_ops(f, contracts, violations, allow)
+    return violations
+
+
+def run_clang(paths, allow, compile_commands):
+    """AST cross-check on top of the regex scan: any field or variable of
+    atomic type the AST sees that the regex declaration scan did not
+    (e.g. a declaration split across lines in a way the token scan cannot
+    follow) is reported as missing-contract. Raises when libclang or the
+    compilation database is unavailable; the caller falls back."""
+    from clang import cindex  # noqa: raises ImportError when absent
+
+    index = cindex.Index.create()
+    db = cindex.CompilationDatabase.fromDirectory(compile_commands)
+    files = gather_files(paths)
+    file_set = {os.path.abspath(f) for f in files}
+    contracts = {}
+    violations = run_regex(paths, allow, contracts_out=contracts)
+    parsed_any = False
+    for f in files:
+        if not f.endswith((".cc", ".cpp", ".cxx")):
+            continue
+        cmds = db.getCompileCommands(os.path.abspath(f))
+        if not cmds:
+            continue
+        args = [a for a in list(cmds[0].arguments)[1:-1]
+                if a not in ("-c", "-o")]
+        tu = index.parse(f, args=args)
+        parsed_any = True
+        for cursor in tu.cursor.walk_preorder():
+            if cursor.kind not in (cindex.CursorKind.FIELD_DECL,
+                                   cindex.CursorKind.VAR_DECL):
+                continue
+            loc = cursor.location
+            if loc.file is None:
+                continue
+            if os.path.abspath(loc.file.name) not in file_set:
+                continue
+            spelling = cursor.type.get_canonical().spelling
+            if not re.search(r"\bstd::atomic<", spelling):
+                continue
+            if re.search(r">\s*[*&]", spelling):
+                continue
+            name = cursor.spelling
+            lf = os.path.relpath(loc.file.name)
+            if name in contracts or f"{lf}:{name}" in allow:
+                continue
+            comment = cursor.raw_comment or ""
+            if "order:" in comment:
+                continue
+            violations.append(Violation(
+                lf, loc.line, "missing-contract",
+                f"std::atomic `{name}` (AST) has no `// order:` contract "
+                "and was not seen by the token scan"))
+    if not parsed_any:
+        raise RuntimeError("compilation database matched no linted file")
+    return violations
+
+
+SELF_TEST_EXPECT = {
+    "implicit_seq_cst.cc": {"implicit-order"},
+    "contract_violation.cc": {"contract"},
+    "missing_contract.cc": {"missing-contract"},
+    "clean.cc": set(),
+}
+
+
+def self_test(fixtures_dir):
+    ok = True
+    for name, expected in sorted(SELF_TEST_EXPECT.items()):
+        path = os.path.join(fixtures_dir, name)
+        if not os.path.exists(path):
+            print(f"self-test: FIXTURE MISSING {path}")
+            ok = False
+            continue
+        violations = run_regex([path], allow=set())
+        rules = {v.rule for v in violations}
+        if expected and not expected <= rules:
+            print(f"self-test: {name}: expected rules {sorted(expected)}, "
+                  f"got {sorted(rules)}")
+            for v in violations:
+                print(f"  {v}")
+            ok = False
+        elif not expected and violations:
+            print(f"self-test: {name}: expected clean, got:")
+            for v in violations:
+                print(f"  {v}")
+            ok = False
+        else:
+            print(f"self-test: {name}: OK "
+                  f"({len(violations)} violation(s), rules {sorted(rules)})")
+    return 0 if ok else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files or directories to lint (default: src)")
+    ap.add_argument("--mode", choices=("auto", "regex", "clang"),
+                    default="auto")
+    ap.add_argument("--allowlist", default=None,
+                    help="allowlist file (default: tools/"
+                         "lint_atomics_allow.txt next to this script)")
+    ap.add_argument("--compile-commands", default="build",
+                    help="directory holding compile_commands.json "
+                         "(clang mode)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the planted-violation fixture suite and exit")
+    args = ap.parse_args()
+
+    script_dir = os.path.dirname(os.path.abspath(__file__))
+    if args.self_test:
+        return self_test(os.path.join(script_dir, "lint_fixtures"))
+
+    paths = args.paths or [os.path.join(os.path.dirname(script_dir), "src")]
+    allow_path = args.allowlist or os.path.join(script_dir,
+                                                "lint_atomics_allow.txt")
+    allow = load_allowlist(allow_path)
+
+    violations = None
+    if args.mode in ("auto", "clang"):
+        try:
+            violations = run_clang(paths, allow, args.compile_commands)
+        except Exception as e:  # libclang absent or DB missing
+            if args.mode == "clang":
+                print(f"lint_atomics: clang mode unavailable: {e}",
+                      file=sys.stderr)
+                return 2
+            violations = None
+    if violations is None:
+        violations = run_regex(paths, allow)
+
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint_atomics: {len(violations)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print("lint_atomics: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+// Control fixture: fully contracted and explicit; the linter must report
+// nothing here.
+#include <atomic>
+#include <cstdint>
+
+struct Publisher {
+  // order: release store publishes `payload` writes; acquire load pairs
+  // with it on the consumer side; relaxed load for the owner's re-check.
+  std::atomic<uint64_t> seq{0};
+  uint64_t payload = 0;
+};
+
+void Publish(Publisher& p, uint64_t value) {
+  p.payload = value;
+  p.seq.store(p.seq.load(std::memory_order_relaxed) + 1,
+              std::memory_order_release);
+}
+
+uint64_t Consume(const Publisher& p) {
+  while (p.seq.load(std::memory_order_acquire) == 0) {
+  }
+  return p.payload;
+}

@@ -1,0 +1,15 @@
+// Planted violation: the operation passes an explicit memory order that
+// the declaration's `// order:` contract does not permit. The only
+// findings must be [contract].
+#include <atomic>
+#include <cstdint>
+
+struct Counter {
+  // order: relaxed fetch_add/load — statistics counter, publishes no data.
+  std::atomic<uint64_t> ticks{0};
+};
+
+uint64_t Bump(Counter& c) {
+  c.ticks.fetch_add(1, std::memory_order_acq_rel);  // BAD: not in contract
+  return c.ticks.load(std::memory_order_relaxed);   // OK
+}

@@ -1,0 +1,15 @@
+// Planted violation: operations relying on the implicit seq_cst default.
+// The declaration itself is correctly documented, so the only findings
+// must be [implicit-order].
+#include <atomic>
+#include <cstdint>
+
+struct Counter {
+  // order: relaxed fetch_add/load — statistics counter, publishes no data.
+  std::atomic<uint64_t> hits{0};
+};
+
+uint64_t Bump(Counter& c) {
+  c.hits.fetch_add(1);  // BAD: implicit seq_cst
+  return c.hits.load();  // BAD: implicit seq_cst
+}

@@ -1,0 +1,12 @@
+// Planted violation: an atomic member with no adjacent `// order:`
+// contract comment. The only findings must be [missing-contract].
+#include <atomic>
+#include <cstdint>
+
+struct Flags {
+  std::atomic<bool> ready{false};  // BAD: no order contract
+};
+
+bool Check(const Flags& f) {
+  return f.ready.load(std::memory_order_acquire);
+}

@@ -2,12 +2,18 @@
 # Local mirror of the CI matrix (.github/workflows/ci.yml): builds and runs
 # ctest in the three configurations the project gates on.
 #
-#   release   -O2, -Werror, full ctest suite (including long-labeled tests)
-#   tsan      FASTER_SANITIZE=thread, ctest minus long-labeled tests
-#   asan      FASTER_SANITIZE=address,undefined, ctest minus long tests
+#   release     -O2, -Werror, full ctest suite (including long-labeled tests)
+#   tsan        FASTER_SANITIZE=thread, ctest minus long-labeled tests
+#   asan        FASTER_SANITIZE=address,undefined, ctest minus long tests
+#   epochcheck  FASTER_EPOCH_CHECK=ON — runtime epoch/region verifier,
+#               full suite incl. the epoch_check_test death tests
+#   threadsafety  clang build of faster_core with -Wthread-safety -Werror
+#               plus tools/check_thread_safety.sh (SKIPs without clang)
+#   static      lint_atomics + clang-tidy + diff clang-format (the clang
+#               tools SKIP when not installed; the linter always runs)
 #
 # Usage:
-#   tools/run_matrix.sh            # run all three configurations
+#   tools/run_matrix.sh            # run every configuration
 #   tools/run_matrix.sh tsan       # run a single configuration
 #   JOBS=4 tools/run_matrix.sh     # bound build/test parallelism
 #
@@ -17,7 +23,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
-CONFIGS=("${@:-release tsan asan}")
+CONFIGS=("${@:-release tsan asan epochcheck threadsafety static}")
 # Word-split a possible single "release tsan asan" default.
 read -r -a CONFIGS <<< "${CONFIGS[*]}"
 
@@ -32,6 +38,47 @@ run_config() {
   local cmake_args=(-DFASTER_WERROR=ON "${LAUNCHER_ARGS[@]}")
   local ctest_args=(--output-on-failure -j "${JOBS}")
   local -a env_prefix=(env)
+
+  # Tool configurations that are not a build+ctest cycle.
+  case "${config}" in
+    threadsafety)
+      local clangxx="${CLANGXX:-clang++}"
+      if ! command -v "${clangxx}" > /dev/null 2>&1; then
+        echo "=== [${config}] SKIP (no ${clangxx}; set CLANGXX=...) ==="
+        return 0
+      fi
+      echo "=== [${config}] configure (clang, -Wthread-safety) ==="
+      cmake -B "${build_dir}" -S . "${cmake_args[@]}" \
+        -DCMAKE_BUILD_TYPE=Release -DCMAKE_CXX_COMPILER="${clangxx}" \
+        -DFASTER_THREAD_SAFETY=ON
+      echo "=== [${config}] build faster_core ==="
+      cmake --build "${build_dir}" -j "${JOBS}" --target faster_core
+      echo "=== [${config}] harness / violation TUs ==="
+      CLANGXX="${clangxx}" tools/check_thread_safety.sh
+      echo "=== [${config}] OK ==="
+      return 0
+      ;;
+    static)
+      echo "=== [${config}] lint_atomics self-test ==="
+      python3 tools/lint_atomics.py --self-test
+      echo "=== [${config}] lint_atomics (src) ==="
+      python3 tools/lint_atomics.py --mode regex src
+      # clang-tidy wants a compilation database; configuring is enough
+      # (CMAKE_EXPORT_COMPILE_COMMANDS is always on).
+      if command -v clang-tidy > /dev/null 2>&1; then
+        cmake -B "${build_dir}" -S . "${cmake_args[@]}" \
+          -DCMAKE_BUILD_TYPE=Release > /dev/null
+        echo "=== [${config}] clang-tidy ==="
+        tools/run_tidy.sh "${build_dir}"
+      else
+        echo "=== [${config}] clang-tidy SKIP (not installed) ==="
+      fi
+      echo "=== [${config}] clang-format (diff-only) ==="
+      tools/check_format.sh "${FORMAT_BASE:-HEAD~1}"
+      echo "=== [${config}] OK ==="
+      return 0
+      ;;
+  esac
 
   case "${config}" in
     release)
@@ -51,8 +98,15 @@ suppressions=$(pwd)/tsan.supp history_size=7")
                    "UBSAN_OPTIONS=print_stacktrace=1")
       ctest_args+=(-LE long)
       ;;
+    epochcheck)
+      # Full suite — the verifier must not misfire on any legal path, and
+      # epoch_check_test's death tests only run in this configuration.
+      cmake_args+=(-DCMAKE_BUILD_TYPE=Release -DFASTER_SANITIZE=off
+                   -DFASTER_EPOCH_CHECK=ON)
+      ;;
     *)
-      echo "unknown config '${config}' (expected release|tsan|asan)" >&2
+      echo "unknown config '${config}'" \
+           "(expected release|tsan|asan|epochcheck|threadsafety|static)" >&2
       return 2
       ;;
   esac

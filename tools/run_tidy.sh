@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# clang-tidy over the library sources with the checked-in .clang-tidy
+# (bugprone / concurrency / performance / readability-container subset).
+# The baseline is zero warnings; WarningsAsErrors in .clang-tidy makes any
+# finding fail the run.
+#
+# Usage: tools/run_tidy.sh [build-dir] [files...]
+#   build-dir: directory containing compile_commands.json (default: build)
+#   files:     restrict to these sources (default: all of src/**/*.cc)
+#
+# Skips (exit 0, loudly) when clang-tidy is unavailable; CI installs it.
+set -u
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+shift || true
+
+TIDY="${CLANG_TIDY:-}"
+if [[ -z "${TIDY}" ]]; then
+  for c in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18; do
+    if command -v "$c" > /dev/null 2>&1; then
+      TIDY="$c"
+      break
+    fi
+  done
+fi
+if [[ -z "${TIDY}" ]]; then
+  echo "run_tidy: SKIP (no clang-tidy found; set CLANG_TIDY=...)"
+  exit 0
+fi
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "run_tidy: no ${BUILD_DIR}/compile_commands.json — configure first:"
+  echo "  cmake -B ${BUILD_DIR} -S .   (CMAKE_EXPORT_COMPILE_COMMANDS is on)"
+  exit 1
+fi
+
+if [[ $# -gt 0 ]]; then
+  FILES=("$@")
+else
+  mapfile -t FILES < <(find src -name '*.cc' | sort)
+fi
+
+echo "run_tidy: ${TIDY} over ${#FILES[@]} file(s)"
+status=0
+for f in "${FILES[@]}"; do
+  if ! "${TIDY}" -p "${BUILD_DIR}" --quiet "$f"; then
+    status=1
+  fi
+done
+if [[ $status -ne 0 ]]; then
+  echo "run_tidy: FAIL (warnings above; baseline is zero)"
+else
+  echo "run_tidy: OK"
+fi
+exit $status

@@ -1,0 +1,47 @@
+// Negative control for tools/check_thread_safety.sh: every call below
+// uses the epoch-protected API without a session (or leaks one), so
+// `clang++ -Wthread-safety -Werror=thread-safety` MUST reject this TU.
+// If it ever compiles cleanly, the capability annotations have regressed.
+#include <cstdint>
+
+#include "core/faster.h"
+#include "core/functions.h"
+#include "device/memory_device.h"
+
+namespace {
+
+using Store = faster::FasterKv<faster::CountStoreFunctions>;
+
+void UnprotectedOps() {
+  faster::MemoryDevice device{1};
+  Store::Config cfg;
+  cfg.table_size = 64;
+  Store store{cfg, &device};
+  // BAD: no StartSession() — requires the epoch capability.
+  store.Upsert(1, 7);
+  uint64_t out = 0;
+  store.Read(1, 0, &out);
+}
+
+void LeakedSession() {
+  faster::LightEpoch epoch;
+  epoch.Protect();
+  // BAD: returns while still holding the epoch capability.
+}
+
+void DoubleUnprotect() {
+  faster::LightEpoch epoch;
+  epoch.Protect();
+  epoch.Unprotect();
+  // BAD: releases a capability that is no longer held.
+  epoch.Unprotect();
+}
+
+}  // namespace
+
+int main() {
+  UnprotectedOps();
+  LeakedSession();
+  DoubleUnprotect();
+  return 0;
+}
