@@ -364,6 +364,12 @@ class SidecarReporter : public benchmark::ConsoleReporter {
 /// Shared main body for all bench binaries: runs google-benchmark with the
 /// sidecar-emitting reporter.
 inline int RunBenchmarks(int argc, char** argv) {
+  // CI runs benches with FASTER_FLIGHT_DIR set so a crash mid-bench (e.g.
+  // an epoch-check abort under -DFASTER_EPOCH_CHECK) leaves a flight dump
+  // next to the sidecar instead of just an exit code.
+  if (std::getenv("FASTER_FLIGHT_DIR") != nullptr) {
+    obs::FlightRecorder::Instance().Install();
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   SidecarReporter reporter;

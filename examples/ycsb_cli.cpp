@@ -6,17 +6,28 @@
 //            [--reads F] [--rmws F] [--memory-mb M] [--mutable F]
 //            [--batch N] [--append-only] [--read-cache]
 //            [--stats [--stats-interval S]] [--stats-json]
+//            [--export-port P] [--trace FILE] [--trace-sample N]
 //
 // Prints throughput, log growth, fuzzy-op and storage-read percentages.
 // With --stats (requires a -DFASTER_STATS=ON build to be useful), also dumps
 // the full store metric registry periodically during the run and once at
 // the end; --stats-json switches the final dump to JSON.
+//
+// --export-port P serves live Prometheus text on http://127.0.0.1:P/metrics
+// (plus /vars JSON and /healthz) for the duration of the process.
+// --trace FILE writes operation lifecycle spans as Chrome trace-event JSON
+// after the run (load it in Perfetto, or convert/inspect it with
+// tools/trace2perfetto.py); --trace-sample N samples 1-in-N operations.
+// The crash flight recorder is always armed: a fatal signal or epoch-check
+// abort dumps the black box to stderr (and $FASTER_FLIGHT_DIR if set).
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,6 +35,7 @@
 #include "core/faster.h"
 #include "core/functions.h"
 #include "device/memory_device.h"
+#include "obs/exporter.h"
 #include "workload/ycsb.h"
 
 using namespace faster;
@@ -45,6 +57,10 @@ struct Options {
   bool stats = false;
   bool stats_json = false;
   double stats_interval = 1.0;
+  bool export_enabled = false;
+  uint16_t export_port = 0;
+  std::string trace_file;
+  uint32_t trace_sample = 0;  // 0: keep the library default
 };
 
 void Usage(const char* argv0) {
@@ -54,7 +70,8 @@ void Usage(const char* argv0) {
       "          [--dist uniform|zipf|hotset] [--reads F] [--rmws F]\n"
       "          [--memory-mb M] [--mutable F] [--batch N] [--append-only] "
       "[--read-cache]\n"
-      "          [--stats] [--stats-interval S] [--stats-json]\n",
+      "          [--stats] [--stats-interval S] [--stats-json]\n"
+      "          [--export-port P] [--trace FILE] [--trace-sample N]\n",
       argv0);
   std::exit(2);
 }
@@ -87,6 +104,18 @@ Options Parse(int argc, char** argv) {
       o.stats_interval = std::atof(next());
       if (!(o.stats_interval > 0)) Usage(argv[0]);
       o.stats = true;
+    }
+    else if (a == "--export-port") {
+      long p = std::atol(next());
+      if (p < 0 || p > 65535) Usage(argv[0]);
+      o.export_enabled = true;
+      o.export_port = static_cast<uint16_t>(p);
+    }
+    else if (a == "--trace") o.trace_file = next();
+    else if (a == "--trace-sample") {
+      long s = std::atol(next());
+      if (s < 1) Usage(argv[0]);
+      o.trace_sample = static_cast<uint32_t>(s);
     }
     else if (a == "--dist") {
       std::string d = next();
@@ -159,6 +188,42 @@ int main(int argc, char** argv) {
   cfg.enable_read_cache = o.read_cache;
   cfg.read_cache.memory_size_bytes = (o.memory_mb / 4 + 8) << 20;
   FasterKv<CountStoreFunctions> store{cfg, &device};
+  // Arm the crash black box: any fatal signal or FASTER_EPOCH_CHECK abort
+  // from here on dumps recent events, spans, metrics, and the epoch table.
+  store.AttachFlightRecorder();
+
+  if (o.trace_sample > 0) {
+    if (!obs::kStatsEnabled) {
+      std::fprintf(stderr,
+                   "warning: --trace-sample requested but this binary was "
+                   "built without -DFASTER_STATS=ON\n");
+    }
+    obs::SetSpanSampleEvery(o.trace_sample);
+  }
+
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (o.export_enabled) {
+    if (!obs::kStatsEnabled) {
+      std::fprintf(stderr,
+                   "warning: --export-port requested but this binary was "
+                   "built without -DFASTER_STATS=ON; /metrics will carry a "
+                   "notice only\n");
+    }
+    obs::ExporterOptions eo;
+    eo.port = o.export_port;
+    exporter = std::make_unique<obs::MetricsExporter>(
+        eo, obs::MetricsExporter::Handlers{
+                [&store] { return store.DumpPrometheus(); },
+                [&store] { return store.DumpStats(/*json=*/true); }});
+    if (!exporter->ok()) {
+      std::fprintf(stderr, "error: could not bind exporter to port %u\n",
+                   static_cast<unsigned>(o.export_port));
+      return 1;
+    }
+    std::printf("exporter:       http://127.0.0.1:%u/metrics (also /vars, "
+                "/healthz)\n",
+                static_cast<unsigned>(exporter->port()));
+  }
 
   std::printf("loading %llu keys...\n",
               static_cast<unsigned long long>(o.keys));
@@ -184,16 +249,25 @@ int main(int argc, char** argv) {
     monitor = std::thread([&] {
       auto interval = std::chrono::duration<double>(o.stats_interval);
       auto start = std::chrono::steady_clock::now();
-      auto next_dump = start + interval;
+      uint64_t tick = 1;
       while (!monitor_stop.load(std::memory_order_relaxed)) {
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
         auto now = std::chrono::steady_clock::now();
-        if (now < next_dump) continue;
-        next_dump += interval;
+        if (now < start + tick * interval) continue;
         double elapsed = std::chrono::duration<double>(now - start).count();
         std::printf("--- stats @ %.1fs ---\n%s", elapsed,
                     store.DumpStats().c_str());
         std::fflush(stdout);
+        // Schedule every dump against the absolute start time so the time
+        // spent formatting a dump never accumulates into drift; when a dump
+        // overruns one or more intervals, skip the missed ticks instead of
+        // bursting to catch up.
+        tick = static_cast<uint64_t>(
+                   std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count() /
+                   o.stats_interval) +
+               1;
       }
     });
   }
@@ -239,6 +313,22 @@ int main(int argc, char** argv) {
   if (o.stats) {
     std::printf("--- final stats ---\n%s",
                 store.DumpStats(o.stats_json).c_str());
+  }
+  if (!o.trace_file.empty()) {
+    if (!obs::kStatsEnabled) {
+      std::fprintf(stderr,
+                   "warning: --trace requested but this binary was built "
+                   "without -DFASTER_STATS=ON; the trace will be empty\n");
+    }
+    std::ofstream out{o.trace_file};
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s\n", o.trace_file.c_str());
+      return 1;
+    }
+    store.DumpTrace(out);
+    std::printf("trace:          %s (Chrome trace-event JSON; open in "
+                "Perfetto or run tools/trace2perfetto.py)\n",
+                o.trace_file.c_str());
   }
   return 0;
 }

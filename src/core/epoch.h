@@ -103,6 +103,15 @@ class LightEpoch {
     return table_[Thread::Id()].protect_serial;
   }
 
+  /// Raw epoch-table read for diagnostics (the flight recorder dumps the
+  /// whole table at crash time): thread `tid`'s published local epoch,
+  /// kUnprotected (0) when the slot holds no protected thread. Relaxed —
+  /// a crash-time snapshot needs no ordering, and the call is
+  /// async-signal-safe (a single lock-free load).
+  uint64_t LocalEpochOf(uint32_t tid) const {
+    return table_[tid].local_epoch.load(std::memory_order_relaxed);
+  }
+
   /// Snapshot of the calling thread's refresh serial, bracketing a batch
   /// of operations under one protection scope (the batched pipeline's
   /// amortized epoch bookkeeping). `interrupted()` turns true iff the
@@ -154,7 +163,8 @@ class LightEpoch {
     // before the epoch publication — the edge that makes "epoch c safe"
     // imply "no thread still reads pages <= c"; DESIGN.md §5); release
     // store on Unprotect; acquire loads in the safety scan; relaxed load
-    // in IsProtected (owner thread observing its own store).
+    // in IsProtected (owner thread observing its own store) and in the
+    // LocalEpochOf crash-time diagnostic snapshot.
     std::atomic<uint64_t> local_epoch{kUnprotected};
     /// Written and read only by the owning thread (see ProtectSerial), so
     /// a plain field suffices.

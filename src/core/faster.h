@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <memory>
 #include <mutex>
+#include <ostream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +29,8 @@
 #include "core/status.h"
 #include "core/thread.h"
 #include "device/device.h"
+#include "obs/flight_recorder.h"
+#include "obs/span.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
 
@@ -112,6 +115,7 @@ class FasterKv {
   }
 
   ~FasterKv() {
+    if (flight_attached_) obs::FlightRecorder::Instance().Detach(this);
     // Outstanding epoch trigger actions (page flush/close, safe-read-only
     // propagation) reference the log and index; run them before members
     // are destroyed. All sessions must have stopped by now.
@@ -156,6 +160,7 @@ class FasterKv {
               void* user_context = nullptr) FASTER_REQUIRES_EPOCH() {
     ThreadState& ts = AutoRefresh();
     ++ts.reads;
+    obs::StatOpSpan span{obs::SpanKind::kRead};
     KeyHash hash = Hasher{}(key);
     for (;;) {
       typename HashIndex::OpScope scope{index_, hash};
@@ -240,6 +245,7 @@ class FasterKv {
   Status Upsert(const Key& key, const Value& value) FASTER_REQUIRES_EPOCH() {
     ThreadState& ts = AutoRefresh();
     ++ts.upserts;
+    obs::StatOpSpan span{obs::SpanKind::kUpsert};
     KeyHash hash = Hasher{}(key);
     for (;;) {
       typename HashIndex::OpScope scope{index_, hash};
@@ -295,6 +301,7 @@ class FasterKv {
              void* user_context = nullptr) FASTER_REQUIRES_EPOCH() {
     ThreadState& ts = AutoRefresh();
     ++ts.rmws;
+    obs::StatOpSpan span{obs::SpanKind::kRmw};
     KeyHash hash = Hasher{}(key);
     RmwOutcome oc = RmwInMemory(ts, key, hash, input, DiskState::kNone,
                                 nullptr, Address::Invalid());
@@ -314,6 +321,7 @@ class FasterKv {
         auto* ctx = new PendingContext(this, OpType::kRmw, key, hash, input,
                                        nullptr, Thread::Id());
         ctx->user_context = user_context;
+        CaptureTrace(ctx);
         ts.retries.push_back(ctx);
         return Status::kPending;
       }
@@ -326,6 +334,7 @@ class FasterKv {
   Status Delete(const Key& key) FASTER_REQUIRES_EPOCH() {
     ThreadState& ts = AutoRefresh();
     ++ts.deletes;
+    obs::StatOpSpan span{obs::SpanKind::kDelete};
     KeyHash hash = Hasher{}(key);
     for (;;) {
       typename HashIndex::OpScope scope{index_, hash};
@@ -900,6 +909,42 @@ class FasterKv {
     return trace_.Snapshot();
   }
 
+  /// Prometheus text exposition 0.0.4 of every metric (a one-line notice
+  /// when stats are compiled out). The /metrics handler.
+  std::string DumpPrometheus() {
+    obs::StatRegistry reg;
+    CollectStats(reg);
+    return reg.Prometheus();
+  }
+
+  /// Writes recorded spans and trace events as Chrome trace-event JSON
+  /// (loadable by Perfetto and chrome://tracing; see
+  /// tools/trace2perfetto.py). An empty-but-valid trace when stats are
+  /// compiled out.
+  void DumpTrace(std::ostream& os) const {
+    obs::WriteChromeTrace(os, obs::SnapshotSpans(), trace_.Snapshot());
+  }
+
+  /// Registers this store's diagnostics (epoch table, event ring, the
+  /// global span ring, metric pointers) with the process-wide crash
+  /// flight recorder and arms it (fatal-signal handlers + the
+  /// FASTER_EPOCH_CHECK hook). The destructor detaches. Metric names are
+  /// copied at attach time; legacy kValue tallies are snapshot then and
+  /// marked "(at attach)" in the dump.
+  void AttachFlightRecorder() {
+    obs::FlightRecorder& rec = obs::FlightRecorder::Instance();
+    rec.Install();
+    rec.AttachEpoch(this, &epoch_);
+    rec.AttachEventRing(this, "store", &trace_);
+    if constexpr (obs::kStatsEnabled) {
+      rec.AttachSpanRing(this, &obs::GlobalSpanRing());
+    }
+    obs::StatRegistry reg;
+    CollectStats(reg);
+    rec.AttachMetrics(this, reg);
+    flight_attached_ = true;
+  }
+
   HybridLog& hlog() { return hlog_; }
   HashIndex& index() { return index_; }
   LightEpoch& epoch() { return epoch_; }
@@ -929,6 +974,11 @@ class FasterKv {
     Address chain_bottom = Address::Invalid();  // first disk address of chain
     Status io_status = Status::kOk;
     uint64_t issue_ns = 0;  // stats only: first I/O issue time
+    // Span context captured when the operation went asynchronous (0 when
+    // unsampled or stats are compiled out): continuations on any thread
+    // re-establish it so their spans land under the originating trace.
+    uint64_t trace_id = 0;
+    uint64_t parent_span = 0;
     // CRDT read reconciliation state (Sec. 6.3).
     Value merge_acc{};
     bool merge_found = false;
@@ -1380,6 +1430,17 @@ class FasterKv {
   // Pending-operation machinery (Sec. 5.3).
   // -------------------------------------------------------------------
 
+  /// Copies the calling thread's ambient span context into a context that
+  /// is about to cross the asynchronous boundary. Compiled out with stats
+  /// (the fields stay 0 and every downstream span scope is inactive).
+  static void CaptureTrace(PendingContext* ctx) {
+    if constexpr (obs::kStatsEnabled) {
+      obs::TraceContext tc = obs::CurrentTrace();
+      ctx->trace_id = tc.trace_id;
+      ctx->parent_span = tc.span_id;
+    }
+  }
+
   Status IssuePendingIo(ThreadState& ts, OpType op, const Key& key,
                         KeyHash hash, const Input& input, Output* output,
                         Address addr, void* user_context = nullptr)
@@ -1389,6 +1450,7 @@ class FasterKv {
     ctx->user_context = user_context;
     ctx->address = addr;
     ctx->chain_bottom = addr;
+    CaptureTrace(ctx);
     ++ts.outstanding_ios;
     ++ts.ios_issued;
     obs_stats_.pending_ios.Inc();
@@ -1441,6 +1503,7 @@ class FasterKv {
     ctx->user_context = op.user_context;
     ctx->address = addr;
     ctx->chain_bottom = addr;
+    CaptureTrace(ctx);
     ++ts.outstanding_ios;
     ++ts.ios_issued;
     obs_stats_.pending_ios.Inc();
@@ -1600,20 +1663,26 @@ class FasterKv {
       epoch_.Refresh();
     }
     obs_stats_.batch_sizes.Record(n);
+    // The chunk is one trace: the three stages appear as child spans, and
+    // any op routed to the single-op fallback nests its own span (and any
+    // pending-I/O continuation) under the same trace id.
+    obs::StatOpSpan chunk_span{obs::SpanKind::kBatchChunk,
+                               static_cast<uint32_t>(n)};
 
     // ---- Stage 1: hash every key; prefetch its hash bucket. ----
     KeyHash hashes[kBatchChunk];
-    for (size_t i = 0; i < n; ++i) {
-      hashes[i] = Hasher{}(ops[i].key);
-      index_.PrefetchBucket(hashes[i]);
-    }
-    // Intra-batch dependencies: an op must observe the effects of every
-    // earlier write in the same chunk, but stage-2 resolutions are all
-    // taken before any of the chunk executes. Conservatively (by hash, so
-    // tag collisions are covered too) route any op that follows a write
-    // with an equal hash to the ordered single-op path.
     bool dep[kBatchChunk] = {};
     {
+      obs::StatChildSpan stage{obs::SpanKind::kBatchHash};
+      for (size_t i = 0; i < n; ++i) {
+        hashes[i] = Hasher{}(ops[i].key);
+        index_.PrefetchBucket(hashes[i]);
+      }
+      // Intra-batch dependencies: an op must observe the effects of every
+      // earlier write in the same chunk, but stage-2 resolutions are all
+      // taken before any of the chunk executes. Conservatively (by hash, so
+      // tag collisions are covered too) route any op that follows a write
+      // with an equal hash to the ordered single-op path.
       size_t write_idx[kBatchChunk];
       size_t num_writes = 0;
       for (size_t i = 0; i < n; ++i) {
@@ -1634,49 +1703,55 @@ class FasterKv {
     LightEpoch::BatchScope batch_scope{epoch_};
     HashIndex::FindResult frs[kBatchChunk];
     bool entry_found[kBatchChunk];
-    bool stable = index_.TryFindEntriesStable(hashes, dep, n, frs,
-                                              entry_found);
+    bool stable;
     Address extent = Address::Invalid();
     uint32_t extent_left = 0;
-    if (stable) {
-      Address begin = hlog_.begin_address();
-      Address head = hlog_.head_address();
-      Address read_only = hlog_.read_only_address();
-      uint32_t predicted_appends = 0;
-      for (size_t i = 0; i < n; ++i) {
-        if (dep[i]) continue;
-        Address a = frs[i].entry.address();
-        bool in_mem = entry_found[i] &&
-                      (rc_log_ == nullptr || !InReadCache(a)) &&
-                      a.IsValid() && a >= begin && a >= head;
-        if (in_mem) hlog_.Prefetch(a, static_cast<uint32_t>(RecordT::size()));
-        if (ops[i].kind == BatchOp::Kind::kUpsert && rc_log_ == nullptr &&
-            entry_found[i] && !(in_mem && a >= read_only)) {
-          // Likely an append (chain head immutable, on disk, or invalid).
-          ++predicted_appends;
+    {
+      obs::StatChildSpan stage{obs::SpanKind::kBatchResolve};
+      stable = index_.TryFindEntriesStable(hashes, dep, n, frs, entry_found);
+      if (stable) {
+        Address begin = hlog_.begin_address();
+        Address head = hlog_.head_address();
+        Address read_only = hlog_.read_only_address();
+        uint32_t predicted_appends = 0;
+        for (size_t i = 0; i < n; ++i) {
+          if (dep[i]) continue;
+          Address a = frs[i].entry.address();
+          bool in_mem = entry_found[i] &&
+                        (rc_log_ == nullptr || !InReadCache(a)) &&
+                        a.IsValid() && a >= begin && a >= head;
+          if (in_mem) {
+            hlog_.Prefetch(a, static_cast<uint32_t>(RecordT::size()));
+          }
+          if (ops[i].kind == BatchOp::Kind::kUpsert && rc_log_ == nullptr &&
+              entry_found[i] && !(in_mem && a >= read_only)) {
+            // Likely an append (chain head immutable, on disk, or invalid).
+            ++predicted_appends;
+          }
         }
-      }
-      if (predicted_appends >= 2) {
-        extent = hlog_.AllocateExtent(
-            static_cast<uint32_t>(RecordT::size()), predicted_appends);
-        if (extent.IsValid()) {
-          extent_left = predicted_appends;
-          // Give every reserved slot a dead header now: log scans treat an
-          // all-zero slot as page padding and would skip the rest of the
-          // page. A slot is made live only while this thread has not
-          // refreshed (BatchScope), i.e. before any flush of this range
-          // can have been issued, so the dead header is never persisted
-          // for a slot that later becomes live.
-          for (uint32_t s = 0; s < predicted_appends; ++s) {
-            RecordAt(extent + s * RecordT::size())
-                ->set_info(
-                    RecordInfo{Address::Invalid(), /*invalid=*/true, false});
+        if (predicted_appends >= 2) {
+          extent = hlog_.AllocateExtent(
+              static_cast<uint32_t>(RecordT::size()), predicted_appends);
+          if (extent.IsValid()) {
+            extent_left = predicted_appends;
+            // Give every reserved slot a dead header now: log scans treat
+            // an all-zero slot as page padding and would skip the rest of
+            // the page. A slot is made live only while this thread has not
+            // refreshed (BatchScope), i.e. before any flush of this range
+            // can have been issued, so the dead header is never persisted
+            // for a slot that later becomes live.
+            for (uint32_t s = 0; s < predicted_appends; ++s) {
+              RecordAt(extent + s * RecordT::size())
+                  ->set_info(
+                      RecordInfo{Address::Invalid(), /*invalid=*/true, false});
+            }
           }
         }
       }
     }
 
     // ---- Stage 3: execute against warm lines; fall back as needed. ----
+    obs::StatChildSpan exec_stage{obs::SpanKind::kBatchExecute};
     PendingContext* io_ctxs[kBatchChunk];
     size_t num_ios = 0;
     for (size_t i = 0; i < n; ++i) {
@@ -1733,7 +1808,16 @@ class FasterKv {
     --ts.outstanding_ios;
     obs_stats_.pending_ios.Dec();
     if constexpr (obs::kStatsEnabled) {
-      obs_stats_.pending_io_ns.Record(obs::NowNs() - ctx->issue_ns);
+      uint64_t now = obs::NowNs();
+      obs_stats_.pending_io_ns.Record(now - ctx->issue_ns);
+      if (ctx->trace_id != 0 && ctx->issue_ns != 0) {
+        // One span for the whole pending window (first issue through every
+        // chain hop to completion), parented under the operation's entry
+        // span — the segment that makes a trace cross the I/O boundary.
+        obs::GlobalSpanRing().Record(ctx->trace_id, obs::NewSpanId(),
+                                     ctx->parent_span, ctx->issue_ns, now, 0,
+                                     obs::SpanKind::kPendingIo);
+      }
     }
     trace_.Emit(obs::Ev::kPendingIoDone, ctx->owner);
     NotifyCompletion(ctx, result);
@@ -1755,6 +1839,11 @@ class FasterKv {
       ready.swap(ts.completions);
     }
     for (PendingContext* ctx : ready) {
+      // Re-establish the operation's trace around everything this
+      // completion does synchronously (chain reissue, cache insert, RMW
+      // continuation) — inactive when the operation was not sampled.
+      obs::StatResumedSpan span{obs::SpanKind::kIoComplete, ctx->trace_id,
+                                ctx->parent_span};
       if (ctx->io_status != Status::kOk) {
         FinishPending(ts, ctx, Status::kIoError);
         continue;
@@ -1854,6 +1943,8 @@ class FasterKv {
     std::vector<PendingContext*> work;
     work.swap(ts.retries);
     for (PendingContext* ctx : work) {
+      obs::StatResumedSpan span{obs::SpanKind::kRetryFuzzy, ctx->trace_id,
+                                ctx->parent_span};
       RmwOutcome oc = RmwInMemory(ts, ctx->key, ctx->hash, ctx->input,
                                   DiskState::kNone, nullptr,
                                   Address::Invalid());
@@ -1920,6 +2011,7 @@ class FasterKv {
     ctx->merge_found = found;
     ctx->address = addr;
     ctx->chain_bottom = addr;
+    CaptureTrace(ctx);
     ++ts.outstanding_ios;
     ++ts.ios_issued;
     obs_stats_.pending_ios.Inc();
@@ -2007,6 +2099,7 @@ class FasterKv {
   std::vector<ThreadState> thread_states_;
   mutable ObsStats obs_stats_;
   mutable obs::StatEventRing trace_;
+  bool flight_attached_ = false;
 };
 
 }  // namespace faster

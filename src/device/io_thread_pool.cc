@@ -20,6 +20,7 @@ IoThreadPool::~IoThreadPool() {
 }
 
 void IoThreadPool::Submit(IoJob job) {
+  job.CaptureTraceContext();
   {
     std::lock_guard<std::mutex> lock{mutex_};
     queue_.push_back(std::move(job));
@@ -32,6 +33,7 @@ void IoThreadPool::Submit(IoJob job) {
 
 void IoThreadPool::SubmitBatch(IoJob* jobs, uint32_t n) {
   if (n == 0) return;
+  for (uint32_t i = 0; i < n; ++i) jobs[i].CaptureTraceContext();
   {
     std::lock_guard<std::mutex> lock{mutex_};
     for (uint32_t i = 0; i < n; ++i) {
@@ -59,7 +61,21 @@ void IoThreadPool::WorkerLoop() {
     obs_stats_.queue_depth.Dec();
     ++active_;
     lock.unlock();
-    job();
+    if constexpr (obs::kStatsEnabled) {
+      if (job.trace_id() != 0) {
+        // The queueing-delay span (submit -> dequeue) is recorded here in
+        // one shot; the execution span wraps the job body below. Both are
+        // siblings under the span that submitted the job.
+        obs::GlobalSpanRing().Record(job.trace_id(), obs::NewSpanId(),
+                                     job.parent_span(), job.submit_ns(),
+                                     obs::NowNs(), 0, obs::SpanKind::kIoQueue);
+      }
+      obs::StatResumedSpan exec{obs::SpanKind::kIoExec, job.trace_id(),
+                                job.parent_span()};
+      job();
+    } else {
+      job();
+    }
     lock.lock();
     --active_;
     if (queue_.empty() && active_ == 0) idle_cv_.notify_all();

@@ -1,0 +1,397 @@
+#include "obs/flight_recorder.h"
+
+#include "core/epoch_check.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+namespace faster {
+namespace obs {
+
+namespace {
+
+/// Append-only formatter over a caller-supplied buffer, flushed with
+/// write(2). Everything here is async-signal-safe: no allocation, no
+/// stdio, no locale. Output goes to up to two fds (stderr + flight file).
+class SafeWriter {
+ public:
+  SafeWriter(char* buf, size_t cap, int fd1, int fd2)
+      : buf_{buf}, cap_{cap}, fd1_{fd1}, fd2_{fd2} {}
+
+  void Str(const char* s) {
+    while (*s != '\0') Ch(*s++);
+  }
+
+  void U64(uint64_t v) {
+    char tmp[20];
+    size_t n = 0;
+    do {
+      tmp[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) Ch(tmp[--n]);
+  }
+
+  void I64(int64_t v) {
+    if (v < 0) {
+      Ch('-');
+      U64(static_cast<uint64_t>(-(v + 1)) + 1);
+    } else {
+      U64(static_cast<uint64_t>(v));
+    }
+  }
+
+  void Hex(uint64_t v) {
+    Str("0x");
+    char tmp[16];
+    size_t n = 0;
+    do {
+      tmp[n++] = "0123456789abcdef"[v & 0xf];
+      v >>= 4;
+    } while (v != 0);
+    while (n > 0) Ch(tmp[--n]);
+  }
+
+  void Flush() {
+    if (len_ == 0) return;
+    WriteFull(fd1_);
+    WriteFull(fd2_);
+    len_ = 0;
+  }
+
+ private:
+  void Ch(char c) {
+    if (len_ == cap_) Flush();
+    buf_[len_++] = c;
+  }
+
+  void WriteFull(int fd) {
+    if (fd < 0) return;
+    size_t off = 0;
+    while (off < len_) {
+      ssize_t n = ::write(fd, buf_ + off, len_ - off);
+      if (n <= 0) return;  // nothing useful to do about EIO at crash time
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  char* buf_;
+  size_t cap_;
+  size_t len_ = 0;
+  int fd1_;
+  int fd2_;
+};
+
+void CopyName(char* dst, size_t cap, const char* src) {
+  size_t i = 0;
+  for (; src[i] != '\0' && i + 1 < cap; ++i) dst[i] = src[i];
+  dst[i] = '\0';
+}
+
+const char* SignalName(int sig) {
+  switch (sig) {
+    case SIGABRT: return "SIGABRT";
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    default: return "signal";
+  }
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Instance() {
+  static FlightRecorder instance;
+  return instance;
+}
+
+void FlightRecorder::FatalHook(const char* what) {
+  Instance().Dump(what);
+}
+
+void FlightRecorder::OnFatalSignal(int sig) {
+  Instance().Dump(SignalName(sig));
+  // SA_RESETHAND restored the default disposition on entry, so re-raising
+  // terminates with the original signal (keeping cores and death-test
+  // exit codes intact).
+  ::raise(sig);
+}
+
+void FlightRecorder::Install() {
+  if (installed_.load(std::memory_order_acquire)) return;
+  if (const char* dir = std::getenv("FASTER_FLIGHT_DIR")) {
+    CopyName(flight_dir_, sizeof flight_dir_, dir);
+    have_flight_dir_ = flight_dir_[0] != '\0';
+  }
+  SetEpochCheckFatalHook(&FlightRecorder::FatalHook);
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = &FlightRecorder::OnFatalSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESETHAND;
+  ::sigaction(SIGABRT, &sa, nullptr);
+  ::sigaction(SIGSEGV, &sa, nullptr);
+  ::sigaction(SIGBUS, &sa, nullptr);
+  installed_.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::AttachEventRing(const void* owner, const char* name,
+                                     const EventRing* ring) {
+  std::lock_guard<std::mutex> guard{attach_mutex_};
+  for (EventRingSlot& slot : event_rings_) {
+    if (slot.used.load(std::memory_order_acquire)) continue;
+    slot.owner = owner;
+    CopyName(slot.name, sizeof slot.name, name);
+    slot.ring = ring;
+    slot.used.store(true, std::memory_order_release);
+    return;
+  }
+}
+
+void FlightRecorder::AttachSpanRing(const void* owner, const SpanRing* ring) {
+  std::lock_guard<std::mutex> guard{attach_mutex_};
+  for (SpanRingSlot& slot : span_rings_) {
+    if (slot.used.load(std::memory_order_acquire)) continue;
+    slot.owner = owner;
+    slot.ring = ring;
+    slot.used.store(true, std::memory_order_release);
+    return;
+  }
+}
+
+void FlightRecorder::AttachEpoch(const void* owner, const LightEpoch* epoch) {
+  std::lock_guard<std::mutex> guard{attach_mutex_};
+  for (EpochSlot& slot : epochs_) {
+    if (slot.used.load(std::memory_order_acquire)) continue;
+    slot.owner = owner;
+    slot.epoch = epoch;
+    slot.used.store(true, std::memory_order_release);
+    return;
+  }
+}
+
+void FlightRecorder::AttachMetrics(const void* owner, const Registry& reg) {
+  std::lock_guard<std::mutex> guard{attach_mutex_};
+  reg.ForEach([&](const std::string& name, Registry::Kind kind,
+                  const Counter* c, const Gauge* g, const Histogram* h,
+                  uint64_t value) {
+    for (MetricSlot& slot : metrics_) {
+      if (slot.used.load(std::memory_order_acquire)) continue;
+      slot.owner = owner;
+      CopyName(slot.name, sizeof slot.name, name.c_str());
+      slot.kind = kind;
+      slot.counter = c;
+      slot.gauge = g;
+      slot.histogram = h;
+      slot.value = value;
+      slot.used.store(true, std::memory_order_release);
+      return;
+    }
+  });
+}
+
+void FlightRecorder::Detach(const void* owner) {
+  std::lock_guard<std::mutex> guard{attach_mutex_};
+  for (EventRingSlot& slot : event_rings_) {
+    if (slot.used.load(std::memory_order_acquire) && slot.owner == owner) {
+      slot.used.store(false, std::memory_order_release);
+    }
+  }
+  for (SpanRingSlot& slot : span_rings_) {
+    if (slot.used.load(std::memory_order_acquire) && slot.owner == owner) {
+      slot.used.store(false, std::memory_order_release);
+    }
+  }
+  for (EpochSlot& slot : epochs_) {
+    if (slot.used.load(std::memory_order_acquire) && slot.owner == owner) {
+      slot.used.store(false, std::memory_order_release);
+    }
+  }
+  for (MetricSlot& slot : metrics_) {
+    if (slot.used.load(std::memory_order_acquire) && slot.owner == owner) {
+      slot.used.store(false, std::memory_order_release);
+    }
+  }
+}
+
+void FlightRecorder::Dump(const char* reason) {
+  if (dumped_.exchange(true, std::memory_order_acq_rel)) return;
+
+  // Open the flight file first so the whole dump lands in it. The buffer
+  // is static (not stack) so a dump on a nearly-exhausted or guard-page
+  // stack still works.
+  int file_fd = -1;
+  if (have_flight_dir_) {
+    static char path[sizeof flight_dir_ + 64];
+    SafeWriter pw{path, sizeof path - 1, -1, -1};
+    // Format "<dir>/flight_<pid>.txt" with the signal-safe formatter,
+    // then NUL-terminate by hand (SafeWriter has no terminator concept).
+    size_t dir_len = std::strlen(flight_dir_);
+    std::memcpy(path, flight_dir_, dir_len);
+    size_t off = dir_len;
+    auto append = [&](const char* s) {
+      size_t n = std::strlen(s);
+      std::memcpy(path + off, s, n);
+      off += n;
+    };
+    append("/flight_");
+    char pid_buf[20];
+    uint64_t pid = static_cast<uint64_t>(::getpid());
+    size_t n = 0;
+    do {
+      pid_buf[n++] = static_cast<char>('0' + pid % 10);
+      pid /= 10;
+    } while (pid != 0);
+    while (n > 0) {
+      path[off++] = pid_buf[--n];
+    }
+    append(".txt");
+    path[off] = '\0';
+    file_fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  }
+
+  static char buf[4096];
+  SafeWriter w{buf, sizeof buf, 2, file_fd};
+
+  w.Str("==== FASTER FLIGHT RECORDER BEGIN ====\n");
+  w.Str("reason: ");
+  w.Str(reason != nullptr ? reason : "(none)");
+  w.Str("\n");
+
+  // --- Per-thread epoch table(s) --------------------------------------
+  for (uint32_t i = 0; i < kMaxEpochs; ++i) {
+    if (!epochs_[i].used.load(std::memory_order_acquire)) continue;
+    const LightEpoch* epoch = epochs_[i].epoch;
+    w.Str("-- epoch[");
+    w.U64(i);
+    w.Str("] current=");
+    w.U64(epoch->CurrentEpoch());
+    w.Str(" safe=");
+    w.U64(epoch->SafeToReclaimEpoch());
+    w.Str(" --\n");
+    for (uint32_t tid = 0; tid < Thread::kMaxThreads; ++tid) {
+      uint64_t local = epoch->LocalEpochOf(tid);
+      if (local == LightEpoch::kUnprotected) continue;
+      w.Str("  tid=");
+      w.U64(tid);
+      w.Str(" local_epoch=");
+      w.U64(local);
+      w.Str("\n");
+    }
+  }
+
+  // --- Metric snapshot -------------------------------------------------
+  bool metrics_header = false;
+  for (const MetricSlot& slot : metrics_) {
+    if (!slot.used.load(std::memory_order_acquire)) continue;
+    if (!metrics_header) {
+      w.Str("-- metrics --\n");
+      metrics_header = true;
+    }
+    w.Str("  ");
+    w.Str(slot.name);
+    w.Str(" ");
+    switch (slot.kind) {
+      case Registry::Kind::kCounter:
+        w.U64(slot.counter->Sum());
+        break;
+      case Registry::Kind::kGauge:
+        w.I64(slot.gauge->Value());
+        break;
+      case Registry::Kind::kHistogram:
+        w.Str("count=");
+        w.U64(slot.histogram->Count());
+        w.Str(" sum=");
+        w.U64(slot.histogram->ValueSum());
+        w.Str(" p50=");
+        w.U64(slot.histogram->Percentile(0.50));
+        w.Str(" p99=");
+        w.U64(slot.histogram->Percentile(0.99));
+        break;
+      case Registry::Kind::kValue:
+        w.U64(slot.value);
+        w.Str(" (at attach)");
+        break;
+    }
+    w.Str("\n");
+  }
+
+  // --- Last events per thread, per attached ring ----------------------
+  for (const EventRingSlot& slot : event_rings_) {
+    if (!slot.used.load(std::memory_order_acquire)) continue;
+    w.Str("-- events[");
+    w.Str(slot.name);
+    w.Str("] (last ");
+    w.U64(kEventsPerThreadDumped);
+    w.Str(" per thread) --\n");
+    const EventRing* ring = slot.ring;
+    for (uint32_t tid = 0; tid < Thread::kMaxThreads; ++tid) {
+      uint64_t next = ring->ShardNext(tid);
+      if (next == 0) continue;
+      uint64_t window = next < EventRing::kEventsPerThread
+                            ? next
+                            : EventRing::kEventsPerThread;
+      if (window > kEventsPerThreadDumped) window = kEventsPerThreadDumped;
+      for (uint64_t pos = next - window; pos < next; ++pos) {
+        TraceEvent e = ring->ReadEvent(tid, pos);
+        if (e.id == static_cast<uint16_t>(Ev::kNone)) continue;
+        w.Str("  tid=");
+        w.U64(tid);
+        w.Str(" ns=");
+        w.U64(e.ns);
+        w.Str(" ev=");
+        w.Str(EvName(static_cast<Ev>(e.id)));
+        w.Str(" arg=");
+        w.U64(e.arg);
+        w.Str("\n");
+      }
+    }
+  }
+
+  // --- Recent spans ----------------------------------------------------
+  for (const SpanRingSlot& slot : span_rings_) {
+    if (!slot.used.load(std::memory_order_acquire)) continue;
+    w.Str("-- spans (last ");
+    w.U64(kSpansPerThreadDumped);
+    w.Str(" per thread) --\n");
+    const SpanRing* ring = slot.ring;
+    for (uint32_t tid = 0; tid < Thread::kMaxThreads; ++tid) {
+      uint64_t next = ring->ShardNext(tid);
+      if (next == 0) continue;
+      uint64_t window =
+          next < SpanRing::kSpansPerThread ? next : SpanRing::kSpansPerThread;
+      if (window > kSpansPerThreadDumped) window = kSpansPerThreadDumped;
+      for (uint64_t pos = next - window; pos < next; ++pos) {
+        SpanRecord s = ring->ReadSpan(tid, pos);
+        if (s.span_id == 0) continue;
+        w.Str("  tid=");
+        w.U64(tid);
+        w.Str(" trace=");
+        w.Hex(s.trace_id);
+        w.Str(" span=");
+        w.Hex(s.span_id);
+        w.Str(" parent=");
+        w.Hex(s.parent_id);
+        w.Str(" kind=");
+        w.Str(SpanKindName(static_cast<SpanKind>(s.kind)));
+        w.Str(" start_ns=");
+        w.U64(s.start_ns);
+        w.Str(" dur_ns=");
+        w.U64(s.end_ns >= s.start_ns ? s.end_ns - s.start_ns : 0);
+        w.Str(" arg=");
+        w.U64(s.arg);
+        w.Str("\n");
+      }
+    }
+  }
+
+  w.Str("==== FASTER FLIGHT RECORDER END ====\n");
+  w.Flush();
+  if (file_fd >= 0) ::close(file_fd);
+}
+
+}  // namespace obs
+}  // namespace faster

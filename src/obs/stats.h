@@ -148,8 +148,21 @@ class Histogram {
   }
 
   void Record(uint64_t v) {
-    std::atomic<uint64_t>& c = shards_[Thread::Id()].buckets[BucketFor(v)];
+    Shard& shard = shards_[Thread::Id()];
+    std::atomic<uint64_t>& c = shard.buckets[BucketFor(v)];
     c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+    shard.sum.store(shard.sum.load(std::memory_order_relaxed) + v,
+                    std::memory_order_relaxed);
+  }
+
+  /// Sum of every recorded value (exact, unlike the log2 buckets) — the
+  /// Prometheus `_sum` series.
+  uint64_t ValueSum() const {
+    uint64_t total = 0;
+    for (uint32_t i = 0; i < Thread::kMaxThreads; ++i) {
+      total += shards_[i].sum.load(std::memory_order_relaxed);
+    }
+    return total;
   }
 
   /// Sums per-thread shards into `out[kNumBuckets]`.
@@ -198,6 +211,9 @@ class Histogram {
     // order: relaxed fetch_add/load — statistics; no data is published
     // through the histogram.
     std::atomic<uint64_t> buckets[kNumBuckets] = {};
+    // order: relaxed load+store by the owner thread, relaxed load in
+    // ValueSum — same discipline as `buckets`.
+    std::atomic<uint64_t> sum{0};
   };
   std::unique_ptr<Shard[]> shards_;
 };
@@ -207,6 +223,8 @@ class Histogram {
 /// can be built on demand (DumpStats) over long-lived component metrics.
 class Registry {
  public:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram, kValue };
+
   void Add(std::string name, const Counter* c) {
     entries_.push_back({std::move(name), Kind::kCounter, c, nullptr, nullptr, 0});
   }
@@ -223,6 +241,17 @@ class Registry {
   }
 
   size_t size() const { return entries_.size(); }
+
+  /// Visits every entry as fn(name, kind, counter, gauge, histogram,
+  /// value); exactly one of the three pointers is non-null except for
+  /// kValue entries, where all are null. The flight recorder uses this to
+  /// copy metric pointers into its pre-registered (signal-safe) slots.
+  template <class Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Entry& e : entries_) {
+      fn(e.name, e.kind, e.counter, e.gauge, e.histogram, e.value);
+    }
+  }
 
   /// One metric per line: `name<spaces>value` for scalars,
   /// `name count=N p50=X p99=Y p999=Z` for histograms.
@@ -242,12 +271,28 @@ class Registry {
         case Kind::kValue:
           out += std::to_string(e.value);
           break;
-        case Kind::kHistogram:
+        case Kind::kHistogram: {
           out += "count=" + std::to_string(e.histogram->Count());
           out += " p50=" + std::to_string(e.histogram->Percentile(0.50));
           out += " p99=" + std::to_string(e.histogram->Percentile(0.99));
           out += " p999=" + std::to_string(e.histogram->Percentile(0.999));
+          // Raw bucket data too, so offline tooling can re-aggregate
+          // across runs instead of trusting derived percentiles.
+          out += " sum=" + std::to_string(e.histogram->ValueSum());
+          uint64_t buckets[Histogram::kNumBuckets];
+          e.histogram->SnapshotBuckets(buckets);
+          out += " buckets=";
+          bool bfirst = true;
+          for (uint32_t b = 0; b < Histogram::kNumBuckets; ++b) {
+            if (buckets[b] == 0) continue;
+            if (!bfirst) out += ',';
+            bfirst = false;
+            out += std::to_string(Histogram::BucketUpperBound(b)) + ':' +
+                   std::to_string(buckets[b]);
+          }
+          if (bfirst) out += '-';
           break;
+        }
       }
       out += '\n';
     }
@@ -291,6 +336,7 @@ class Registry {
       for (uint32_t b = 0; b < Histogram::kNumBuckets; ++b) count += buckets[b];
       out += '"' + e.name + "\":{";
       out += "\"count\":" + std::to_string(count);
+      out += ",\"sum\":" + std::to_string(e.histogram->ValueSum());
       out += ",\"p50\":" + std::to_string(e.histogram->Percentile(0.50));
       out += ",\"p99\":" + std::to_string(e.histogram->Percentile(0.99));
       out += ",\"p999\":" + std::to_string(e.histogram->Percentile(0.999));
@@ -309,8 +355,67 @@ class Registry {
     return out;
   }
 
+  /// Prometheus text exposition format 0.0.4. Metric names are prefixed
+  /// with `faster_` and sanitized ([^a-zA-Z0-9_] -> '_'); counters and
+  /// precomputed scalars get the `_total` suffix, histograms emit
+  /// cumulative `_bucket{le="..."}` series (raw log2 bounds, not just
+  /// percentiles) plus `_sum` and `_count`.
+  std::string Prometheus() const {
+    std::string out;
+    for (const Entry& e : Sorted()) {
+      std::string name = PromName(e.name);
+      switch (e.kind) {
+        case Kind::kCounter:
+        case Kind::kValue: {
+          uint64_t v = e.kind == Kind::kCounter ? e.counter->Sum() : e.value;
+          out += "# TYPE " + name + "_total counter\n";
+          out += name + "_total " + std::to_string(v) + '\n';
+          break;
+        }
+        case Kind::kGauge:
+          out += "# TYPE " + name + " gauge\n";
+          out += name + ' ' + std::to_string(e.gauge->Value()) + '\n';
+          break;
+        case Kind::kHistogram: {
+          uint64_t buckets[Histogram::kNumBuckets];
+          e.histogram->SnapshotBuckets(buckets);
+          out += "# TYPE " + name + " histogram\n";
+          uint64_t cumulative = 0;
+          for (uint32_t b = 0; b + 1 < Histogram::kNumBuckets; ++b) {
+            cumulative += buckets[b];
+            // Skip empty leading/interior buckets to keep scrapes small;
+            // cumulative counts stay correct because they accumulate over
+            // skipped buckets too.
+            if (buckets[b] == 0) continue;
+            out += name + "_bucket{le=\"" +
+                   std::to_string(Histogram::BucketUpperBound(b)) + "\"} " +
+                   std::to_string(cumulative) + '\n';
+          }
+          cumulative += buckets[Histogram::kNumBuckets - 1];
+          out += name + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) +
+                 '\n';
+          out += name + "_sum " + std::to_string(e.histogram->ValueSum()) +
+                 '\n';
+          out += name + "_count " + std::to_string(cumulative) + '\n';
+          break;
+        }
+      }
+    }
+    if (out.empty()) out = "# (empty registry)\n";
+    return out;
+  }
+
  private:
-  enum class Kind : uint8_t { kCounter, kGauge, kHistogram, kValue };
+  static std::string PromName(const std::string& name) {
+    std::string out = "faster_";
+    for (char c : name) {
+      bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '_';
+      out += ok ? c : '_';
+    }
+    return out;
+  }
+
   struct Entry {
     std::string name;
     Kind kind;
@@ -390,19 +495,27 @@ class NoopHistogram {
     for (uint32_t b = 0; b < kNumBuckets; ++b) out[b] = 0;
   }
   uint64_t Count() const { return 0; }
+  uint64_t ValueSum() const { return 0; }
   uint64_t Percentile(double) const { return 0; }
 };
 
 class NoopRegistry {
  public:
+  using Kind = Registry::Kind;
   template <class T>
   void Add(const std::string&, const T*) {}
   void AddValue(const std::string&, uint64_t) {}
   size_t size() const { return 0; }
+  template <class Fn>
+  void ForEach(Fn&&) const {}
   std::string Text() const {
     return "(stats compiled out; rebuild with -DFASTER_STATS=ON)\n";
   }
   std::string Json() const { return "{}"; }
+  std::string Prometheus() const {
+    // A bare comment is still valid Prometheus text exposition.
+    return "# faster stats compiled out; rebuild with -DFASTER_STATS=ON\n";
+  }
 };
 
 // ---------------------------------------------------------------------------

@@ -25,6 +25,22 @@ enum class Ev : uint16_t {
   kGrowEnd,            // arg = new table size (log2)
 };
 
+inline const char* EvName(Ev e) {
+  switch (e) {
+    case Ev::kNone: return "none";
+    case Ev::kPendingIoIssued: return "pending_io_issued";
+    case Ev::kPendingIoDone: return "pending_io_done";
+    case Ev::kFuzzyRmwDeferred: return "fuzzy_rmw_deferred";
+    case Ev::kPageClosed: return "page_closed";
+    case Ev::kFlushIssued: return "flush_issued";
+    case Ev::kCheckpointBegin: return "checkpoint_begin";
+    case Ev::kCheckpointEnd: return "checkpoint_end";
+    case Ev::kGrowBegin: return "grow_begin";
+    case Ev::kGrowEnd: return "grow_end";
+  }
+  return "unknown";
+}
+
 struct TraceEvent {
   uint64_t ns;
   uint32_t arg;
@@ -56,21 +72,30 @@ class EventRing {
     shard.next.store(pos + 1, std::memory_order_relaxed);
   }
 
+  /// Raw accessors for the flight recorder: no allocation, relaxed loads
+  /// only, safe to call from a signal handler.
+  uint64_t ShardNext(uint32_t tid) const {
+    return shards_[tid].next.load(std::memory_order_relaxed);
+  }
+  TraceEvent ReadEvent(uint32_t tid, uint64_t pos) const {
+    const Slot& slot = shards_[tid].slots[pos % kEventsPerThread];
+    TraceEvent e;
+    e.ns = slot.ns.load(std::memory_order_relaxed);
+    e.arg = slot.arg.load(std::memory_order_relaxed);
+    e.id = slot.id.load(std::memory_order_relaxed);
+    e.tid = static_cast<uint16_t>(tid);
+    return e;
+  }
+
   /// Copies out every recorded event (all threads), oldest-first per
   /// thread, then sorted by timestamp across threads.
   std::vector<TraceEvent> Snapshot() const {
     std::vector<TraceEvent> events;
     for (uint32_t t = 0; t < Thread::kMaxThreads; ++t) {
-      const Shard& shard = shards_[t];
-      uint64_t next = shard.next.load(std::memory_order_relaxed);
+      uint64_t next = ShardNext(t);
       uint64_t count = next < kEventsPerThread ? next : kEventsPerThread;
       for (uint64_t i = next - count; i < next; ++i) {
-        const Slot& slot = shard.slots[i % kEventsPerThread];
-        TraceEvent e;
-        e.ns = slot.ns.load(std::memory_order_relaxed);
-        e.arg = slot.arg.load(std::memory_order_relaxed);
-        e.id = slot.id.load(std::memory_order_relaxed);
-        e.tid = static_cast<uint16_t>(t);
+        TraceEvent e = ReadEvent(t, i);
         if (e.id != static_cast<uint16_t>(Ev::kNone)) events.push_back(e);
       }
     }
@@ -109,6 +134,8 @@ class EventRing {
 class NoopEventRing {
  public:
   void Emit(Ev, uint32_t = 0) {}
+  uint64_t ShardNext(uint32_t) const { return 0; }
+  TraceEvent ReadEvent(uint32_t, uint64_t) const { return TraceEvent{}; }
   std::vector<TraceEvent> Snapshot() const { return {}; }
 };
 

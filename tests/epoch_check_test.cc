@@ -14,17 +14,25 @@
 
 #include <cstdint>
 
+#include <string>
+
 #include "core/epoch_check.h"
 #include "core/faster.h"
 #include "core/functions.h"
 #include "core/hash_index.h"
 #include "core/hybrid_log.h"
 #include "device/memory_device.h"
+#include "obs/flight_recorder.h"
 
 namespace faster {
 namespace {
 
 using Store = FasterKv<CountStoreFunctions>;
+
+// Every verifier abort must also leave a flight-recorder dump in the
+// death output (the verifier's fatal hook fires before abort()).
+const char kDumpMarkers[] =
+    ".*FASTER FLIGHT RECORDER BEGIN.*FASTER FLIGHT RECORDER END";
 
 Store::Config SmallCfg(uint64_t pages) {
   Store::Config cfg;
@@ -44,6 +52,9 @@ class EpochCheckTest : public ::testing::Test {
     // The stores and devices below own threads; re-execute the test binary
     // for the death statement instead of forking a threaded process.
     ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // Arm the crash black box: the death-test child re-runs SetUp, so the
+    // verifier's fatal hook dumps the recorder before each abort below.
+    obs::FlightRecorder::Instance().Install();
   }
   MemoryDevice device_;
 };
@@ -63,8 +74,9 @@ void UnprotectedOpScope() {
 TEST_F(EpochCheckTest, UnprotectedOpScopeAborts) {
   EXPECT_DEATH(
       UnprotectedOpScope(),
-      "FASTER_EPOCH_CHECK violation: index operation \\(OpScope\\) without "
-      "epoch protection");
+      std::string{"FASTER_EPOCH_CHECK violation: index operation "
+                  "\\(OpScope\\) without epoch protection"} +
+          kDumpMarkers);
 }
 
 // Class 1b: traversing a bucket after the session dropped protection.
@@ -82,8 +94,9 @@ void UnprotectedFindEntry() {
 TEST_F(EpochCheckTest, UnprotectedFindEntryAborts) {
   EXPECT_DEATH(
       UnprotectedFindEntry(),
-      "FASTER_EPOCH_CHECK violation: bucket read \\(FindEntry\\) without "
-      "epoch protection");
+      std::string{"FASTER_EPOCH_CHECK violation: bucket read "
+                  "\\(FindEntry\\) without epoch protection"} +
+          kDumpMarkers);
 }
 
 // Class 2: dereferencing a log address without epoch protection — the
@@ -105,8 +118,9 @@ void UnprotectedLogGet() {
 TEST_F(EpochCheckTest, UnprotectedLogGetAborts) {
   EXPECT_DEATH(
       UnprotectedLogGet(),
-      "FASTER_EPOCH_CHECK violation: log dereference \\(Get\\) without "
-      "epoch protection");
+      std::string{"FASTER_EPOCH_CHECK violation: log dereference \\(Get\\) "
+                  "without epoch protection"} +
+          kDumpMarkers);
 }
 
 // Class 3: dereferencing an address below the head — the frame may hold a
@@ -122,10 +136,18 @@ TEST_F(EpochCheckTest, BelowHeadLogGetAborts) {
     ASSERT_EQ(store.Upsert(k, k), Status::kOk);
   }
   ASSERT_GT(store.hlog().head_address().control(), 64u);
+  // With the store's rings attached, the dump must carry its recent
+  // EventRing entries (page lifecycle events from the fill) — when stats
+  // are compiled in; the markers alone otherwise.
+  store.AttachFlightRecorder();
+  std::string dump_re = ".*FASTER FLIGHT RECORDER BEGIN";
+  if (obs::kStatsEnabled) dump_re += ".*-- events\\[store\\]";
+  dump_re += ".*FASTER FLIGHT RECORDER END";
   EXPECT_DEATH(
       store.hlog().Get(Address{64}),
-      "FASTER_EPOCH_CHECK violation: log dereference \\(Get\\) below the "
-      "head address");
+      std::string{"FASTER_EPOCH_CHECK violation: log dereference \\(Get\\) "
+                  "below the head address"} +
+          dump_re);
   store.StopSession();
 }
 
@@ -143,8 +165,9 @@ TEST_F(EpochCheckTest, InPlaceWriteBelowSafeReadOnlyAborts) {
   ASSERT_GT(store.hlog().safe_read_only_address().control(), 64u);
   EXPECT_DEATH(
       store.hlog().VerifyMutableAddress(Address{64}),
-      "FASTER_EPOCH_CHECK violation: in-place update below the safe "
-      "read-only offset");
+      std::string{"FASTER_EPOCH_CHECK violation: in-place update below the "
+                  "safe read-only offset"} +
+          kDumpMarkers);
   store.StopSession();
 }
 

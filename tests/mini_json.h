@@ -1,0 +1,104 @@
+#ifndef FASTER_TESTS_MINI_JSON_H_
+#define FASTER_TESTS_MINI_JSON_H_
+
+#include <string>
+
+namespace faster {
+
+/// Minimal JSON well-formedness checker (objects, arrays, strings, unsigned
+/// and negative integers, optional fractional part) — enough to prove the
+/// obs:: expositions emit valid JSON without pulling in a parser
+/// dependency. Shared by stats_test and exporter_test.
+class MiniJson {
+ public:
+  static bool Valid(const std::string& s) {
+    // Strip whitespace outside strings up front (the trace writer emits
+    // newlines between events), keeping the grammar below whitespace-free.
+    std::string compact;
+    compact.reserve(s.size());
+    bool in_string = false;
+    for (char c : s) {
+      if (c == '"') in_string = !in_string;
+      if (!in_string && (c == ' ' || c == '\t' || c == '\n' || c == '\r')) {
+        continue;
+      }
+      compact.push_back(c);
+    }
+    MiniJson p{compact};
+    return p.Value() && p.pos_ == compact.size();
+  }
+
+ private:
+  explicit MiniJson(const std::string& s) : s_{s} {}
+
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      default: return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    if (Peek('}')) return true;
+    while (true) {
+      if (!String() || !Eat(':') || !Value()) return false;
+      if (Peek('}')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    if (Peek(']')) return true;
+    while (true) {
+      if (!Value()) return false;
+      if (Peek(']')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+  bool String() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    for (++pos_; pos_ < s_.size(); ++pos_) {
+      if (s_[pos_] == '"') {
+        ++pos_;
+        return true;
+      }
+    }
+    return false;
+  }
+  bool Number() {
+    size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+    if (pos_ > start && pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      size_t frac = pos_;
+      while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
+      if (pos_ == frac) return false;
+    }
+    return pos_ > start && s_[pos_ - 1] >= '0';
+  }
+  bool Eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Peek(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace faster
+
+#endif  // FASTER_TESTS_MINI_JSON_H_

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -11,6 +12,8 @@
 #include "core/faster.h"
 #include "core/functions.h"
 #include "device/memory_device.h"
+#include "mini_json.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace faster {
@@ -184,81 +187,6 @@ TEST(StatsRegistryTest, TextFormat) {
   EXPECT_NE(text.find("count=1 p50=15 p99=15 p999=15"), std::string::npos);
 }
 
-// Minimal JSON well-formedness checker (objects, arrays, strings, unsigned
-// and negative integers) — enough to prove Registry::Json() emits valid
-// JSON without pulling in a parser dependency.
-class MiniJson {
- public:
-  static bool Valid(const std::string& s) {
-    MiniJson p{s};
-    return p.Value() && p.pos_ == s.size();
-  }
-
- private:
-  explicit MiniJson(const std::string& s) : s_{s} {}
-
-  bool Value() {
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{': return Object();
-      case '[': return Array();
-      case '"': return String();
-      default: return Number();
-    }
-  }
-  bool Object() {
-    ++pos_;  // '{'
-    if (Peek('}')) return true;
-    while (true) {
-      if (!String() || !Eat(':') || !Value()) return false;
-      if (Peek('}')) return true;
-      if (!Eat(',')) return false;
-    }
-  }
-  bool Array() {
-    ++pos_;  // '['
-    if (Peek(']')) return true;
-    while (true) {
-      if (!Value()) return false;
-      if (Peek(']')) return true;
-      if (!Eat(',')) return false;
-    }
-  }
-  bool String() {
-    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
-    for (++pos_; pos_ < s_.size(); ++pos_) {
-      if (s_[pos_] == '"') {
-        ++pos_;
-        return true;
-      }
-    }
-    return false;
-  }
-  bool Number() {
-    size_t start = pos_;
-    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
-    while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') ++pos_;
-    return pos_ > start && s_[pos_ - 1] >= '0';
-  }
-  bool Eat(char c) {
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  bool Peek(char c) {
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  const std::string& s_;
-  size_t pos_ = 0;
-};
-
 TEST(StatsRegistryTest, JsonRoundTrip) {
   Counter c;
   c.Add(17);
@@ -350,6 +278,235 @@ TEST(StatsTraceTest, EventRingWrapsKeepingNewest) {
 }
 
 // ---------------------------------------------------------------------------
+// Spans: ring, RAII scopes, sampling, Chrome trace JSON
+// ---------------------------------------------------------------------------
+
+// Restores the span sampling period on scope exit so tests can't leak a
+// 1-in-1 (or disabled) setting into later tests.
+class SpanSampleGuard {
+ public:
+  explicit SpanSampleGuard(uint32_t every) : saved_{obs::SpanSampleEvery()} {
+    obs::SetSpanSampleEvery(every);
+  }
+  ~SpanSampleGuard() { obs::SetSpanSampleEvery(saved_); }
+  SpanSampleGuard(const SpanSampleGuard&) = delete;
+  SpanSampleGuard& operator=(const SpanSampleGuard&) = delete;
+
+ private:
+  uint32_t saved_;
+};
+
+// The global ring accumulates across tests; filter by trace id to isolate.
+std::vector<obs::SpanRecord> SpansOfTrace(uint64_t trace_id) {
+  std::vector<obs::SpanRecord> out;
+  for (const obs::SpanRecord& s : obs::GlobalSpanRing().Snapshot()) {
+    if (s.trace_id == trace_id) out.push_back(s);
+  }
+  return out;
+}
+
+uint16_t K(obs::SpanKind k) { return static_cast<uint16_t>(k); }
+
+TEST(SpanRingTest, RecordSnapshotSortedByStart) {
+  obs::SpanRing ring;
+  ring.Record(7, 2, 1, 300, 400, 9, obs::SpanKind::kIoExec);
+  ring.Record(7, 1, 0, 100, 500, 0, obs::SpanKind::kRead);
+  ring.Record(8, 3, 0, 200, 250, 0, obs::SpanKind::kUpsert);
+  auto spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].start_ns, 100u);
+  EXPECT_EQ(spans[0].kind, K(obs::SpanKind::kRead));
+  EXPECT_EQ(spans[1].trace_id, 8u);
+  EXPECT_EQ(spans[2].span_id, 2u);
+  EXPECT_EQ(spans[2].parent_id, 1u);
+  EXPECT_EQ(spans[2].arg, 9u);
+  EXPECT_EQ(spans[2].end_ns, 400u);
+}
+
+TEST(SpanRingTest, WrapsKeepingNewest) {
+  obs::SpanRing ring;
+  constexpr uint32_t kTotal = obs::SpanRing::kSpansPerThread + 50;
+  for (uint32_t i = 0; i < kTotal; ++i) {
+    ring.Record(1, i + 1, 0, i + 1, i + 2, i, obs::SpanKind::kRmw);
+  }
+  auto spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), size_t{obs::SpanRing::kSpansPerThread});
+  // The oldest 50 spans were overwritten.
+  uint32_t min_arg = UINT32_MAX;
+  for (const auto& s : spans) min_arg = std::min(min_arg, s.arg);
+  EXPECT_EQ(min_arg, 50u);
+}
+
+TEST(SpanScopeTest, SampledRootEstablishesAmbientContext) {
+  SpanSampleGuard guard{1};
+  uint64_t trace_id = 0;
+  {
+    obs::OpSpan span{obs::SpanKind::kRead};
+    ASSERT_TRUE(span.active());
+    trace_id = span.trace_id();
+    // Convention: a root's span id == its trace id, parent 0.
+    EXPECT_EQ(span.span_id(), trace_id);
+    EXPECT_EQ(obs::CurrentTrace().trace_id, trace_id);
+    EXPECT_EQ(obs::CurrentTrace().span_id, span.span_id());
+  }
+  EXPECT_EQ(obs::CurrentTrace().trace_id, 0u);  // context restored
+  auto spans = SpansOfTrace(trace_id);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_EQ(spans[0].kind, K(obs::SpanKind::kRead));
+  EXPECT_GE(spans[0].end_ns, spans[0].start_ns);
+}
+
+TEST(SpanScopeTest, NestedOpSpanAttachesAsChild) {
+  SpanSampleGuard guard{1};
+  uint64_t trace_id = 0, root_id = 0, child_id = 0;
+  {
+    obs::OpSpan root{obs::SpanKind::kBatchChunk, 3};
+    trace_id = root.trace_id();
+    root_id = root.span_id();
+    obs::OpSpan child{obs::SpanKind::kUpsert};
+    ASSERT_TRUE(child.active());
+    EXPECT_EQ(child.trace_id(), trace_id);  // no new trace started
+    child_id = child.span_id();
+    EXPECT_NE(child_id, root_id);
+  }
+  auto spans = SpansOfTrace(trace_id);
+  ASSERT_EQ(spans.size(), 2u);
+  for (const auto& s : spans) {
+    if (s.span_id == child_id) {
+      EXPECT_EQ(s.parent_id, root_id);
+    }
+    if (s.span_id == root_id) {
+      EXPECT_EQ(s.parent_id, 0u);
+    }
+  }
+}
+
+TEST(SpanScopeTest, ChildSpanInactiveWithoutAmbientTrace) {
+  ASSERT_EQ(obs::CurrentTrace().trace_id, 0u);
+  obs::ChildSpan stage{obs::SpanKind::kBatchHash};
+  EXPECT_FALSE(stage.active());  // never starts a trace on its own
+}
+
+TEST(SpanScopeTest, ChildSpanParentedUnderAmbient) {
+  SpanSampleGuard guard{1};
+  uint64_t trace_id = 0, root_id = 0, stage_id = 0;
+  {
+    obs::OpSpan root{obs::SpanKind::kBatchChunk};
+    trace_id = root.trace_id();
+    root_id = root.span_id();
+    {
+      obs::ChildSpan stage{obs::SpanKind::kBatchHash};
+      ASSERT_TRUE(stage.active());
+      stage_id = stage.span_id();
+      // Work nested inside the stage parents under the stage.
+      EXPECT_EQ(obs::CurrentTrace().span_id, stage_id);
+    }
+    EXPECT_EQ(obs::CurrentTrace().span_id, root_id);  // restored to root
+  }
+  auto spans = SpansOfTrace(trace_id);
+  ASSERT_EQ(spans.size(), 2u);
+  for (const auto& s : spans) {
+    if (s.span_id == stage_id) {
+      EXPECT_EQ(s.parent_id, root_id);
+    }
+  }
+}
+
+TEST(SpanScopeTest, ResumedSpanContinuesTraceOnAnotherThread) {
+  SpanSampleGuard guard{1};
+  obs::TraceContext captured;
+  uint64_t trace_id = 0;
+  uint16_t root_tid = 0;
+  {
+    obs::OpSpan root{obs::SpanKind::kRead};
+    trace_id = root.trace_id();
+    captured = obs::CurrentTrace();  // what the store copies into contexts
+  }
+  root_tid = static_cast<uint16_t>(Thread::Id());
+  std::thread worker([&captured] {
+    obs::ResumedSpan span{obs::SpanKind::kIoExec, captured.trace_id,
+                          captured.span_id};
+    EXPECT_TRUE(span.active());
+    EXPECT_EQ(obs::CurrentTrace().trace_id, captured.trace_id);
+  });
+  worker.join();
+  auto spans = SpansOfTrace(trace_id);
+  ASSERT_EQ(spans.size(), 2u);
+  bool saw_resumed = false;
+  for (const auto& s : spans) {
+    if (s.kind == K(obs::SpanKind::kIoExec)) {
+      saw_resumed = true;
+      EXPECT_EQ(s.parent_id, captured.span_id);
+      EXPECT_NE(s.tid, root_tid);  // recorded on the worker's shard
+    }
+  }
+  EXPECT_TRUE(saw_resumed);
+}
+
+TEST(SpanScopeTest, ResumedSpanInertForUnsampledTrace) {
+  obs::ResumedSpan span{obs::SpanKind::kIoComplete, 0, 0};
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(obs::CurrentTrace().trace_id, 0u);
+}
+
+TEST(SpanScopeTest, SamplingZeroDisablesRecording) {
+  SpanSampleGuard guard{0};
+  obs::OpSpan span{obs::SpanKind::kRead};
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(obs::CurrentTrace().trace_id, 0u);
+}
+
+TEST(SpanScopeTest, OneInNSampling) {
+  SpanSampleGuard guard{4};
+  uint32_t sampled = 0;
+  // Fresh thread => fresh thread-local sampling tick, so the count is
+  // deterministic: ops 4 and 8 out of 8 start traces.
+  std::thread t([&sampled] {
+    for (int i = 0; i < 8; ++i) {
+      obs::OpSpan span{obs::SpanKind::kRead};
+      if (span.active()) ++sampled;
+    }
+  });
+  t.join();
+  EXPECT_EQ(sampled, 2u);
+}
+
+TEST(SpanTraceJsonTest, ChromeTraceIsValidJson) {
+  std::vector<obs::SpanRecord> spans;
+  obs::SpanRecord s{};
+  s.trace_id = 42;
+  s.span_id = 42;
+  s.parent_id = 0;
+  s.start_ns = 1500;
+  s.end_ns = 3750;
+  s.arg = 7;
+  s.kind = K(obs::SpanKind::kRead);
+  s.tid = 3;
+  spans.push_back(s);
+  std::vector<obs::TraceEvent> events;
+  events.push_back(obs::TraceEvent{
+      2000, 4096, static_cast<uint16_t>(obs::Ev::kFlushIssued), 1});
+  std::ostringstream os;
+  obs::WriteChromeTrace(os, spans, events);
+  std::string json = os.str();
+  EXPECT_TRUE(MiniJson::Valid(json)) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  // Timestamps are microseconds with nanosecond precision.
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":2.250"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trace_id\":42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"read\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos) << json;
+}
+
+TEST(SpanTraceJsonTest, EmptyTraceIsValidJson) {
+  std::ostringstream os;
+  obs::WriteChromeTrace(os, {}, {});
+  EXPECT_TRUE(MiniJson::Valid(os.str())) << os.str();
+}
+
+// ---------------------------------------------------------------------------
 // Store end-to-end: DumpStats after real operations
 // ---------------------------------------------------------------------------
 
@@ -382,6 +539,121 @@ TEST(StatsStoreTest, DumpStatsAfterOps) {
     EXPECT_NE(text.find("compiled out"), std::string::npos);
     EXPECT_EQ(json, "{}");
   }
+}
+
+// ---------------------------------------------------------------------------
+// Store end-to-end: span lifecycle across the async boundary
+// ---------------------------------------------------------------------------
+
+// A storage read's spans must land under the same trace id as the Read()
+// that issued it: the root read span, the pending-I/O window, the pool
+// queue/exec spans (on a different thread), and the completion processing.
+TEST(SpanStoreTest, TraceCrossesPendingIoBoundary) {
+  if (!obs::kStatsEnabled) GTEST_SKIP() << "span instrumentation compiled out";
+  SpanSampleGuard guard{0};  // don't trace the fill phase
+  MemoryDevice device;
+  FasterKv<CountStoreFunctions>::Config cfg;
+  cfg.table_size = 2048;
+  cfg.log.memory_size_bytes = 2ull << Address::kOffsetBits;
+  cfg.log.mutable_fraction = 0.5;
+  cfg.refresh_interval = 256;
+  FasterKv<CountStoreFunctions> store{cfg, &device};
+  store.StartSession();
+  for (uint64_t k = 0; k < 400000; ++k) {
+    ASSERT_EQ(store.Upsert(k, k), Status::kOk);
+  }
+  // Key 0 is now below the head address: reading it goes to storage.
+  ASSERT_GT(store.hlog().head_address().control(), 64u);
+  obs::SetSpanSampleEvery(1);
+  uint64_t out = UINT64_MAX;
+  ASSERT_EQ(store.Read(0, 0, &out), Status::kPending);
+  ASSERT_TRUE(store.CompletePending(true));
+  EXPECT_EQ(out, 0u);
+  store.StopSession();
+
+  auto all = obs::SnapshotSpans();
+  // Our operation's root: the read span with span id == trace id that
+  // started last (the global ring accumulates across tests).
+  const obs::SpanRecord* root = nullptr;
+  for (const auto& s : all) {
+    if (s.kind == K(obs::SpanKind::kRead) && s.span_id == s.trace_id &&
+        (root == nullptr || s.start_ns > root->start_ns)) {
+      root = &s;
+    }
+  }
+  ASSERT_NE(root, nullptr);
+  bool saw_pending = false, saw_complete = false, crossed_thread = false;
+  for (const auto& s : all) {
+    if (s.trace_id != root->trace_id) continue;
+    if (s.kind == K(obs::SpanKind::kPendingIo)) {
+      saw_pending = true;
+      EXPECT_EQ(s.parent_id, root->span_id);
+      EXPECT_GE(s.end_ns, s.start_ns);
+    }
+    if (s.kind == K(obs::SpanKind::kIoComplete)) {
+      saw_complete = true;
+      EXPECT_EQ(s.parent_id, root->span_id);
+    }
+    if (s.tid != root->tid) crossed_thread = true;  // pool worker spans
+  }
+  EXPECT_TRUE(saw_pending);
+  EXPECT_TRUE(saw_complete);
+  EXPECT_TRUE(crossed_thread);
+}
+
+// Each batch chunk opens a root span; the three pipeline stages are its
+// direct children.
+TEST(SpanStoreTest, BatchStagesParentUnderChunkSpan) {
+  if (!obs::kStatsEnabled) GTEST_SKIP() << "span instrumentation compiled out";
+  SpanSampleGuard guard{1};
+  MemoryDevice device;
+  using Store = FasterKv<CountStoreFunctions>;
+  Store::Config cfg;
+  cfg.table_size = 2048;
+  cfg.log.memory_size_bytes = 16 << 20;
+  Store store{cfg, &device};
+  store.StartSession();
+  constexpr size_t kOps = 8;
+  Store::BatchOp ops[kOps];
+  for (size_t i = 0; i < kOps; ++i) {
+    ops[i].kind = Store::BatchOp::Kind::kUpsert;
+    ops[i].key = i;
+    ops[i].value = i * 10;
+  }
+  store.ExecuteBatch(ops, kOps);
+  for (size_t i = 0; i < kOps; ++i) EXPECT_EQ(ops[i].status, Status::kOk);
+  store.StopSession();
+
+  auto all = obs::SnapshotSpans();
+  const obs::SpanRecord* chunk = nullptr;
+  for (const auto& s : all) {
+    if (s.kind == K(obs::SpanKind::kBatchChunk) &&
+        (chunk == nullptr || s.start_ns > chunk->start_ns)) {
+      chunk = &s;
+    }
+  }
+  ASSERT_NE(chunk, nullptr);
+  EXPECT_EQ(chunk->span_id, chunk->trace_id);  // chunk is a root
+  EXPECT_EQ(chunk->arg, kOps);                 // arg carries the chunk size
+  uint32_t hash_stages = 0, resolve_stages = 0, execute_stages = 0;
+  for (const auto& s : all) {
+    if (s.trace_id != chunk->trace_id || s.span_id == chunk->span_id) continue;
+    if (s.kind == K(obs::SpanKind::kBatchHash)) {
+      ++hash_stages;
+      EXPECT_EQ(s.parent_id, chunk->span_id);
+    }
+    if (s.kind == K(obs::SpanKind::kBatchResolve)) {
+      ++resolve_stages;
+      EXPECT_EQ(s.parent_id, chunk->span_id);
+    }
+    if (s.kind == K(obs::SpanKind::kBatchExecute)) {
+      ++execute_stages;
+      EXPECT_EQ(s.parent_id, chunk->span_id);
+    }
+  }
+  EXPECT_EQ(hash_stages, 1u);
+  EXPECT_EQ(resolve_stages, 1u);
+  EXPECT_EQ(execute_stages, 1u);
 }
 
 }  // namespace

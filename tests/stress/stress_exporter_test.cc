@@ -1,0 +1,156 @@
+// Stress: live scraping must be race-free against a store under load.
+// Scraper threads hammer the HTTP exporter (/metrics and /vars) and a
+// snapshot thread dumps the Chrome trace, all while worker threads run
+// sampled operations — every read on the dump path is a relaxed load on
+// sharded state, so the whole arrangement must be TSan-clean.
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/faster.h"
+#include "core/functions.h"
+#include "device/memory_device.h"
+#include "obs/exporter.h"
+#include "obs/span.h"
+#include "stress_common.h"
+
+namespace faster {
+namespace {
+
+std::string HttpGet(uint16_t port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string req = "GET " + path +
+                    " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < req.size()) {
+    ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(StressExporterTest, ScrapesAndTraceDumpsRaceStoreOperations) {
+  constexpr uint32_t kWorkers = 4;
+  const uint64_t kOpsPerThread = stress::ScaleOps(100000);
+
+  MemoryDevice device;
+  FasterKv<CountStoreFunctions>::Config cfg;
+  cfg.table_size = 4096;
+  cfg.log.memory_size_bytes = 64 << 20;
+  FasterKv<CountStoreFunctions> store{cfg, &device};
+
+  // Sample aggressively so span recording races the snapshotters.
+  uint32_t saved_every = obs::SpanSampleEvery();
+  obs::SetSpanSampleEvery(4);
+
+  obs::ExporterOptions options;
+  options.port = 0;
+  obs::MetricsExporter exporter{
+      options,
+      obs::MetricsExporter::Handlers{
+          [&store] { return store.DumpPrometheus(); },
+          [&store] { return store.DumpStats(/*json=*/true); }}};
+  ASSERT_TRUE(exporter.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> scrapes{0};
+
+  std::thread metrics_scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::string response = HttpGet(exporter.port(), "/metrics");
+      if (response.rfind("HTTP/1.1 200", 0) == 0) {
+        scrapes.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::thread vars_scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::string response = HttpGet(exporter.port(), "/vars");
+      if (response.rfind("HTTP/1.1 200", 0) == 0) {
+        scrapes.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::thread trace_snapshotter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::ostringstream os;
+      store.DumpTrace(os);
+      EXPECT_FALSE(os.str().empty());
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (uint32_t t = 0; t < kWorkers; ++t) {
+    workers.emplace_back([&, t] {
+      auto rng = stress::ThreadRng(t);
+      store.StartSession();
+      for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+        uint64_t key = rng() % 10000;
+        switch (rng() % 3) {
+          case 0:
+            ASSERT_EQ(store.Upsert(key, key), Status::kOk);
+            break;
+          case 1: {
+            uint64_t out = 0;
+            Status s = store.Read(key, 0, &out);
+            ASSERT_TRUE(s == Status::kOk || s == Status::kNotFound);
+            break;
+          }
+          case 2:
+            ASSERT_EQ(store.Rmw(key, 1), Status::kOk);
+            break;
+        }
+        if ((i & 1023) == 0) store.Refresh();
+      }
+      store.CompletePending(true);
+      store.StopSession();
+    });
+  }
+  for (auto& th : workers) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  metrics_scraper.join();
+  vars_scraper.join();
+  trace_snapshotter.join();
+  obs::SetSpanSampleEvery(saved_every);
+
+  EXPECT_GT(scrapes.load(std::memory_order_relaxed), 0u);
+  // A final scrape after the run still serves coherent output.
+  std::string response = HttpGet(exporter.port(), "/metrics");
+  EXPECT_EQ(response.rfind("HTTP/1.1 200", 0), 0u);
+  if constexpr (obs::kStatsEnabled) {
+    EXPECT_NE(response.find("faster_store_"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace faster

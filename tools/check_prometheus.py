@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition format 0.0.4 (promtool-style).
+
+Usage: check_prometheus.py [FILE ...]        (stdin when no files)
+
+Checks, per input:
+  * every line is a comment (# TYPE / # HELP / # ...) or a sample
+    `name[{labels}] value [timestamp]`
+  * metric and label names match the Prometheus grammar
+  * sample values parse as numbers (or +Inf/-Inf/NaN)
+  * a family's # TYPE line precedes its samples, and is not repeated
+  * histogram families are complete and coherent: cumulative `_bucket`
+    counts are non-decreasing in `le` order, an `le="+Inf"` bucket is
+    present, and `_count` equals the +Inf bucket's value; `_sum` exists
+
+Exit status 0 when every input validates, 1 otherwise. Used by CI on the
+exporter's /metrics scrape; tests/exporter_test.cc mirrors the grammar
+subset in-process.
+"""
+
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(?P<type>counter|gauge|histogram|summary|untyped)$"
+)
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_value(text):
+    if text in ("+Inf", "-Inf", "NaN", "Inf"):
+        return float(text.replace("Inf", "inf").replace("+", ""))
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def parse_labels(text):
+    """Returns {name: value} or None on malformed labels."""
+    labels = {}
+    if not text:
+        return labels
+    # The exporter never emits ',' or '"' inside label values, so a simple
+    # split is exact here; escaped values would need a real lexer.
+    for part in text.split(","):
+        if not part:
+            continue
+        m = re.match(r'^([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"$', part)
+        if m is None:
+            return None
+        labels[m.group(1)] = m.group(2)
+    return labels
+
+
+def family_of(name):
+    """Strips histogram sample suffixes back to the declared family name."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_histogram(family, samples, errors):
+    buckets = []
+    has_sum = False
+    count_value = None
+    for name, labels, value in samples:
+        if name == family + "_bucket":
+            if "le" not in labels:
+                errors.append(f"{name}: bucket sample without le label")
+                continue
+            le = labels["le"]
+            bound = float("inf") if le == "+Inf" else parse_value(le)
+            if bound is None:
+                errors.append(f"{name}: unparseable le={le!r}")
+                continue
+            buckets.append((bound, value))
+        elif name == family + "_sum":
+            has_sum = True
+        elif name == family + "_count":
+            count_value = value
+    if not buckets:
+        errors.append(f"{family}: histogram with no _bucket samples")
+        return
+    buckets.sort(key=lambda b: b[0])
+    if buckets[-1][0] != float("inf"):
+        errors.append(f"{family}: missing le=\"+Inf\" bucket")
+    last = -1.0
+    for bound, value in buckets:
+        if value < last:
+            errors.append(
+                f"{family}: cumulative bucket count decreases at le={bound}"
+            )
+        last = value
+    if not has_sum:
+        errors.append(f"{family}: missing _sum sample")
+    if count_value is None:
+        errors.append(f"{family}: missing _count sample")
+    elif buckets[-1][0] == float("inf") and count_value != buckets[-1][1]:
+        errors.append(
+            f"{family}: _count {count_value} != +Inf bucket {buckets[-1][1]}"
+        )
+
+
+def check(text, source):
+    errors = []
+    types = {}  # family -> declared type
+    samples = {}  # family -> [(name, labels, value)]
+    sample_count = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("# TYPE "):
+                m = TYPE_RE.match(line)
+                if m is None:
+                    errors.append(f"line {lineno}: malformed TYPE: {line!r}")
+                    continue
+                family = m.group("name")
+                if family in types:
+                    errors.append(f"line {lineno}: duplicate TYPE for {family}")
+                if family in samples:
+                    errors.append(
+                        f"line {lineno}: TYPE for {family} after its samples"
+                    )
+                types[family] = m.group("type")
+            # # HELP and other comments are legal and unchecked.
+            continue
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name = m.group("name")
+        if not METRIC_NAME_RE.match(name):
+            errors.append(f"line {lineno}: bad metric name: {name!r}")
+            continue
+        labels = parse_labels(m.group("labels") or "")
+        if labels is None:
+            errors.append(f"line {lineno}: malformed labels: {line!r}")
+            continue
+        for label in labels:
+            if not LABEL_NAME_RE.match(label):
+                errors.append(f"line {lineno}: bad label name: {label!r}")
+        value = parse_value(m.group("value"))
+        if value is None:
+            errors.append(
+                f"line {lineno}: unparseable value: {m.group('value')!r}"
+            )
+            continue
+        family = family_of(name)
+        if family not in types and name not in types:
+            errors.append(f"line {lineno}: sample {name} has no TYPE line")
+        samples.setdefault(family, []).append((name, labels, value))
+        sample_count += 1
+
+    for family, declared in types.items():
+        if family not in samples:
+            errors.append(f"{family}: TYPE declared but no samples")
+        elif declared == "histogram":
+            check_histogram(family, samples[family], errors)
+
+    if sample_count == 0 and not errors:
+        errors.append("no samples found")
+    for e in errors:
+        print(f"{source}: {e}", file=sys.stderr)
+    if not errors:
+        print(
+            f"{source}: OK ({sample_count} samples, "
+            f"{len(types)} families)"
+        )
+    return not errors
+
+
+def main(argv):
+    paths = argv[1:]
+    ok = True
+    if not paths:
+        ok = check(sys.stdin.read(), "<stdin>")
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as f:
+            ok = check(f.read(), path) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

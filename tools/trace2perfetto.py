@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Validate, summarize, and post-process FasterKv Chrome trace dumps.
+
+The store's DumpTrace() (and ycsb_cli --trace FILE) emits Chrome
+trace-event JSON, which Perfetto (https://ui.perfetto.dev) and
+chrome://tracing load directly — no conversion is required. This tool
+checks a dump before you ship it to a UI, prints a span-level summary,
+and can rewrite the trace with spans re-linked to their parents for
+tools that understand flow events.
+
+Usage:
+  trace2perfetto.py validate  TRACE.json      # structure + span links
+  trace2perfetto.py summarize TRACE.json      # per-kind/trace statistics
+  trace2perfetto.py convert   TRACE.json OUT  # sorted + flow-linked copy
+
+Exit status 0 on success; 1 when validation fails.
+"""
+
+import collections
+import json
+import sys
+
+SPAN_PHASE = "X"
+INSTANT_PHASE = "i"
+METADATA_PHASE = "M"
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def spans_of(trace):
+    return [
+        e
+        for e in trace.get("traceEvents", [])
+        if e.get("ph") == SPAN_PHASE and e.get("cat") == "span"
+    ]
+
+
+def validate(trace, source):
+    errors = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{source}: traceEvents missing or not a list"]
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in (SPAN_PHASE, INSTANT_PHASE, METADATA_PHASE):
+            errors.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if ph == METADATA_PHASE:
+            continue
+        for field in ("name", "pid", "tid", "ts"):
+            if field not in e:
+                errors.append(f"event {i}: missing {field}")
+        if ph == SPAN_PHASE:
+            if "dur" not in e:
+                errors.append(f"event {i}: X event without dur")
+            args = e.get("args", {})
+            for field in ("trace_id", "span_id", "parent_span_id"):
+                if field not in args:
+                    errors.append(f"event {i}: span without args.{field}")
+
+    # Span-link coherence: every non-root parent points at a span that
+    # exists within the same trace id.
+    spans = spans_of(trace)
+    by_trace = collections.defaultdict(set)
+    for e in spans:
+        by_trace[e["args"]["trace_id"]].add(e["args"]["span_id"])
+    for e in spans:
+        parent = e["args"]["parent_span_id"]
+        if parent == 0:
+            continue
+        if parent not in by_trace[e["args"]["trace_id"]]:
+            errors.append(
+                f"span {e['args']['span_id']} ({e['name']}): orphan parent "
+                f"{parent} in trace {e['args']['trace_id']}"
+            )
+    return errors
+
+
+def summarize(trace):
+    spans = spans_of(trace)
+    by_kind = collections.Counter(e["name"] for e in spans)
+    traces = collections.defaultdict(list)
+    for e in spans:
+        traces[e["args"]["trace_id"]].append(e)
+    cross_thread = sum(
+        1 for group in traces.values() if len({e["tid"] for e in group}) > 1
+    )
+    print(f"spans:  {len(spans)}")
+    print(f"traces: {len(traces)} ({cross_thread} crossing threads)")
+    for kind, count in sorted(by_kind.items(), key=lambda kv: -kv[1]):
+        durs = sorted(e["dur"] for e in spans if e["name"] == kind)
+        p50 = durs[len(durs) // 2]
+        print(f"  {kind:<16} n={count:<8} p50={p50}us max={durs[-1]}us")
+    instants = [
+        e for e in trace.get("traceEvents", []) if e.get("ph") == INSTANT_PHASE
+    ]
+    if instants:
+        by_event = collections.Counter(e["name"] for e in instants)
+        print(f"events: {len(instants)}")
+        for name, count in sorted(by_event.items(), key=lambda kv: -kv[1]):
+            print(f"  {name:<16} n={count}")
+
+
+def convert(trace, out_path):
+    """Writes a sorted copy with flow events binding children to parents,
+    so Perfetto draws arrows across the pending-I/O thread hops."""
+    events = list(trace.get("traceEvents", []))
+    flows = []
+    spans = spans_of(trace)
+    by_id = {e["args"]["span_id"]: e for e in spans}
+    for e in spans:
+        parent = by_id.get(e["args"]["parent_span_id"])
+        if parent is None:
+            continue
+        flow_id = e["args"]["span_id"]
+        flows.append(
+            {
+                "name": "span_link",
+                "cat": "span",
+                "ph": "s",
+                "id": flow_id,
+                "pid": parent["pid"],
+                "tid": parent["tid"],
+                "ts": parent["ts"],
+            }
+        )
+        flows.append(
+            {
+                "name": "span_link",
+                "cat": "span",
+                "ph": "f",
+                "bp": "e",
+                "id": flow_id,
+                "pid": e["pid"],
+                "tid": e["tid"],
+                "ts": e["ts"],
+            }
+        )
+    events.extend(flows)
+    events.sort(key=lambda e: (e.get("ts", 0), e.get("ph") != METADATA_PHASE))
+    out = dict(trace)
+    out["traceEvents"] = events
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(out, f)
+    print(f"wrote {out_path}: {len(events)} events ({len(flows)} flow links)")
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    command, path = argv[1], argv[2]
+    trace = load(path)
+    if command == "validate":
+        errors = validate(trace, path)
+        for e in errors:
+            print(f"{path}: {e}", file=sys.stderr)
+        if errors:
+            return 1
+        print(f"{path}: OK ({len(spans_of(trace))} spans)")
+        return 0
+    if command == "summarize":
+        errors = validate(trace, path)
+        for e in errors:
+            print(f"{path}: {e}", file=sys.stderr)
+        summarize(trace)
+        return 1 if errors else 0
+    if command == "convert":
+        if len(argv) < 4:
+            print("convert needs an output path", file=sys.stderr)
+            return 2
+        convert(trace, argv[3])
+        return 0
+    print(f"unknown command {command!r}", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
