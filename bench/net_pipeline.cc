@@ -1,0 +1,194 @@
+// Networked pipeline sweep: the RESP server (src/net) vs the RemoteStore
+// baseline, over pipeline depth P in {1, 4, 16, 64}.
+//
+// Both sides run the same closed loop: 2 client threads, each keeping P
+// commands (50:50 GET/SET, uniform keys) in flight on its own connection.
+// The faster_server side goes over loopback TCP through the RESP parser
+// and the per-turn ExecuteBatch coalescer; the remote_baseline side goes
+// over the socketpair text protocol to the single-threaded baseline. The
+// interesting comparisons (summarize_bench.py prints both):
+//
+//   * depth speedup — P>=16 vs P=1 on the server: amortizing the network
+//     hop AND filling the store's batch pipeline (Sec. 7.2.4's -P sweep);
+//   * server vs baseline at equal P — the concurrent, batch-executing
+//     server against the paper's Redis stand-in.
+//
+// Counters: P (pipeline depth) and Mops; sidecars via $FASTER_BENCH_JSON_DIR.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/remote_store.h"
+#include "common.h"
+#include "net/resp.h"
+#include "net/server.h"
+#include "net/socket.h"
+
+namespace faster {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr uint32_t kConnections = 2;
+
+uint64_t NetKeys() { return BenchKeys(uint64_t{1} << 17); }
+
+/// Closed loop over loopback TCP: write P RESP commands, frame P replies.
+uint64_t DriveServerConnection(uint16_t port, uint32_t pipeline,
+                               uint64_t keys, uint32_t seed,
+                               double seconds) {
+  net::UniqueFd fd = net::ConnectTcp("127.0.0.1", port);
+  if (!fd) return 0;
+  net::SetNoDelay(fd.get());
+  std::mt19937_64 rng{seed};
+  std::uniform_int_distribution<uint64_t> key_dist{0, keys - 1};
+  std::string req, rbuf;
+  char tmp[1 << 16];
+  uint64_t done = 0;
+  auto deadline = Clock::now() + std::chrono::duration<double>(seconds);
+  while (Clock::now() < deadline) {
+    req.clear();
+    for (uint32_t i = 0; i < pipeline; ++i) {
+      char line[64];
+      uint64_t key = key_dist(rng);
+      int n = (i & 1) == 0
+                  ? std::snprintf(line, sizeof(line), "GET %llu\r\n",
+                                  static_cast<unsigned long long>(key))
+                  : std::snprintf(line, sizeof(line), "SET %llu %llu\r\n",
+                                  static_cast<unsigned long long>(key),
+                                  static_cast<unsigned long long>(key));
+      req.append(line, static_cast<size_t>(n));
+    }
+    if (!net::WriteAllFd(fd.get(), req.data(), req.size())) break;
+    uint32_t seen = 0;
+    size_t pos = 0;
+    while (seen < pipeline) {
+      ssize_t got = net::ReadSomeFd(fd.get(), tmp, sizeof(tmp));
+      if (got <= 0) return done;
+      rbuf.append(tmp, static_cast<size_t>(got));
+      for (;;) {
+        size_t next = net::SkipReply(rbuf, pos, nullptr);
+        if (next == std::string::npos) break;
+        pos = next;
+        if (++seen == pipeline) break;
+      }
+    }
+    rbuf.erase(0, pos);
+    done += pipeline;
+  }
+  return done;
+}
+
+void BM_FasterServer(benchmark::State& state) {
+  uint32_t pipeline = static_cast<uint32_t>(state.range(0));
+  uint64_t keys = NetKeys();
+  for (auto _ : state) {
+    net::ServerOptions opts;
+    opts.port = 0;  // ephemeral
+    opts.threads = 2;
+    opts.table_size = keys;
+    net::FasterServer server{opts};
+    if (!server.ok()) {
+      state.SkipWithError(server.error().c_str());
+      break;
+    }
+    double seconds = BenchSeconds();
+    std::vector<std::thread> clients;
+    std::vector<uint64_t> counts(kConnections, 0);
+    auto t0 = Clock::now();
+    for (uint32_t c = 0; c < kConnections; ++c) {
+      clients.emplace_back([&, c] {
+        counts[c] = DriveServerConnection(server.port(), pipeline, keys,
+                                          0xc0ffee + c, seconds);
+      });
+    }
+    for (auto& t : clients) t.join();
+    double elapsed =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    uint64_t total = 0;
+    for (uint64_t c : counts) total += c;
+    state.SetItemsProcessed(static_cast<int64_t>(total));
+    state.counters["Mops"] = benchmark::Counter(
+        static_cast<double>(total) / elapsed / 1e6,
+        benchmark::Counter::kAvgThreads);
+    state.counters["total_ops"] =
+        benchmark::Counter(static_cast<double>(total),
+                           benchmark::Counter::kAvgThreads);
+    state.counters["P"] = static_cast<double>(pipeline);
+  }
+}
+
+void BM_RemoteBaseline(benchmark::State& state) {
+  uint32_t pipeline = static_cast<uint32_t>(state.range(0));
+  uint64_t keys = NetKeys();
+  for (auto _ : state) {
+    RemoteStore store;
+    double seconds = BenchSeconds();
+    std::vector<std::thread> clients;
+    std::vector<uint64_t> counts(kConnections, 0);
+    auto t0 = Clock::now();
+    for (uint32_t c = 0; c < kConnections; ++c) {
+      auto client = store.Connect();
+      clients.emplace_back([&, c, client = std::move(client)] {
+        std::mt19937_64 rng{0xc0ffee + c};
+        std::uniform_int_distribution<uint64_t> key_dist{0, keys - 1};
+        std::vector<RemoteStore::Client::Op> ops(pipeline);
+        auto deadline =
+            Clock::now() + std::chrono::duration<double>(seconds);
+        while (Clock::now() < deadline) {
+          for (uint32_t i = 0; i < pipeline; ++i) {
+            uint64_t key = key_dist(rng);
+            ops[i].is_set = (i & 1) != 0;
+            ops[i].key = key;
+            ops[i].value = key;
+          }
+          if (client->ExecuteBatch(&ops) != Status::kOk) break;
+          counts[c] += pipeline;
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    double elapsed =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    uint64_t total = 0;
+    for (uint64_t c : counts) total += c;
+    state.SetItemsProcessed(static_cast<int64_t>(total));
+    state.counters["Mops"] = benchmark::Counter(
+        static_cast<double>(total) / elapsed / 1e6,
+        benchmark::Counter::kAvgThreads);
+    state.counters["total_ops"] =
+        benchmark::Counter(static_cast<double>(total),
+                           benchmark::Counter::kAvgThreads);
+    state.counters["P"] = static_cast<double>(pipeline);
+  }
+}
+
+void RegisterAll() {
+  for (int64_t p : {1, 4, 16, 64}) {
+    benchmark::RegisterBenchmark(
+        ("net_pipeline/faster_server/P:" + std::to_string(p)).c_str(),
+        BM_FasterServer)
+        ->Args({p})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("net_pipeline/remote_baseline/P:" + std::to_string(p)).c_str(),
+        BM_RemoteBaseline)
+        ->Args({p})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace faster
+
+int main(int argc, char** argv) {
+  faster::bench::RegisterAll();
+  return faster::bench::RunBenchmarks(argc, argv);
+}

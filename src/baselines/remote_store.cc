@@ -13,17 +13,6 @@ namespace faster {
 
 namespace {
 
-bool WriteAll(int fd, const void* data, size_t len) {
-  const char* p = static_cast<const char*>(data);
-  while (len > 0) {
-    ssize_t n = ::write(fd, p, len);
-    if (n <= 0) return false;
-    p += n;
-    len -= static_cast<size_t>(n);
-  }
-  return true;
-}
-
 // Formats "SET <key> <value>\r\n" / "GET <key>\r\n" into `out`.
 void FormatRequest(std::string* out, bool is_set, uint64_t key,
                    uint64_t value) {
@@ -39,40 +28,50 @@ void FormatRequest(std::string* out, bool is_set, uint64_t key,
 }  // namespace
 
 RemoteStore::RemoteStore() {
-  epoll_fd_ = ::epoll_create1(0);
-  if (::pipe(wake_fds_) != 0) {
-    wake_fds_[0] = wake_fds_[1] = -1;
+  epoll_fd_.reset(::epoll_create1(EPOLL_CLOEXEC));
+  int wake[2];
+  if (::pipe(wake) == 0) {
+    wake_read_.reset(wake[0]);
+    wake_write_.reset(wake[1]);
+  }
+  if (!epoll_fd_ || !wake_read_) {
+    // Construction failed; leave the server thread unstarted (Connect()
+    // then returns nullptr). The UniqueFd members release whichever
+    // descriptors were created.
+    return;
   }
   epoll_event ev{};
   ev.events = EPOLLIN;
-  ev.data.fd = wake_fds_[0];
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fds_[0], &ev);
+  ev.data.fd = wake_read_.get();
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_read_.get(), &ev);
   server_ = std::thread([this] { ServerLoop(); });
 }
 
 RemoteStore::~RemoteStore() {
   stop_.store(true, std::memory_order_release);
-  char b = 1;
-  (void)!::write(wake_fds_[1], &b, 1);
-  server_.join();
-  ::close(wake_fds_[0]);
-  ::close(wake_fds_[1]);
-  ::close(epoll_fd_);
+  if (server_.joinable()) {
+    char b = 1;
+    (void)!::write(wake_write_.get(), &b, 1);
+    server_.join();
+  }
 }
 
 std::unique_ptr<RemoteStore::Client> RemoteStore::Connect() {
+  if (!server_.joinable()) return nullptr;  // construction failed
   int fds[2];
   if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return nullptr;
+  net::UniqueFd client_fd{fds[0]};
+  net::UniqueFd server_fd{fds[1]};
   {
     std::lock_guard<std::mutex> lock{clients_mutex_};
-    pending_clients_.push_back(fds[1]);
+    pending_clients_.push_back(std::move(server_fd));
   }
   char b = 1;
-  (void)!::write(wake_fds_[1], &b, 1);
-  return std::unique_ptr<Client>(new Client(fds[0]));
+  (void)!::write(wake_write_.get(), &b, 1);
+  return std::unique_ptr<Client>(new Client(std::move(client_fd)));
 }
 
-RemoteStore::Client::~Client() { ::close(fd_); }
+RemoteStore::Client::~Client() = default;
 
 Status RemoteStore::Client::ExecuteBatch(std::vector<Op>* ops) {
   // Pipelined: serialize and send every request, then parse every
@@ -82,7 +81,9 @@ Status RemoteStore::Client::ExecuteBatch(std::vector<Op>* ops) {
   for (const Op& op : *ops) {
     FormatRequest(&out, op.is_set, op.key, op.value);
   }
-  if (!WriteAll(fd_, out.data(), out.size())) return Status::kIoError;
+  if (!net::WriteAllFd(fd_.get(), out.data(), out.size())) {
+    return Status::kIoError;
+  }
 
   std::string in;
   size_t lines = 0;
@@ -90,7 +91,7 @@ Status RemoteStore::Client::ExecuteBatch(std::vector<Op>* ops) {
   char buf[4096];
   size_t next_op = 0;
   while (lines < ops->size()) {
-    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    ssize_t n = net::ReadSomeFd(fd_.get(), buf, sizeof(buf));
     if (n <= 0) return Status::kIoError;
     in.append(buf, static_cast<size_t>(n));
     // Parse complete responses. "+OK" and "$-1" are one line; a bulk
@@ -126,38 +127,53 @@ Status RemoteStore::Client::ExecuteBatch(std::vector<Op>* ops) {
 }
 
 void RemoteStore::ServerLoop() {
-  // Per-connection input buffers (commands can straddle reads).
-  std::unordered_map<int, std::string> buffers;
+  // Per-connection input buffers (commands can straddle reads). The map
+  // also owns the connection fds: erasing an entry closes it.
+  struct Conn {
+    net::UniqueFd fd;
+    std::string buf;
+  };
+  std::unordered_map<int, Conn> conns;
   epoll_event events[64];
   std::vector<char> scratch(1 << 16);
   std::string responses;
   char reply[48];
   while (!stop_.load(std::memory_order_acquire)) {
-    int n = ::epoll_wait(epoll_fd_, events, 64, 100);
+    int n = ::epoll_wait(epoll_fd_.get(), events, 64, 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
     for (int i = 0; i < n; ++i) {
       int fd = events[i].data.fd;
-      if (fd == wake_fds_[0]) {
+      if (fd == wake_read_.get()) {
         char drain[64];
-        (void)!::read(wake_fds_[0], drain, sizeof(drain));
+        (void)!net::ReadSomeFd(wake_read_.get(), drain, sizeof(drain));
         std::lock_guard<std::mutex> lock{clients_mutex_};
-        for (int cfd : pending_clients_) {
+        for (net::UniqueFd& cfd : pending_clients_) {
           epoll_event ev{};
           ev.events = EPOLLIN;
-          ev.data.fd = cfd;
-          ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, cfd, &ev);
-          buffers.emplace(cfd, std::string{});
+          ev.data.fd = cfd.get();
+          if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, cfd.get(),
+                          &ev) == 0) {
+            int key = cfd.get();
+            conns.emplace(key, Conn{std::move(cfd), std::string{}});
+          }
+          // On epoll_ctl failure cfd stays owned and closes when the
+          // pending list is cleared — no leak, the client sees EOF.
         }
         pending_clients_.clear();
         continue;
       }
-      ssize_t got = ::read(fd, scratch.data(), scratch.size());
+      auto conn_it = conns.find(fd);
+      if (conn_it == conns.end()) continue;
+      ssize_t got = net::ReadSomeFd(fd, scratch.data(), scratch.size());
       if (got <= 0) {
-        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
-        ::close(fd);
-        buffers.erase(fd);
+        ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+        conns.erase(conn_it);  // UniqueFd closes the descriptor
         continue;
       }
-      std::string& buf = buffers[fd];
+      std::string& buf = conn_it->second.buf;
       buf.append(scratch.data(), static_cast<size_t>(got));
       responses.clear();
       size_t parsed_to = 0;
@@ -202,11 +218,11 @@ void RemoteStore::ServerLoop() {
       }
       buf.erase(0, parsed_to);
       if (!responses.empty()) {
-        WriteAll(fd, responses.data(), responses.size());
+        net::WriteAllFd(fd, responses.data(), responses.size());
       }
     }
   }
-  for (auto& [fd, buf] : buffers) ::close(fd);
+  // conns' UniqueFds close every remaining connection.
 }
 
 }  // namespace faster

@@ -4,12 +4,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "core/status.h"
+#include "net/socket.h"
 
 namespace faster {
 
@@ -58,8 +60,8 @@ class RemoteStore {
 
    private:
     friend class RemoteStore;
-    explicit Client(int fd) : fd_{fd} {}
-    int fd_;
+    explicit Client(net::UniqueFd fd) : fd_{std::move(fd)} {}
+    net::UniqueFd fd_;
   };
 
   /// Opens a new client connection.
@@ -82,9 +84,9 @@ class RemoteStore {
   // order: relaxed fetch_add/load — a monotone command counter for stats;
   // no data is published through it.
   std::atomic<uint64_t> commands_{0};
-  int epoll_fd_;
-  int wake_fds_[2];
-  std::vector<int> pending_clients_;
+  net::UniqueFd epoll_fd_;
+  net::UniqueFd wake_read_, wake_write_;
+  std::vector<net::UniqueFd> pending_clients_;
   std::mutex clients_mutex_;
 };
 

@@ -146,6 +146,26 @@ class FasterKv {
   /// actions. Called automatically every `refresh_interval` operations.
   void Refresh() FASTER_REQUIRES_EPOCH() { epoch_.Refresh(); }
 
+  /// RAII session bracket: StartSession() on construction, StopSession()
+  /// (which drains this thread's pending work) on destruction. The
+  /// scoped-capability annotation lets `clang++ -Wthread-safety` verify
+  /// epoch bracketing through long-lived holders — e.g. the network
+  /// server's worker threads, which hold one Session for their lifetime
+  /// and serve every connection mapped to them under it (net/server.cc).
+  class FASTER_SCOPED_EPOCH Session {
+   public:
+    explicit Session(FasterKv& store) FASTER_ACQUIRES_EPOCH() : store_{store} {
+      store_.StartSession();
+    }
+    ~Session() FASTER_RELEASES_EPOCH() { store_.StopSession(); }
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+   private:
+    FasterKv& store_;
+  };
+
   // -------------------------------------------------------------------
   // Operations (Sec. 2.2; Algorithms 2-4).
   // -------------------------------------------------------------------

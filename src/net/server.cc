@@ -1,0 +1,691 @@
+#include "net/server.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <optional>
+
+#include "obs/span.h"
+
+namespace faster {
+namespace net {
+
+namespace {
+
+constexpr uint32_t kNoSlot = UINT32_MAX;
+
+/// Uppercases an ASCII command name into a small buffer ("get" -> "GET").
+/// Returns false (no match possible) for names longer than the buffer.
+bool UpperName(const std::string& s, char* out, size_t cap) {
+  if (s.size() + 1 > cap) return false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    out[i] = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(s[i])));
+  }
+  out[s.size()] = '\0';
+  return true;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  int n = std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf, static_cast<size_t>(n));
+}
+
+}  // namespace
+
+/// One command's reply recipe, recorded in per-connection order during
+/// classification and rendered after the turn's store work completes —
+/// this is what makes reply sequencing safe under batch splits and
+/// asynchronous completion.
+struct FasterServer::CmdRec {
+  enum class Type : uint8_t {
+    kGet,   // reply from slot: bulk value / $-1 / error
+    kSet,   // reply from slot: +OK / error
+    kIncr,  // reply from slot: :post-increment / error
+    kDel,   // reply: :intval
+    kLit,   // reply: lit verbatim (already RESP-encoded)
+    kErr,   // reply: -lit
+  };
+  Type type;
+  uint32_t slot = kNoSlot;
+  long long intval = 0;
+  std::string lit;
+};
+
+/// One store operation's turn state. Lives in a per-worker std::deque so
+/// element addresses stay stable while later commands append — BatchOp
+/// output/user_context pointers and the pending-completion callback both
+/// point into these records.
+struct FasterServer::SlotRec {
+  enum class Kind : uint8_t { kGet, kSet, kIncr };
+  Kind kind;
+  uint64_t key = 0;
+  uint64_t value = 0;     // SET payload / INCR operand
+  uint64_t read_out = 0;  // GET result (written by the store, possibly at
+                          // CompletePending time)
+  Status final_status = Status::kOk;  // phase-1 result; pending ops have
+                                      // it written by PendingCompletion
+  uint64_t incr_out = 0;              // INCR phase-2 (post-increment) value
+  Status incr_final = Status::kOk;    // phase-2 result, same contract
+};
+
+struct FasterServer::Connection {
+  Connection(UniqueFd f, const RespLimits& limits)
+      : fd{std::move(f)}, parser{limits} {}
+
+  UniqueFd fd;
+  RespParser parser;
+  std::string outbuf;              // rendered, unsent reply bytes
+  std::vector<CmdRec> turn_cmds;   // this turn's replies, in order
+  bool in_ready = false;   // already on the worker's ready list
+  bool has_more = false;   // parser holds complete commands beyond the cap
+  bool want_close = false; // close once outbuf drains (QUIT / proto error)
+  bool epollout = false;   // EPOLLOUT currently armed
+  bool dead = false;       // write error; close at end of turn
+};
+
+struct FasterServer::Worker {
+  uint32_t index = 0;
+  UniqueFd listen_fd;
+  UniqueFd epoll_fd;
+  UniqueFd wake_read, wake_write;
+  std::thread thread;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+  std::vector<Connection*> ready;
+  std::vector<char> scratch = std::vector<char>(size_t{1} << 16);
+  // Turn state (cleared per turn). slots is a deque: stable addresses.
+  std::deque<SlotRec> slots;
+  std::vector<uint32_t> segment;  // slot indices awaiting ExecuteBatch
+  std::unordered_set<uint64_t> segment_incr_keys;
+  size_t turn_commands = 0;
+};
+
+FasterServer::FasterServer(const ServerOptions& options)
+    : options_{options} {
+  device_ = std::make_unique<MemoryDevice>(2);
+  Store::Config cfg;
+  cfg.table_size = options_.table_size;
+  cfg.log.memory_size_bytes = options_.log_memory_bytes;
+  cfg.log.mutable_fraction = options_.mutable_fraction;
+  cfg.completion_callback = &FasterServer::PendingCompletion;
+  store_ = std::make_unique<Store>(cfg, device_.get());
+
+  uint32_t threads = std::max<uint32_t>(1, options_.threads);
+  uint16_t bound = options_.port;
+  for (uint32_t t = 0; t < threads; ++t) {
+    auto w = std::make_unique<Worker>();
+    w->index = t;
+    // Worker 0 resolves an ephemeral port request; the rest bind the
+    // resolved port so the kernel shards accepts across all listeners.
+    w->listen_fd = CreateTcpListener(options_.bind_address, bound,
+                                     /*backlog=*/256, /*reuseport=*/true,
+                                     t == 0 ? &bound : nullptr, &error_);
+    if (!w->listen_fd || !SetNonBlocking(w->listen_fd.get())) {
+      if (error_.empty()) error_ = "listener setup failed";
+      return;
+    }
+    w->epoll_fd.reset(::epoll_create1(EPOLL_CLOEXEC));
+    int wake[2];
+    if (!w->epoll_fd || ::pipe2(wake, O_NONBLOCK | O_CLOEXEC) != 0) {
+      error_ = "epoll/pipe setup failed";
+      return;
+    }
+    w->wake_read.reset(wake[0]);
+    w->wake_write.reset(wake[1]);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = w->listen_fd.get();
+    ::epoll_ctl(w->epoll_fd.get(), EPOLL_CTL_ADD, w->listen_fd.get(), &ev);
+    ev.data.fd = w->wake_read.get();
+    ::epoll_ctl(w->epoll_fd.get(), EPOLL_CTL_ADD, w->wake_read.get(), &ev);
+    workers_.push_back(std::move(w));
+  }
+  port_ = bound;
+  ok_ = true;
+  for (auto& w : workers_) {
+    Worker* wp = w.get();
+    wp->thread = std::thread([this, wp] { WorkerLoop(*wp); });
+  }
+}
+
+FasterServer::~FasterServer() { Shutdown(); }
+
+void FasterServer::Shutdown() {
+  bool expected = false;
+  if (stopping_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+    for (auto& w : workers_) {
+      char b = 1;
+      if (w->wake_write) (void)!::write(w->wake_write.get(), &b, 1);
+    }
+    for (auto& w : workers_) {
+      if (w->thread.joinable()) w->thread.join();
+    }
+    stopped_.store(true, std::memory_order_release);
+  } else {
+    // Another caller (e.g. the destructor racing a signal thread) owns
+    // the drain; wait for it so Shutdown() implies "drained" for all.
+    while (!stopped_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void FasterServer::PendingCompletion(Store::UserOp /*op*/, Status result,
+                                     void* user_context) {
+  if (user_context != nullptr) {
+    *static_cast<Status*>(user_context) = result;
+  }
+}
+
+void FasterServer::WorkerLoop(Worker& w) {
+  // One session for the worker's lifetime: every connection mapped to
+  // this thread executes under it, and the destructor (drain path)
+  // completes pending work and unprotects this thread's epoch slot.
+  Store::Session session{*store_};
+  epoll_event events[128];
+  bool backlog = false;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int timeout_ms = backlog ? 0 : 50;  // bounded so epochs keep advancing
+    int n = ::epoll_wait(w.epoll_fd.get(), events, 128, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    // Root span for the turn: socket read -> reply flush. Parse/execute/
+    // flush segments (and the store's batch_chunk spans) nest under it.
+    std::optional<obs::StatOpSpan> turn_span;
+    if (n > 0 || backlog) {
+      turn_span.emplace(obs::SpanKind::kNetRequest,
+                        static_cast<uint32_t>(n));
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == w.listen_fd.get()) {
+        AcceptNew(w);
+        continue;
+      }
+      if (fd == w.wake_read.get()) {
+        char drain[64];
+        while (ReadSomeFd(w.wake_read.get(), drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      auto it = w.conns.find(fd);
+      if (it == w.conns.end()) continue;
+      Connection& conn = *it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConnection(w, fd);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        FlushConnection(conn);
+        if (conn.dead || (conn.want_close && conn.outbuf.empty())) {
+          CloseConnection(w, fd);
+          continue;
+        }
+        UpdateEpollOut(w, conn, !conn.outbuf.empty());
+      }
+      if ((events[i].events & EPOLLIN) != 0) {
+        if (!HandleReadable(w, conn)) {
+          CloseConnection(w, fd);
+          continue;
+        }
+      }
+    }
+    if (!w.ready.empty()) {
+      ProcessTurn(w);
+      RenderAndFlush(w);
+    }
+    backlog = !w.ready.empty();  // connections with capped-off pipelines
+    store_->Refresh();
+    store_->CompletePending(/*wait=*/false);
+  }
+
+  // Drain: stop accepting, give buffered replies a bounded best-effort
+  // flush, close everything. The session destructor then completes this
+  // thread's pending store work and unprotects its epoch slot.
+  ::epoll_ctl(w.epoll_fd.get(), EPOLL_CTL_DEL, w.listen_fd.get(), nullptr);
+  w.listen_fd.reset();  // new connection attempts now fail, not queue
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+  for (auto& [fd, conn] : w.conns) {
+    while (!conn->outbuf.empty() && !conn->dead &&
+           std::chrono::steady_clock::now() < deadline) {
+      FlushConnection(*conn);
+      if (!conn->outbuf.empty()) std::this_thread::yield();
+    }
+    stats_.connections_closed.Inc();
+    stats_.connections_open.Dec();
+  }
+  w.conns.clear();
+  w.ready.clear();
+}
+
+void FasterServer::AcceptNew(Worker& w) {
+  for (;;) {
+    int cfd = AcceptNoIntr(w.listen_fd.get());
+    if (cfd < 0) break;  // EAGAIN: backlog drained
+    UniqueFd ufd{cfd};
+    if (!SetNonBlocking(cfd)) continue;  // ufd closes it
+    SetNoDelay(cfd);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = cfd;
+    if (::epoll_ctl(w.epoll_fd.get(), EPOLL_CTL_ADD, cfd, &ev) != 0) {
+      continue;
+    }
+    w.conns.emplace(cfd, std::make_unique<Connection>(std::move(ufd),
+                                                      options_.limits));
+    stats_.connections_accepted.Inc();
+    stats_.connections_open.Inc();
+  }
+}
+
+bool FasterServer::HandleReadable(Worker& w, Connection& conn) {
+  ssize_t got =
+      ReadSomeFd(conn.fd.get(), w.scratch.data(), w.scratch.size());
+  if (got == 0) return false;  // EOF
+  if (got < 0) return errno == EAGAIN || errno == EWOULDBLOCK;
+  stats_.bytes_read.Add(static_cast<uint64_t>(got));
+  conn.parser.Feed(w.scratch.data(), static_cast<size_t>(got));
+  if (!conn.in_ready) {
+    w.ready.push_back(&conn);
+    conn.in_ready = true;
+  }
+  return true;
+}
+
+void FasterServer::ProcessTurn(Worker& w) {
+  w.slots.clear();
+  w.segment.clear();
+  w.segment_incr_keys.clear();
+  w.turn_commands = 0;
+  {
+    obs::StatChildSpan parse_span{obs::SpanKind::kNetParse};
+    for (Connection* conn : w.ready) {
+      GatherCommands(w, *conn);
+    }
+  }
+  ExecuteSegment(w);  // trailing segment
+  if (w.turn_commands > 0) {
+    commands_.fetch_add(w.turn_commands, std::memory_order_relaxed);
+    stats_.commands.Add(w.turn_commands);
+    stats_.turns.Inc();
+  }
+}
+
+void FasterServer::GatherCommands(Worker& w, Connection& conn) {
+  size_t count = 0;
+  conn.has_more = false;
+  RespCommand cmd;
+  while (count < options_.max_pipeline) {
+    RespParser::Result r = conn.parser.Next(&cmd);
+    if (r == RespParser::Result::kCommand) {
+      ClassifyCommand(w, conn, std::move(cmd));
+      ++count;
+      continue;
+    }
+    if (r == RespParser::Result::kError && !conn.want_close) {
+      stats_.protocol_errors.Inc();
+      CmdRec rec;
+      rec.type = CmdRec::Type::kErr;
+      rec.lit = "ERR " + conn.parser.error();
+      conn.turn_cmds.push_back(std::move(rec));
+      conn.want_close = true;
+    }
+    break;
+  }
+  if (count == options_.max_pipeline) conn.has_more = true;
+  w.turn_commands += count;
+  stats_.pipeline_depth.Record(count);
+}
+
+void FasterServer::MaybeSplitSegment(Worker& w, uint64_t key) {
+  if (w.segment_incr_keys.count(key) != 0) {
+    stats_.segment_splits.Inc();
+    ExecuteSegment(w);
+  }
+}
+
+void FasterServer::ClassifyCommand(Worker& w, Connection& conn,
+                                   RespCommand&& cmd) {
+  char name[16];
+  CmdRec rec;
+  if (!UpperName(cmd.argv[0], name, sizeof(name))) {
+    rec.type = CmdRec::Type::kErr;
+    rec.lit = "ERR unknown command '" + cmd.argv[0] + "'";
+    conn.turn_cmds.push_back(std::move(rec));
+    stats_.cmd_other.Inc();
+    return;
+  }
+  auto new_slot = [&](SlotRec::Kind kind, uint64_t key,
+                      uint64_t value) -> uint32_t {
+    SlotRec s;
+    s.kind = kind;
+    s.key = key;
+    s.value = value;
+    w.slots.push_back(s);
+    uint32_t idx = static_cast<uint32_t>(w.slots.size() - 1);
+    w.segment.push_back(idx);
+    return idx;
+  };
+  if (std::strcmp(name, "GET") == 0 && cmd.argv.size() == 2) {
+    uint64_t key = MapKey(cmd.argv[1]);
+    MaybeSplitSegment(w, key);
+    rec.type = CmdRec::Type::kGet;
+    rec.slot = new_slot(SlotRec::Kind::kGet, key, 0);
+    stats_.cmd_get.Inc();
+  } else if (std::strcmp(name, "SET") == 0 && cmd.argv.size() == 3) {
+    uint64_t value;
+    if (!ParseU64(cmd.argv[2], &value)) {
+      rec.type = CmdRec::Type::kErr;
+      rec.lit = "ERR value is not an integer or out of range";
+    } else {
+      uint64_t key = MapKey(cmd.argv[1]);
+      MaybeSplitSegment(w, key);
+      rec.type = CmdRec::Type::kSet;
+      rec.slot = new_slot(SlotRec::Kind::kSet, key, value);
+    }
+    stats_.cmd_set.Inc();
+  } else if (std::strcmp(name, "INCR") == 0 && cmd.argv.size() == 2) {
+    uint64_t key = MapKey(cmd.argv[1]);
+    // A second INCR (or any later write) on a segment-INCR'd key would
+    // make the post-increment read observe both effects; split so every
+    // INCR reply is exact.
+    MaybeSplitSegment(w, key);
+    rec.type = CmdRec::Type::kIncr;
+    rec.slot = new_slot(SlotRec::Kind::kIncr, key, 1);
+    w.segment_incr_keys.insert(key);
+    stats_.cmd_incr.Inc();
+  } else if (std::strcmp(name, "DEL") == 0 && cmd.argv.size() >= 2) {
+    // No batch form for deletes: flush the pipeline segment so ordering
+    // is preserved, then run the single-op path.
+    stats_.segment_splits.Inc();
+    ExecuteSegment(w);
+    long long deleted = 0;
+    for (size_t i = 1; i < cmd.argv.size(); ++i) {
+      if (store_->Delete(MapKey(cmd.argv[i])) == Status::kOk) ++deleted;
+    }
+    rec.type = CmdRec::Type::kDel;
+    rec.intval = deleted;
+    stats_.cmd_del.Inc();
+  } else if (std::strcmp(name, "PING") == 0 && cmd.argv.size() <= 2) {
+    rec.type = CmdRec::Type::kLit;
+    if (cmd.argv.size() == 2) {
+      AppendBulk(&rec.lit, cmd.argv[1]);
+    } else {
+      rec.lit = "+PONG\r\n";
+    }
+    stats_.cmd_other.Inc();
+  } else if (std::strcmp(name, "INFO") == 0) {
+    rec.type = CmdRec::Type::kLit;
+    AppendBulk(&rec.lit, InfoText());
+    stats_.cmd_other.Inc();
+  } else if (std::strcmp(name, "QUIT") == 0) {
+    rec.type = CmdRec::Type::kLit;
+    rec.lit = "+OK\r\n";
+    conn.want_close = true;
+    stats_.cmd_other.Inc();
+  } else if (std::strcmp(name, "COMMAND") == 0) {
+    // redis-cli sends COMMAND DOCS on connect; an empty array reply keeps
+    // it happy without implementing introspection.
+    rec.type = CmdRec::Type::kLit;
+    rec.lit = "*0\r\n";
+    stats_.cmd_other.Inc();
+  } else {
+    rec.type = CmdRec::Type::kErr;
+    rec.lit = "ERR unknown command '" + cmd.argv[0] +
+              "', or wrong number of arguments";
+    stats_.cmd_other.Inc();
+  }
+  conn.turn_cmds.push_back(std::move(rec));
+}
+
+void FasterServer::ExecuteSegment(Worker& w) {
+  w.segment_incr_keys.clear();
+  if (w.segment.empty()) return;
+  size_t n = w.segment.size();
+  stats_.batch_fill.Record(n);
+
+  // Phase 1: the mixed batch. Pending ops report their final status via
+  // PendingCompletion into the slot's Status (the BatchOp's user_context).
+  std::vector<Store::BatchOp> ops(n);
+  for (size_t i = 0; i < n; ++i) {
+    SlotRec& s = w.slots[w.segment[i]];
+    Store::BatchOp& op = ops[i];
+    op.key = s.key;
+    switch (s.kind) {
+      case SlotRec::Kind::kGet:
+        op.kind = Store::BatchOp::Kind::kRead;
+        op.input = 0;
+        op.output = &s.read_out;
+        op.user_context = &s.final_status;
+        s.final_status = Status::kIoError;  // canary: callback must fire
+        break;
+      case SlotRec::Kind::kSet:
+        op.kind = Store::BatchOp::Kind::kUpsert;
+        op.value = s.value;
+        break;
+      case SlotRec::Kind::kIncr:
+        op.kind = Store::BatchOp::Kind::kRmw;
+        op.input = s.value;
+        op.user_context = &s.final_status;
+        s.final_status = Status::kIoError;
+        break;
+    }
+  }
+  store_->ExecuteBatch(ops.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    SlotRec& s = w.slots[w.segment[i]];
+    if (ops[i].status != Status::kPending) s.final_status = ops[i].status;
+  }
+  store_->CompletePending(/*wait=*/true);
+
+  // Phase 2: post-increment reads for every INCR in the segment. The Rmw
+  // path returns no output, and a same-batch read after a *pending* Rmw
+  // would see the pre-RMW value (sequential equivalence), so the reply
+  // value comes from a dedicated read batch after phase 1 completes; the
+  // segment-split rule makes it exact.
+  std::vector<uint32_t> incrs;
+  for (uint32_t idx : w.segment) {
+    if (w.slots[idx].kind == SlotRec::Kind::kIncr &&
+        w.slots[idx].final_status == Status::kOk) {
+      incrs.push_back(idx);
+    }
+  }
+  if (!incrs.empty()) {
+    size_t m = incrs.size();
+    std::vector<uint64_t> keys(m), inputs(m, 0), outs(m, 0);
+    std::vector<Status> statuses(m, Status::kOk);
+    std::vector<void*> ctxs(m);
+    for (size_t i = 0; i < m; ++i) {
+      SlotRec& s = w.slots[incrs[i]];
+      keys[i] = s.key;
+      s.incr_final = Status::kIoError;  // canary, as above
+      ctxs[i] = &s.incr_final;
+    }
+    store_->ReadBatch(keys.data(), inputs.data(), outs.data(),
+                      statuses.data(), m, ctxs.data());
+    for (size_t i = 0; i < m; ++i) {
+      if (statuses[i] != Status::kPending) {
+        w.slots[incrs[i]].incr_final = statuses[i];
+      }
+    }
+    store_->CompletePending(/*wait=*/true);
+    for (size_t i = 0; i < m; ++i) {
+      w.slots[incrs[i]].incr_out = outs[i];
+    }
+  }
+  w.segment.clear();
+}
+
+void FasterServer::RenderCommand(Worker& w, const CmdRec& rec,
+                                 std::string* out) {
+  switch (rec.type) {
+    case CmdRec::Type::kGet: {
+      const SlotRec& s = w.slots[rec.slot];
+      if (s.final_status == Status::kOk) {
+        std::string v;
+        AppendU64(&v, s.read_out);
+        AppendBulk(out, v);
+      } else if (s.final_status == Status::kNotFound) {
+        AppendNullBulk(out);
+      } else {
+        AppendError(out, std::string("ERR read failed: ") +
+                             StatusName(s.final_status));
+      }
+      break;
+    }
+    case CmdRec::Type::kSet: {
+      const SlotRec& s = w.slots[rec.slot];
+      if (s.final_status == Status::kOk) {
+        AppendSimple(out, "OK");
+      } else {
+        AppendError(out, std::string("ERR set failed: ") +
+                             StatusName(s.final_status));
+      }
+      break;
+    }
+    case CmdRec::Type::kIncr: {
+      const SlotRec& s = w.slots[rec.slot];
+      if (s.final_status == Status::kOk && s.incr_final == Status::kOk) {
+        AppendInteger(out, static_cast<long long>(s.incr_out));
+      } else {
+        Status bad = s.final_status != Status::kOk ? s.final_status
+                                                   : s.incr_final;
+        AppendError(out,
+                    std::string("ERR incr failed: ") + StatusName(bad));
+      }
+      break;
+    }
+    case CmdRec::Type::kDel:
+      AppendInteger(out, rec.intval);
+      break;
+    case CmdRec::Type::kLit:
+      out->append(rec.lit);
+      break;
+    case CmdRec::Type::kErr:
+      AppendError(out, rec.lit);
+      break;
+  }
+}
+
+void FasterServer::RenderAndFlush(Worker& w) {
+  obs::StatChildSpan flush_span{obs::SpanKind::kNetFlush,
+                                static_cast<uint32_t>(w.turn_commands)};
+  std::vector<int> to_close;
+  for (Connection* conn : w.ready) {
+    conn->in_ready = false;
+    for (const CmdRec& rec : conn->turn_cmds) {
+      RenderCommand(w, rec, &conn->outbuf);
+    }
+    conn->turn_cmds.clear();
+    FlushConnection(*conn);
+    if (conn->dead || (conn->want_close && conn->outbuf.empty())) {
+      to_close.push_back(conn->fd.get());
+    } else {
+      UpdateEpollOut(w, *conn, !conn->outbuf.empty());
+    }
+  }
+  w.ready.clear();
+  for (int fd : to_close) CloseConnection(w, fd);
+  // Connections whose pipelines hit the per-turn cap carry over.
+  for (auto& [fd, conn] : w.conns) {
+    if (conn->has_more && !conn->in_ready) {
+      w.ready.push_back(conn.get());
+      conn->in_ready = true;
+    }
+  }
+}
+
+void FasterServer::FlushConnection(Connection& conn) {
+  while (!conn.outbuf.empty()) {
+    ssize_t n = WriteSomeFd(conn.fd.get(), conn.outbuf.data(),
+                            conn.outbuf.size());
+    if (n < 0) {
+      conn.dead = true;
+      return;
+    }
+    if (n == 0) return;  // EAGAIN: EPOLLOUT will resume
+    stats_.bytes_written.Add(static_cast<uint64_t>(n));
+    conn.outbuf.erase(0, static_cast<size_t>(n));
+  }
+}
+
+void FasterServer::CloseConnection(Worker& w, int fd) {
+  auto it = w.conns.find(fd);
+  if (it == w.conns.end()) return;
+  Connection* conn = it->second.get();
+  w.ready.erase(std::remove(w.ready.begin(), w.ready.end(), conn),
+                w.ready.end());
+  w.conns.erase(it);  // UniqueFd close also removes the epoll entry
+  stats_.connections_closed.Inc();
+  stats_.connections_open.Dec();
+}
+
+void FasterServer::UpdateEpollOut(Worker& w, Connection& conn,
+                                  bool want_out) {
+  if (conn.epollout == want_out) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_out ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  ev.data.fd = conn.fd.get();
+  if (::epoll_ctl(w.epoll_fd.get(), EPOLL_CTL_MOD, conn.fd.get(), &ev) ==
+      0) {
+    conn.epollout = want_out;
+  }
+}
+
+std::string FasterServer::InfoText() {
+  std::string out;
+  out += "# Server\r\n";
+  out += "server:faster\r\n";
+  out += "tcp_port:";
+  AppendU64(&out, port_);
+  out += "\r\n";
+  out += "io_threads:";
+  AppendU64(&out, static_cast<uint64_t>(workers_.size()));
+  out += "\r\n";
+  out += "# Stats\r\n";
+  out += "total_commands_processed:";
+  AppendU64(&out, commands_.load(std::memory_order_relaxed));
+  out += "\r\n";
+  out += "connected_clients:";
+  AppendU64(&out, static_cast<uint64_t>(
+                      std::max<int64_t>(0, stats_.connections_open.Value())));
+  out += "\r\n";
+  return out;
+}
+
+void FasterServer::CollectStats(obs::StatRegistry& reg) {
+  reg.AddValue("net.commands_total",
+               commands_.load(std::memory_order_relaxed));
+  reg.Add("net.connections_accepted", &stats_.connections_accepted);
+  reg.Add("net.connections_closed", &stats_.connections_closed);
+  reg.Add("net.connections_open", &stats_.connections_open);
+  reg.Add("net.commands", &stats_.commands);
+  reg.Add("net.cmd_get", &stats_.cmd_get);
+  reg.Add("net.cmd_set", &stats_.cmd_set);
+  reg.Add("net.cmd_incr", &stats_.cmd_incr);
+  reg.Add("net.cmd_del", &stats_.cmd_del);
+  reg.Add("net.cmd_other", &stats_.cmd_other);
+  reg.Add("net.protocol_errors", &stats_.protocol_errors);
+  reg.Add("net.turns", &stats_.turns);
+  reg.Add("net.segment_splits", &stats_.segment_splits);
+  reg.Add("net.bytes_read", &stats_.bytes_read);
+  reg.Add("net.bytes_written", &stats_.bytes_written);
+  reg.Add("net.pipeline_depth", &stats_.pipeline_depth);
+  reg.Add("net.batch_fill", &stats_.batch_fill);
+}
+
+}  // namespace net
+}  // namespace faster

@@ -1,0 +1,199 @@
+#ifndef FASTER_NET_SOCKET_H_
+#define FASTER_NET_SOCKET_H_
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+
+/// Socket plumbing shared by the RESP server (net/server.cc), the
+/// loadgen client (tools/loadgen.cc), and the RemoteStore baseline
+/// (baselines/remote_store.cc): one RAII fd owner and EINTR-correct
+/// syscall wrappers, so no caller hand-rolls close() bookkeeping or
+/// retry loops. Header-only so baselines can use it without linking
+/// faster_net.
+
+namespace faster {
+namespace net {
+
+/// Owns one file descriptor; closes it on destruction. Move-only.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_{fd} {}
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_{other.release()} {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  /// Relinquishes ownership without closing.
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the current fd (if any) and adopts `fd`.
+  void reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// read() retrying on EINTR. Returns the syscall result (0 = EOF,
+/// -1 = error other than EINTR, with errno set — EAGAIN/EWOULDBLOCK on a
+/// nonblocking fd with no data).
+inline ssize_t ReadSomeFd(int fd, void* buf, size_t len) {
+  for (;;) {
+    ssize_t n = ::read(fd, buf, len);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+/// Writes the whole buffer, retrying on EINTR and short writes. Intended
+/// for blocking fds; on a nonblocking fd EAGAIN surfaces as failure.
+inline bool WriteAllFd(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    ssize_t n = ::write(fd, p, len);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Writes as much as the fd accepts right now (nonblocking senders).
+/// Returns bytes written (possibly 0 on EAGAIN), or -1 on a real error.
+inline ssize_t WriteSomeFd(int fd, const void* data, size_t len) {
+  for (;;) {
+    ssize_t n = ::write(fd, data, len);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return 0;
+    return n;
+  }
+}
+
+/// accept() retrying on EINTR. Returns -1 (errno set) on other errors,
+/// including EAGAIN when the listener is nonblocking and the backlog is
+/// empty.
+inline int AcceptNoIntr(int listen_fd) {
+  for (;;) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0 && errno == EINTR) continue;
+    return fd;
+  }
+}
+
+inline bool SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+inline bool SetNoDelay(int fd) {
+  int one = 1;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) == 0;
+}
+
+/// Creates a bound, listening TCP socket. With `reuseport`, multiple
+/// listeners may bind the same address (SO_REUSEPORT accept sharding);
+/// the first listener of a group should pass port 0 or the fixed port,
+/// later ones the resolved `*bound_port`. On failure returns an invalid
+/// UniqueFd and fills `*error`.
+inline UniqueFd CreateTcpListener(const std::string& bind_address,
+                                  uint16_t port, int backlog, bool reuseport,
+                                  uint16_t* bound_port, std::string* error) {
+  UniqueFd fd{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (!fd) {
+    if (error != nullptr) *error = "socket: " + std::string(strerror(errno));
+    return UniqueFd{};
+  }
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport &&
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) !=
+          0) {
+    if (error != nullptr) {
+      *error = "SO_REUSEPORT: " + std::string(strerror(errno));
+    }
+    return UniqueFd{};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad bind address: " + bind_address;
+    return UniqueFd{};
+  }
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) *error = "bind: " + std::string(strerror(errno));
+    return UniqueFd{};
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    if (error != nullptr) *error = "listen: " + std::string(strerror(errno));
+    return UniqueFd{};
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in got{};
+    socklen_t len = sizeof(got);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&got), &len) !=
+        0) {
+      if (error != nullptr) {
+        *error = "getsockname: " + std::string(strerror(errno));
+      }
+      return UniqueFd{};
+    }
+    *bound_port = ntohs(got.sin_port);
+  }
+  return fd;
+}
+
+/// Blocking TCP connect to host:port (numeric address). Returns an
+/// invalid UniqueFd on failure (errno describes the cause).
+inline UniqueFd ConnectTcp(const std::string& address, uint16_t port) {
+  UniqueFd fd{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (!fd) return UniqueFd{};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    return UniqueFd{};
+  }
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    return UniqueFd{};
+  }
+}
+
+}  // namespace net
+}  // namespace faster
+
+#endif  // FASTER_NET_SOCKET_H_

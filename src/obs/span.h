@@ -54,6 +54,9 @@ enum class SpanKind : uint16_t {
   kBatchHash,     // pipeline stage 1: hash + bucket prefetch
   kBatchResolve,  // pipeline stage 2: stable resolve + record prefetch
   kBatchExecute,  // pipeline stage 3: execute + coalesced I/O submit
+  kNetRequest,    // one server event-loop turn: socket read -> reply flush
+  kNetParse,      // RESP frame parsing within a turn
+  kNetFlush,      // reply rendering + socket writes within a turn
 };
 
 inline const char* SpanKindName(SpanKind k) {
@@ -72,6 +75,9 @@ inline const char* SpanKindName(SpanKind k) {
     case SpanKind::kBatchHash: return "batch_hash";
     case SpanKind::kBatchResolve: return "batch_resolve";
     case SpanKind::kBatchExecute: return "batch_execute";
+    case SpanKind::kNetRequest: return "net_request";
+    case SpanKind::kNetParse: return "net_parse";
+    case SpanKind::kNetFlush: return "net_flush";
   }
   return "unknown";
 }

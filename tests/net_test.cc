@@ -1,0 +1,509 @@
+// Tests for src/net: the RESP parser (framing, resumption, limits), the
+// reply/framing helpers, and a loopback integration test of FasterServer
+// (pipelining past kBatchChunk, forced segment splits, INCR exactness,
+// clean shutdown). The integration tests run under ASan/TSan via the
+// normal `unit` label; they use ephemeral ports only.
+
+#include "net/resp.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/server.h"
+#include "net/socket.h"
+
+namespace faster {
+namespace net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RespParser framing.
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<std::string>> ParseAll(RespParser* p) {
+  std::vector<std::vector<std::string>> out;
+  RespCommand cmd;
+  while (p->Next(&cmd) == RespParser::Result::kCommand) {
+    out.push_back(cmd.argv);
+  }
+  return out;
+}
+
+TEST(RespParser, InlineCommand) {
+  RespParser p{RespLimits{}};
+  p.Feed("PING\r\n", 6);
+  auto cmds = ParseAll(&p);
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0], (std::vector<std::string>{"PING"}));
+}
+
+TEST(RespParser, InlineTokenization) {
+  RespParser p{RespLimits{}};
+  std::string in = "SET  key   value\r\n\r\nGET key\r\n";
+  p.Feed(in.data(), in.size());
+  auto cmds = ParseAll(&p);  // blank line skipped
+  ASSERT_EQ(cmds.size(), 2u);
+  EXPECT_EQ(cmds[0], (std::vector<std::string>{"SET", "key", "value"}));
+  EXPECT_EQ(cmds[1], (std::vector<std::string>{"GET", "key"}));
+}
+
+TEST(RespParser, InlineBareLf) {
+  RespParser p{RespLimits{}};
+  std::string in = "PING\nGET k\n";
+  p.Feed(in.data(), in.size());
+  auto cmds = ParseAll(&p);
+  ASSERT_EQ(cmds.size(), 2u);
+  EXPECT_EQ(cmds[1], (std::vector<std::string>{"GET", "k"}));
+}
+
+TEST(RespParser, Multibulk) {
+  RespParser p{RespLimits{}};
+  std::string in = "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$2\r\n10\r\n";
+  p.Feed(in.data(), in.size());
+  auto cmds = ParseAll(&p);
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0], (std::vector<std::string>{"SET", "k", "10"}));
+}
+
+TEST(RespParser, MultibulkEmptyArgAndBinary) {
+  RespParser p{RespLimits{}};
+  std::string in = "*2\r\n$0\r\n\r\n$3\r\na\rb\r\n";  // payload contains CR
+  p.Feed(in.data(), in.size());
+  RespCommand cmd;
+  ASSERT_EQ(p.Next(&cmd), RespParser::Result::kCommand);
+  ASSERT_EQ(cmd.argv.size(), 2u);
+  EXPECT_EQ(cmd.argv[0], "");
+  EXPECT_EQ(cmd.argv[1].size(), 3u);
+}
+
+TEST(RespParser, ZeroArgArrraySkipped) {
+  RespParser p{RespLimits{}};
+  std::string in = "*0\r\nPING\r\n";
+  p.Feed(in.data(), in.size());
+  auto cmds = ParseAll(&p);
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0][0], "PING");
+}
+
+// The core resumption property: any split of the byte stream, at every
+// byte boundary, yields the identical command sequence.
+TEST(RespParser, SplitAtEveryByteBoundary) {
+  const std::string stream =
+      "*3\r\n$3\r\nSET\r\n$3\r\nkey\r\n$5\r\n12345\r\n"
+      "PING\r\n"
+      "*2\r\n$4\r\nINCR\r\n$7\r\ncounter\r\n"
+      "GET key\r\n";
+  const std::vector<std::vector<std::string>> expect = {
+      {"SET", "key", "12345"},
+      {"PING"},
+      {"INCR", "counter"},
+      {"GET", "key"},
+  };
+  for (size_t split = 0; split <= stream.size(); ++split) {
+    RespParser p{RespLimits{}};
+    std::vector<std::vector<std::string>> got;
+    RespCommand cmd;
+    p.Feed(stream.data(), split);
+    while (p.Next(&cmd) == RespParser::Result::kCommand) {
+      got.push_back(cmd.argv);
+    }
+    p.Feed(stream.data() + split, stream.size() - split);
+    while (p.Next(&cmd) == RespParser::Result::kCommand) {
+      got.push_back(cmd.argv);
+    }
+    EXPECT_EQ(got, expect) << "split at byte " << split;
+  }
+}
+
+// Feeding one byte at a time exercises every kNeedMore path.
+TEST(RespParser, ByteAtATime) {
+  const std::string stream = "*2\r\n$3\r\nGET\r\n$1\r\nk\r\nPING\r\n";
+  RespParser p{RespLimits{}};
+  std::vector<std::vector<std::string>> got;
+  RespCommand cmd;
+  for (char c : stream) {
+    p.Feed(&c, 1);
+    while (p.Next(&cmd) == RespParser::Result::kCommand) {
+      got.push_back(cmd.argv);
+    }
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], (std::vector<std::string>{"GET", "k"}));
+  EXPECT_EQ(got[1], (std::vector<std::string>{"PING"}));
+}
+
+// ---------------------------------------------------------------------------
+// RespParser limits / malformed input. Errors must be sticky.
+// ---------------------------------------------------------------------------
+
+void ExpectStickyError(const std::string& in, const RespLimits& limits) {
+  RespParser p{limits};
+  p.Feed(in.data(), in.size());
+  RespCommand cmd;
+  ASSERT_EQ(p.Next(&cmd), RespParser::Result::kError) << in;
+  EXPECT_FALSE(p.error().empty());
+  // Sticky: more input cannot resurrect the connection.
+  p.Feed("PING\r\n", 6);
+  EXPECT_EQ(p.Next(&cmd), RespParser::Result::kError);
+}
+
+TEST(RespParser, RejectsOversizedBulk) {
+  RespLimits limits;
+  limits.max_bulk = 16;
+  ExpectStickyError("*2\r\n$3\r\nGET\r\n$17\r\n", limits);
+}
+
+TEST(RespParser, RejectsOversizedArgCount) {
+  RespLimits limits;
+  limits.max_args = 4;
+  ExpectStickyError("*5\r\n", limits);
+}
+
+TEST(RespParser, RejectsNegativeAndGarbageCounts) {
+  ExpectStickyError("*-1\r\n", RespLimits{});
+  ExpectStickyError("*abc\r\n", RespLimits{});
+  ExpectStickyError("*2\r\n$-5\r\n", RespLimits{});
+  ExpectStickyError("*2\r\n$x\r\n", RespLimits{});
+}
+
+TEST(RespParser, RejectsMissingBulkMarker) {
+  ExpectStickyError("*1\r\nPING\r\n", RespLimits{});
+}
+
+TEST(RespParser, RejectsUnterminatedBulkPayload) {
+  // Payload present but not CRLF-terminated where the length says.
+  ExpectStickyError("*1\r\n$4\r\nPINGxy\r\n", RespLimits{});
+}
+
+TEST(RespParser, RejectsOversizedInline) {
+  RespLimits limits;
+  limits.max_inline = 8;
+  std::string in(64, 'A');  // no newline at all, beyond the limit
+  ExpectStickyError(in, limits);
+}
+
+TEST(RespParser, OversizedMultibulkHeaderWithoutCrlf) {
+  // A '*' line that never terminates must fail once past the guard.
+  std::string in = "*";
+  in.append(64, '1');
+  ExpectStickyError(in, RespLimits{});
+}
+
+// ---------------------------------------------------------------------------
+// Reply builders and client-side framing.
+// ---------------------------------------------------------------------------
+
+TEST(RespReplies, Builders) {
+  std::string out;
+  AppendSimple(&out, "OK");
+  AppendError(&out, "ERR boom");
+  AppendInteger(&out, -7);
+  AppendBulk(&out, "hello");
+  AppendNullBulk(&out);
+  EXPECT_EQ(out, "+OK\r\n-ERR boom\r\n:-7\r\n$5\r\nhello\r\n$-1\r\n");
+}
+
+TEST(RespReplies, SkipReplyFramesEveryType) {
+  std::string buf = "+OK\r\n:12\r\n$3\r\nabc\r\n$-1\r\n-ERR x\r\n*2\r\n:1\r\n:2\r\n";
+  size_t pos = 0;
+  std::vector<char> types;
+  while (pos < buf.size()) {
+    char t = 0;
+    size_t next = SkipReply(buf, pos, &t);
+    ASSERT_NE(next, std::string::npos);
+    types.push_back(t);
+    pos = next;
+  }
+  EXPECT_EQ(types, (std::vector<char>{'+', ':', '$', '$', '-', '*'}));
+  // Partial replies are not framed.
+  EXPECT_EQ(SkipReply("$5\r\nab", 0, nullptr), std::string::npos);
+  EXPECT_EQ(SkipReply(":12", 0, nullptr), std::string::npos);
+  EXPECT_EQ(SkipReply("*2\r\n:1\r\n", 0, nullptr), std::string::npos);
+}
+
+TEST(RespKeys, ParseU64) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseU64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseU64("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_FALSE(ParseU64("18446744073709551616", &v));  // overflow
+  EXPECT_FALSE(ParseU64("", &v));
+  EXPECT_FALSE(ParseU64("12a", &v));
+  EXPECT_FALSE(ParseU64("-1", &v));
+}
+
+TEST(RespKeys, MapKeyDecimalAndHash) {
+  EXPECT_EQ(MapKey("42"), 42u);
+  EXPECT_EQ(MapKey("0"), 0u);
+  // Non-decimal keys hash; equal strings agree, different ones (almost
+  // surely) differ.
+  EXPECT_EQ(MapKey("user:1"), MapKey("user:1"));
+  EXPECT_NE(MapKey("user:1"), MapKey("user:2"));
+}
+
+// ---------------------------------------------------------------------------
+// Loopback integration: a real server, real sockets.
+// ---------------------------------------------------------------------------
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions opts = {}) {
+    opts.port = 0;
+    server_ = std::make_unique<FasterServer>(opts);
+    ASSERT_TRUE(server_->ok()) << server_->error();
+  }
+
+  UniqueFd Connect() {
+    UniqueFd fd = ConnectTcp("127.0.0.1", server_->port());
+    EXPECT_TRUE(fd.valid());
+    return fd;
+  }
+
+  // Sends `req`, reads until `n` replies are framed, returns them raw.
+  std::string Exchange(int fd, const std::string& req, size_t n) {
+    EXPECT_TRUE(WriteAllFd(fd, req.data(), req.size()));
+    std::string buf;
+    size_t pos = 0, seen = 0;
+    char tmp[4096];
+    while (seen < n) {
+      ssize_t got = ReadSomeFd(fd, tmp, sizeof(tmp));
+      if (got <= 0) {
+        ADD_FAILURE() << "connection closed after " << seen << "/" << n;
+        break;
+      }
+      buf.append(tmp, static_cast<size_t>(got));
+      for (;;) {
+        size_t next = SkipReply(buf, pos, nullptr);
+        if (next == std::string::npos) break;
+        pos = next;
+        if (++seen == n) break;
+      }
+    }
+    return buf;
+  }
+
+  std::unique_ptr<FasterServer> server_;
+};
+
+TEST_F(NetServerTest, BasicCommands) {
+  StartServer();
+  UniqueFd fd = Connect();
+  std::string replies = Exchange(
+      fd.get(),
+      "PING\r\nSET 7 41\r\nINCR 7\r\nGET 7\r\nGET 9999\r\nDEL 7\r\nGET 7\r\n",
+      7);
+  EXPECT_EQ(replies,
+            "+PONG\r\n+OK\r\n:42\r\n$2\r\n42\r\n$-1\r\n:1\r\n$-1\r\n");
+}
+
+TEST_F(NetServerTest, MultibulkAndStringKeys) {
+  StartServer();
+  UniqueFd fd = Connect();
+  std::string req =
+      "*3\r\n$3\r\nSET\r\n$5\r\nhello\r\n$2\r\n10\r\n"
+      "*2\r\n$3\r\nGET\r\n$5\r\nhello\r\n";
+  std::string replies = Exchange(fd.get(), req, 2);
+  EXPECT_EQ(replies, "+OK\r\n$2\r\n10\r\n");
+}
+
+// A pipeline much deeper than kBatchChunk (64) forces chunked execution;
+// replies must still come back exact and in order.
+TEST_F(NetServerTest, DeepPipelineOrdering) {
+  StartServer();
+  UniqueFd fd = Connect();
+  constexpr int kOps = 500;  // > 7 chunks
+  std::string req;
+  std::string expect;
+  for (int i = 1; i <= kOps; ++i) {
+    req += "INCR deep\r\n";
+    expect += ":" + std::to_string(i) + "\r\n";
+  }
+  std::string replies = Exchange(fd.get(), req, kOps);
+  EXPECT_EQ(replies, expect);
+}
+
+// DEL forces a segment split mid-pipeline; ordering must survive, and the
+// post-DEL INCR restarts from 1.
+TEST_F(NetServerTest, SegmentSplitsPreserveOrder) {
+  StartServer();
+  UniqueFd fd = Connect();
+  std::string req =
+      "INCR s\r\nINCR s\r\nDEL s\r\nINCR s\r\nGET s\r\n"
+      "SET s 100\r\nINCR s\r\nDEL s nosuch\r\nGET s\r\n";
+  std::string replies = Exchange(fd.get(), req, 9);
+  EXPECT_EQ(replies,
+            ":1\r\n:2\r\n:1\r\n:1\r\n$1\r\n1\r\n"
+            "+OK\r\n:101\r\n:1\r\n$-1\r\n");
+}
+
+// Interleaved INCR/GET on the same key within one pipeline: every GET
+// must observe exactly the preceding INCRs (the segment-split rule).
+TEST_F(NetServerTest, IncrReadInterleavingIsExact) {
+  StartServer();
+  UniqueFd fd = Connect();
+  std::string req, expect;
+  for (int i = 1; i <= 10; ++i) {
+    req += "INCR x\r\nGET x\r\n";
+    std::string v = std::to_string(i);
+    expect += ":" + v + "\r\n$" + std::to_string(v.size()) + "\r\n" + v +
+              "\r\n";
+  }
+  std::string replies = Exchange(fd.get(), req, 20);
+  EXPECT_EQ(replies, expect);
+}
+
+TEST_F(NetServerTest, ErrorRepliesKeepPosition) {
+  StartServer();
+  UniqueFd fd = Connect();
+  std::string req =
+      "SET k notanumber\r\nBOGUS\r\nGET nope\r\nSET k 3\r\nGET k\r\n";
+  std::string replies = Exchange(fd.get(), req, 5);
+  EXPECT_EQ(replies,
+            "-ERR value is not an integer or out of range\r\n"
+            "-ERR unknown command 'BOGUS', or wrong number of arguments\r\n"
+            "$-1\r\n+OK\r\n$1\r\n3\r\n");
+}
+
+TEST_F(NetServerTest, ProtocolErrorClosesConnection) {
+  StartServer();
+  UniqueFd fd = Connect();
+  std::string req = "*2\r\n$3\r\nGET\r\n$1\r\nk\r\n*bogus\r\n";
+  EXPECT_TRUE(WriteAllFd(fd.get(), req.data(), req.size()));
+  // The valid command is answered, the error is reported, then EOF.
+  std::string buf;
+  char tmp[4096];
+  for (;;) {
+    ssize_t got = ReadSomeFd(fd.get(), tmp, sizeof(tmp));
+    if (got <= 0) break;
+    buf.append(tmp, static_cast<size_t>(got));
+  }
+  EXPECT_EQ(buf,
+            "$-1\r\n-ERR Protocol error: invalid multibulk length\r\n");
+}
+
+TEST_F(NetServerTest, PipelineBeyondMaxCarriesOver) {
+  ServerOptions opts;
+  opts.max_pipeline = 8;  // force multi-turn carry-over
+  StartServer(opts);
+  UniqueFd fd = Connect();
+  constexpr int kOps = 50;
+  std::string req, expect;
+  for (int i = 1; i <= kOps; ++i) {
+    req += "INCR c\r\n";
+    expect += ":" + std::to_string(i) + "\r\n";
+  }
+  std::string replies = Exchange(fd.get(), req, kOps);
+  EXPECT_EQ(replies, expect);
+}
+
+TEST_F(NetServerTest, TwoConnectionsShareTheStore) {
+  StartServer();
+  UniqueFd a = Connect();
+  UniqueFd b = Connect();
+  EXPECT_EQ(Exchange(a.get(), "SET shared 5\r\n", 1), "+OK\r\n");
+  EXPECT_EQ(Exchange(b.get(), "GET shared\r\n", 1), "$1\r\n5\r\n");
+  EXPECT_EQ(Exchange(b.get(), "INCR shared\r\n", 1), ":6\r\n");
+  EXPECT_EQ(Exchange(a.get(), "GET shared\r\n", 1), "$1\r\n6\r\n");
+}
+
+TEST_F(NetServerTest, CommandsProcessedCountsAllBuilds) {
+  StartServer();
+  UniqueFd fd = Connect();
+  Exchange(fd.get(), "PING\r\nSET 1 1\r\nGET 1\r\n", 3);
+  EXPECT_GE(server_->commands_processed(), 3u);
+}
+
+// Tiny memory budget: reads can go kPending through the I/O path; the
+// completion-callback plumbing must still produce exact replies.
+TEST_F(NetServerTest, SmallMemoryPendingReads) {
+  ServerOptions opts;
+  opts.table_size = 1 << 10;
+  opts.log_memory_bytes = 1 << 16;  // two pages: most of the log is cold
+  StartServer(opts);
+  UniqueFd fd = Connect();
+  constexpr int kKeys = 300;
+  std::string req;
+  for (int i = 0; i < kKeys; ++i) {
+    req += "SET " + std::to_string(i) + " " + std::to_string(i + 1000) +
+           "\r\n";
+  }
+  Exchange(fd.get(), req, kKeys);
+  // Read them all back (early keys now live on "disk").
+  req.clear();
+  std::string expect;
+  for (int i = 0; i < kKeys; ++i) {
+    req += "GET " + std::to_string(i) + "\r\n";
+    std::string v = std::to_string(i + 1000);
+    expect += "$" + std::to_string(v.size()) + "\r\n" + v + "\r\n";
+  }
+  std::string replies = Exchange(fd.get(), req, kKeys);
+  EXPECT_EQ(replies, expect);
+}
+
+TEST_F(NetServerTest, ShutdownClosesConnectionsAndIsIdempotent) {
+  StartServer();
+  UniqueFd fd = Connect();
+  EXPECT_EQ(Exchange(fd.get(), "PING\r\n", 1), "+PONG\r\n");
+  server_->Shutdown();
+  server_->Shutdown();  // idempotent
+  // The drained server has closed the connection: EOF (or reset).
+  char tmp[16];
+  ssize_t got = ReadSomeFd(fd.get(), tmp, sizeof(tmp));
+  EXPECT_LE(got, 0);
+  // And nothing is listening anymore.
+  UniqueFd again = ConnectTcp("127.0.0.1", server_->port());
+  EXPECT_FALSE(again.valid());
+}
+
+TEST_F(NetServerTest, ConcurrentClients) {
+  ServerOptions opts;
+  opts.threads = 2;
+  StartServer(opts);
+  constexpr int kClients = 4;
+  constexpr int kRounds = 50;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};  // order: relaxed — test-local tally
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      UniqueFd fd = ConnectTcp("127.0.0.1", server_->port());
+      if (!fd.valid()) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      std::string key = "k" + std::to_string(c);  // private per client
+      for (int r = 1; r <= kRounds; ++r) {
+        std::string req = "INCR " + key + "\r\n";
+        if (!WriteAllFd(fd.get(), req.data(), req.size())) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        std::string buf;
+        char tmp[256];
+        while (SkipReply(buf, 0, nullptr) == std::string::npos) {
+          ssize_t got = ReadSomeFd(fd.get(), tmp, sizeof(tmp));
+          if (got <= 0) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          buf.append(tmp, static_cast<size_t>(got));
+        }
+        if (buf != ":" + std::to_string(r) + "\r\n") {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(std::memory_order_relaxed), 0);
+  EXPECT_GE(server_->commands_processed(),
+            static_cast<uint64_t>(kClients * kRounds));
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace faster

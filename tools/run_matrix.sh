@@ -32,6 +32,16 @@ if command -v ccache > /dev/null 2>&1; then
   LAUNCHER_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
 
+# Prints the ccache hit rate for the work since `ccache -z` (no-op when
+# ccache is absent). CI mirrors this into the job summary.
+ccache_report() {
+  local config="$1"
+  if command -v ccache > /dev/null 2>&1; then
+    echo "=== [${config}] ccache ==="
+    ccache -s | grep -Ei 'hit|miss|cache size' || ccache -s
+  fi
+}
+
 run_config() {
   local config="$1"
   local build_dir="build-${config}"
@@ -55,6 +65,7 @@ run_config() {
       cmake --build "${build_dir}" -j "${JOBS}" --target faster_core
       echo "=== [${config}] harness / violation TUs ==="
       CLANGXX="${clangxx}" tools/check_thread_safety.sh
+      ccache_report "${config}"
       echo "=== [${config}] OK ==="
       return 0
       ;;
@@ -117,6 +128,7 @@ suppressions=$(pwd)/tsan.supp history_size=7")
   cmake --build "${build_dir}" -j "${JOBS}"
   echo "=== [${config}] test ==="
   (cd "${build_dir}" && "${env_prefix[@]}" ctest "${ctest_args[@]}")
+  ccache_report "${config}"
   echo "=== [${config}] OK ==="
 }
 

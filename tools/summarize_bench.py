@@ -33,8 +33,9 @@ SIDECAR_SCHEMA = "faster-bench-v1"
 
 # Counters worth a table column, in display order.
 INTERESTING = (
-    "B", "Mops", "miss_ratio", "log_growth_MBps", "fuzzy_pct", "log_bw_MBps",
-    "cache_hit_pct", "storage_reads_pct", "p50_us", "p99_us", "p999_us",
+    "B", "P", "Mops", "miss_ratio", "log_growth_MBps", "fuzzy_pct",
+    "log_bw_MBps", "cache_hit_pct", "storage_reads_pct", "p50_us", "p99_us",
+    "p999_us",
 )
 
 
@@ -137,6 +138,8 @@ def main():
             cells = [c.get(k, "") for k in keys]
             print("| " + case + " | " + " | ".join(cells) + " |")
         report_batch_speedup(groups[fig])
+        report_depth_speedup(groups[fig])
+        report_server_vs_baseline(groups[fig])
     return 0
 
 
@@ -161,6 +164,52 @@ def report_batch_speedup(group):
         speedup = by_b[best_b] / by_b[1]
         print(f"\nbatch speedup ({case}): B=1 {by_b[1]:.3g} Mops -> "
               f"B={best_b} {by_b[best_b]:.3g} Mops ({speedup:.2f}x)")
+
+
+def _depth_sweeps(group):
+    """case-minus-P -> {P: Mops} for cases carrying a P (pipeline depth)
+    counter."""
+    sweeps = defaultdict(dict)
+    for name, c in group:
+        if "P" not in c or "Mops" not in c:
+            continue
+        case = "/".join(name.split("/")[1:])
+        case = re.sub(r"(/-?\d+)+(/iterations:\d+)?$", "", case)
+        case = re.sub(r"/P:\d+", "", case)
+        try:
+            sweeps[case][int(float(c["P"]))] = float(c["Mops"])
+        except ValueError:
+            continue
+    return sweeps
+
+
+def report_depth_speedup(group):
+    """For pipeline-depth sweeps (cases carrying a P counter), prints the
+    best-P throughput speedup over the P=1 (unpipelined) baseline."""
+    for case, by_p in sorted(_depth_sweeps(group).items()):
+        if 1 not in by_p or by_p[1] <= 0 or len(by_p) < 2:
+            continue
+        best_p = max(by_p, key=lambda p: by_p[p])
+        speedup = by_p[best_p] / by_p[1]
+        print(f"\npipeline speedup ({case}): P=1 {by_p[1]:.3g} Mops -> "
+              f"P={best_p} {by_p[best_p]:.3g} Mops ({speedup:.2f}x)")
+
+
+def report_server_vs_baseline(group):
+    """For the networked sweep, compares faster_server against the
+    remote_baseline stand-in at each common pipeline depth."""
+    sweeps = _depth_sweeps(group)
+    server = sweeps.get("faster_server")
+    baseline = sweeps.get("remote_baseline")
+    if not server or not baseline:
+        return
+    for p in sorted(set(server) & set(baseline)):
+        if baseline[p] <= 0:
+            continue
+        ratio = server[p] / baseline[p]
+        print(f"\nserver-vs-remote-baseline (P={p}): server "
+              f"{server[p]:.3g} Mops vs baseline {baseline[p]:.3g} Mops "
+              f"({ratio:.2f}x)")
 
 
 if __name__ == "__main__":

@@ -53,6 +53,15 @@ void DriveFaster() {
   // Recover is annotated as requiring *no* session.
   Store store2{cfg, &device};
   store2.Recover("/tmp/ts_harness_ckpt");
+
+  // The scoped RAII holder (used by net/server.cc worker threads) must
+  // satisfy the same capability contracts as the explicit bracketing.
+  {
+    Store::Session session{store};
+    store.Upsert(3, 1);
+    store.Read(3, 0, &out);
+    store.CompletePending(/*wait=*/true);
+  }
 }
 
 void DriveInMem() {
