@@ -8,11 +8,17 @@
 //   redis-cli -p 6379 INCR 17
 //   (printf 'PING\r\nINCR k\r\nINCR k\r\nGET k\r\n'; sleep 0.2) | nc 127.0.0.1 6379
 //
-// --export-port serves Prometheus text (/metrics), JSON (/vars) and a
-// liveness probe (/healthz) combining the store's metrics with the
-// server's "net.*" family. SIGTERM/SIGINT trigger a clean drain: stop
-// accepting, flush buffered replies, complete pending store work,
-// unprotect every worker's epoch slot, exit 0.
+// --export-port serves Prometheus text (/metrics), JSON (/vars), a
+// liveness probe (/healthz), and the live inspectors (/debug/slowlog,
+// /debug/index, /debug/log, /debug/epochs, /debug/connections),
+// combining the store's metrics with the server's "net.*" family.
+// SIGTERM/SIGINT trigger a clean drain: stop accepting, flush buffered
+// replies, complete pending store work, unprotect every worker's epoch
+// slot, exit 0.
+//
+// Logging: --log-level debug|info|warn|error|off (default warn; also
+// FASTER_LOG_LEVEL), --log-file PATH appends structured records to a
+// file. --slowlog-threshold-us N arms the slow-op log (SLOWLOG GET).
 
 #include <signal.h>
 
@@ -24,6 +30,8 @@
 
 #include "net/server.h"
 #include "obs/exporter.h"
+#include "obs/log.h"
+#include "obs/slowlog.h"
 #include "obs/stats.h"
 
 namespace {
@@ -32,12 +40,16 @@ struct Options {
   faster::net::ServerOptions server;
   uint16_t export_port = 0;
   bool print_port = false;  // machine-readable "PORT <n>" line on stdout
+  std::string log_level;    // empty: keep env/default
+  std::string log_file;
 };
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port P] [--bind ADDR] [--threads N]\n"
                "          [--max-pipeline N] [--export-port P] [--print-port]\n"
+               "          [--log-level debug|info|warn|error|off]\n"
+               "          [--log-file PATH] [--slowlog-threshold-us N]\n"
                "  --port 0 binds an ephemeral port (printed with "
                "--print-port)\n",
                argv0);
@@ -67,6 +79,12 @@ bool ParseArgs(int argc, char** argv, Options* o) {
       o->export_port = static_cast<uint16_t>(v);
     } else if (a == "--print-port") {
       o->print_port = true;
+    } else if (a == "--log-level" && i + 1 < argc) {
+      o->log_level = argv[++i];
+    } else if (a == "--log-file" && i + 1 < argc) {
+      o->log_file = argv[++i];
+    } else if (a == "--slowlog-threshold-us" && next(0, 1LL << 40, &v)) {
+      o->server.slowlog_threshold_us = static_cast<uint64_t>(v);
     } else {
       Usage(argv[0]);
       return false;
@@ -80,6 +98,24 @@ bool ParseArgs(int argc, char** argv, Options* o) {
 int main(int argc, char** argv) {
   Options o;
   if (!ParseArgs(argc, argv, &o)) return 2;
+
+  // Flags override the FASTER_LOG_* environment defaults read by the
+  // logger's first use.
+  faster::obs::Logger& logger = faster::obs::Logger::Global();
+  if (!o.log_level.empty()) {
+    faster::obs::LogLevel level;
+    if (!faster::obs::ParseLogLevel(o.log_level.c_str(), &level)) {
+      std::fprintf(stderr, "faster_server: bad --log-level %s\n",
+                   o.log_level.c_str());
+      return 2;
+    }
+    logger.set_level(level);
+  }
+  if (!o.log_file.empty() && !logger.OpenFile(o.log_file)) {
+    std::fprintf(stderr, "faster_server: cannot open --log-file %s\n",
+                 o.log_file.c_str());
+    return 2;
+  }
 
   // Block the shutdown signals in every thread (workers inherit the
   // mask), then claim them below with sigwait: signal handling happens on
@@ -107,10 +143,22 @@ int main(int argc, char** argv) {
       server.CollectStats(reg);
       return reg;
     };
+    faster::obs::MetricsExporter::Handlers handlers{
+        [collect] { return collect().Prometheus(); },
+        [collect] { return collect().Json(); }};
+    handlers
+        .AddRoute("/debug/slowlog",
+                  [] { return faster::obs::GlobalSlowLog().Json(); })
+        .AddRoute("/debug/index",
+                  [&server] { return server.store().DebugIndexJson(); })
+        .AddRoute("/debug/log",
+                  [&server] { return server.store().DebugLogJson(); })
+        .AddRoute("/debug/epochs",
+                  [&server] { return server.store().DebugEpochsJson(); })
+        .AddRoute("/debug/connections",
+                  [&server] { return server.DebugConnectionsJson(); });
     exporter = std::make_unique<faster::obs::MetricsExporter>(
-        eo, faster::obs::MetricsExporter::Handlers{
-                [collect] { return collect().Prometheus(); },
-                [collect] { return collect().Json(); }});
+        eo, std::move(handlers));
     if (!exporter->ok()) {
       std::fprintf(stderr, "faster_server: exporter failed to bind %u\n",
                    static_cast<unsigned>(o.export_port));

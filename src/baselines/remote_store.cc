@@ -4,10 +4,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <mutex>
+
+#include "obs/log.h"
 
 namespace faster {
 
@@ -38,6 +41,9 @@ RemoteStore::RemoteStore() {
     // Construction failed; leave the server thread unstarted (Connect()
     // then returns nullptr). The UniqueFd members release whichever
     // descriptors were created.
+    obs::StatLog(obs::LogLevel::kError, "remote_store",
+                 "construction failed: epoll/pipe setup",
+                 obs::LogField{"errno", errno});
     return;
   }
   epoll_event ev{};
@@ -59,7 +65,11 @@ RemoteStore::~RemoteStore() {
 std::unique_ptr<RemoteStore::Client> RemoteStore::Connect() {
   if (!server_.joinable()) return nullptr;  // construction failed
   int fds[2];
-  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return nullptr;
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    obs::StatLog(obs::LogLevel::kError, "remote_store",
+                 "socketpair failed", obs::LogField{"errno", errno});
+    return nullptr;
+  }
   net::UniqueFd client_fd{fds[0]};
   net::UniqueFd server_fd{fds[1]};
   {

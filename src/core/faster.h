@@ -30,6 +30,8 @@
 #include "core/thread.h"
 #include "device/device.h"
 #include "obs/flight_recorder.h"
+#include "obs/log.h"
+#include "obs/slowlog.h"
 #include "obs/span.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
@@ -181,7 +183,9 @@ class FasterKv {
     ThreadState& ts = AutoRefresh();
     ++ts.reads;
     obs::StatOpSpan span{obs::SpanKind::kRead};
+    obs::StatSlowOpScope slow_scope{obs::SlowOpKind::kRead};
     KeyHash hash = Hasher{}(key);
+    slow_scope.set_key_hash(hash.control());
     for (;;) {
       typename HashIndex::OpScope scope{index_, hash};
       HashIndex::FindResult fr;
@@ -266,7 +270,9 @@ class FasterKv {
     ThreadState& ts = AutoRefresh();
     ++ts.upserts;
     obs::StatOpSpan span{obs::SpanKind::kUpsert};
+    obs::StatSlowOpScope slow_scope{obs::SlowOpKind::kUpsert};
     KeyHash hash = Hasher{}(key);
+    slow_scope.set_key_hash(hash.control());
     for (;;) {
       typename HashIndex::OpScope scope{index_, hash};
       HashIndex::FindResult fr;
@@ -322,7 +328,9 @@ class FasterKv {
     ThreadState& ts = AutoRefresh();
     ++ts.rmws;
     obs::StatOpSpan span{obs::SpanKind::kRmw};
+    obs::StatSlowOpScope slow_scope{obs::SlowOpKind::kRmw};
     KeyHash hash = Hasher{}(key);
+    slow_scope.set_key_hash(hash.control());
     RmwOutcome oc = RmwInMemory(ts, key, hash, input, DiskState::kNone,
                                 nullptr, Address::Invalid());
     switch (oc.kind) {
@@ -355,7 +363,9 @@ class FasterKv {
     ThreadState& ts = AutoRefresh();
     ++ts.deletes;
     obs::StatOpSpan span{obs::SpanKind::kDelete};
+    obs::StatSlowOpScope slow_scope{obs::SlowOpKind::kDelete};
     KeyHash hash = Hasher{}(key);
+    slow_scope.set_key_hash(hash.control());
     for (;;) {
       typename HashIndex::OpScope scope{index_, hash};
       HashIndex::FindResult fr;
@@ -945,6 +955,162 @@ class FasterKv {
     obs::WriteChromeTrace(os, obs::SnapshotSpans(), trace_.Snapshot());
   }
 
+  // -------------------------------------------------------------------
+  // Live /debug inspectors (DESIGN.md §12): cheap read-only JSON
+  // snapshots of internal state, served by the exporter's /debug routes.
+  // -------------------------------------------------------------------
+
+  /// /debug/index: bucket-occupancy and hash-chain-length histograms from
+  /// a bounded sample of the active table. Runs under epoch protection;
+  /// chains are walked only through log frames pinned by that protection
+  /// (clamped at the head observed after protecting — frame recycling is
+  /// epoch-deferred, so those frames stay intact until this thread
+  /// refreshes; GetEvicted reads them without the current-head assert,
+  /// which may legitimately advance mid-walk). Reports {"resizing":true}
+  /// without sampling while a grow is in flight.
+  std::string DebugIndexJson(uint64_t max_buckets = 4096) {
+    bool was_protected = epoch_.IsProtected();
+    if (!was_protected) epoch_.Protect();
+    AssertEpochProtected(epoch_);
+    Address h0 = hlog_.head_address();
+    Address rc_h0 = rc_log_ != nullptr ? rc_log_->head_address() : Address{0};
+    constexpr uint32_t kMaxChainWalk = 32;
+    constexpr uint32_t kOccBuckets = 16;  // live entries 0..14, then 15+
+    constexpr uint32_t kLenBuckets = 17;  // chain length 0..15, then 16+
+    uint64_t occupancy[kOccBuckets] = {};
+    uint64_t chain_len[kLenBuckets] = {};
+    uint64_t sampled_buckets = 0;
+    uint64_t sampled_entries = 0;
+    uint64_t overflow_buckets = 0;
+    uint64_t chains_truncated = 0;
+    bool ok = index_.SampleBuckets(
+        max_buckets,
+        [&](uint32_t live, uint32_t overflow) {
+          ++sampled_buckets;
+          overflow_buckets += overflow;
+          ++occupancy[live < kOccBuckets ? live : kOccBuckets - 1];
+        },
+        [&](HashBucketEntry e) {
+          AssertEpochProtected(epoch_);
+          ++sampled_entries;
+          uint32_t len = 0;
+          bool truncated = false;
+          Address addr = e.address();
+          for (uint32_t hops = 0; hops < kMaxChainWalk; ++hops) {
+            if (addr.control() == 0) break;  // end of chain
+            if (InReadCache(addr)) {
+              // Cache copies are not primary-chain records: hop through.
+              Address rc = StripRc(addr);
+              if (rc_log_ == nullptr || rc < rc_h0) {
+                truncated = true;
+                break;
+              }
+              const RecordT* rec =
+                  reinterpret_cast<const RecordT*>(rc_log_->GetEvicted(rc));
+              addr = rec->info().previous_address();
+              continue;
+            }
+            if (addr < h0) {  // chain continues on disk
+              truncated = true;
+              break;
+            }
+            ++len;
+            const RecordT* rec =
+                reinterpret_cast<const RecordT*>(hlog_.GetEvicted(addr));
+            addr = rec->info().previous_address();
+          }
+          if (addr.control() != 0 && !truncated) truncated = true;  // cap hit
+          ++chain_len[len < kLenBuckets ? len : kLenBuckets - 1];
+          if (truncated) ++chains_truncated;
+        });
+    uint64_t table_size = index_.size();
+    uint32_t tag_bits = index_.tag_bits();
+    if (!was_protected) epoch_.Unprotect();
+    char buf[256];
+    std::string out;
+    if (!ok) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"resizing\":true,\"table_size\":%llu,\"tag_bits\":%u}\n",
+                    static_cast<unsigned long long>(table_size), tag_bits);
+      return buf;
+    }
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"resizing\":false,\"table_size\":%llu,\"tag_bits\":%u,"
+        "\"sampled_buckets\":%llu,\"sampled_entries\":%llu,"
+        "\"overflow_buckets\":%llu,\"chains_truncated\":%llu,"
+        "\"max_chain_walk\":%u,",
+        static_cast<unsigned long long>(table_size), tag_bits,
+        static_cast<unsigned long long>(sampled_buckets),
+        static_cast<unsigned long long>(sampled_entries),
+        static_cast<unsigned long long>(overflow_buckets),
+        static_cast<unsigned long long>(chains_truncated), kMaxChainWalk);
+    out += buf;
+    auto append_array = [&out, &buf](const char* name, const uint64_t* v,
+                                     uint32_t n) {
+      std::snprintf(buf, sizeof(buf), "\"%s\":[", name);
+      out += buf;
+      for (uint32_t i = 0; i < n; ++i) {
+        std::snprintf(buf, sizeof(buf), "%s%llu", i == 0 ? "" : ",",
+                      static_cast<unsigned long long>(v[i]));
+        out += buf;
+      }
+      out += "]";
+    };
+    append_array("bucket_occupancy", occupancy, kOccBuckets);
+    out += ",";
+    append_array("chain_length", chain_len, kLenBuckets);
+    out += "}\n";
+    return out;
+  }
+
+  /// /debug/log: hybrid-log region addresses, page occupancy, and flush
+  /// backlog. The snapshot's markers are loaded smallest-first, so
+  /// begin <= head <= read_only <= tail holds within the reply even while
+  /// the log advances underneath (see HybridLog::SnapshotRegions).
+  std::string DebugLogJson() {
+    std::string out = "{\"log\":";
+    out += RegionJson(hlog_);
+    if (rc_log_ != nullptr) {
+      out += ",\"read_cache\":";
+      out += RegionJson(*rc_log_);
+    }
+    out += "}\n";
+    return out;
+  }
+
+  /// /debug/epochs: the shared epoch counters plus every protected
+  /// thread's published local epoch and its lag behind the current epoch.
+  /// Relaxed per-slot reads — a monitoring snapshot needs no ordering.
+  std::string DebugEpochsJson() {
+    uint64_t current = epoch_.CurrentEpoch();
+    uint64_t safe = epoch_.SafeToReclaimEpoch();
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"current_epoch\":%llu,\"safe_epoch\":%llu,"
+                  "\"outstanding_actions\":%u,\"threads\":[",
+                  static_cast<unsigned long long>(current),
+                  static_cast<unsigned long long>(safe),
+                  epoch_.NumOutstandingActions());
+    std::string out = buf;
+    uint32_t listed = 0;
+    for (uint32_t tid = 0; tid < Thread::kMaxThreads; ++tid) {
+      uint64_t local = epoch_.LocalEpochOf(tid);
+      if (local == LightEpoch::kUnprotected) continue;
+      uint64_t lag = current > local ? current - local : 0;
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"tid\":%u,\"local_epoch\":%llu,\"lag\":%llu}",
+                    listed == 0 ? "" : ",", tid,
+                    static_cast<unsigned long long>(local),
+                    static_cast<unsigned long long>(lag));
+      out += buf;
+      ++listed;
+    }
+    std::snprintf(buf, sizeof(buf), "],\"protected_threads\":%u}\n", listed);
+    out += buf;
+    return out;
+  }
+
   /// Registers this store's diagnostics (epoch table, event ring, the
   /// global span ring, metric pointers) with the process-wide crash
   /// flight recorder and arms it (fatal-signal handlers + the
@@ -958,6 +1124,8 @@ class FasterKv {
     rec.AttachEventRing(this, "store", &trace_);
     if constexpr (obs::kStatsEnabled) {
       rec.AttachSpanRing(this, &obs::GlobalSpanRing());
+      rec.AttachLogRing(this, &obs::Logger::Global().ring());
+      rec.AttachSlowLog(this, &obs::GlobalSlowLog());
     }
     obs::StatRegistry reg;
     CollectStats(reg);
@@ -971,6 +1139,41 @@ class FasterKv {
   const Config& config() const { return config_; }
 
  private:
+  /// JSON object for one log's region markers (DebugLogJson).
+  static std::string RegionJson(HybridLog& log) {
+    HybridLog::RegionSnapshot s = log.SnapshotRegions();
+    uint64_t in_memory = s.tail.control() - s.head.control();
+    uint64_t mut = s.tail.control() - s.read_only.control();
+    uint64_t backlog = s.read_only.control() > s.flushed_until.control()
+                           ? s.read_only.control() - s.flushed_until.control()
+                           : 0;
+    char buf[768];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"begin\":%llu,\"head\":%llu,\"safe_read_only\":%llu,"
+        "\"flushed_until\":%llu,\"read_only\":%llu,\"tail\":%llu,"
+        "\"head_page\":%llu,\"tail_page\":%llu,\"tail_page_offset\":%llu,"
+        "\"page_size\":%llu,\"buffer_pages\":%llu,"
+        "\"in_memory_bytes\":%llu,\"mutable_bytes\":%llu,"
+        "\"flush_backlog_bytes\":%llu,\"io_error\":%s}",
+        static_cast<unsigned long long>(s.begin.control()),
+        static_cast<unsigned long long>(s.head.control()),
+        static_cast<unsigned long long>(s.safe_read_only.control()),
+        static_cast<unsigned long long>(s.flushed_until.control()),
+        static_cast<unsigned long long>(s.read_only.control()),
+        static_cast<unsigned long long>(s.tail.control()),
+        static_cast<unsigned long long>(s.head.page()),
+        static_cast<unsigned long long>(s.tail.page()),
+        static_cast<unsigned long long>(s.tail.offset()),
+        static_cast<unsigned long long>(Address::kPageSize),
+        static_cast<unsigned long long>(log.buffer_pages()),
+        static_cast<unsigned long long>(in_memory),
+        static_cast<unsigned long long>(mut),
+        static_cast<unsigned long long>(backlog),
+        log.io_error() ? "true" : "false");
+    return buf;
+  }
+
   enum class OpType : uint8_t { kRead, kRmw };
   enum class DiskState : uint8_t { kNone, kValue, kAbsent };
 
@@ -999,6 +1202,9 @@ class FasterKv {
     // re-establish it so their spans land under the originating trace.
     uint64_t trace_id = 0;
     uint64_t parent_span = 0;
+    // Slowlog stage attribution carried across the async hop (inert —
+    // start_ns stays 0 — unless the slowlog was armed at issue time).
+    obs::PendingSlowOp slow;
     // CRDT read reconciliation state (Sec. 6.3).
     Value merge_acc{};
     bool merge_found = false;
@@ -1458,6 +1664,9 @@ class FasterKv {
       obs::TraceContext tc = obs::CurrentTrace();
       ctx->trace_id = tc.trace_id;
       ctx->parent_span = tc.span_id;
+      // Slowlog hand-off: the synchronous scope's stage tallies move into
+      // the context; the scope then skips its own exit-time record.
+      obs::CaptureSlowOp(&ctx->slow);
     }
   }
 
@@ -1489,6 +1698,15 @@ class FasterKv {
     if constexpr (obs::kStatsEnabled) {
       // Keep the first issue time: pending_io_ns spans the whole chain.
       if (ctx->issue_ns == 0) ctx->issue_ns = obs::NowNs();
+      // Close this hop's wait window before the next hop's queueing
+      // starts, so the I/O stages keep partitioning the pending window.
+      if (ctx->slow.start_ns != 0 && ctx->slow.callback_ns != 0) {
+        uint64_t now = obs::NowNs();
+        if (now > ctx->slow.callback_ns) {
+          ctx->slow.io_complete_ns += now - ctx->slow.callback_ns;
+        }
+        ctx->slow.callback_ns = 0;
+      }
     }
     hlog_.AsyncGetFromDisk(addr, RecordT::size(), ctx->buffer,
                            &FasterKv::IoCallback, ctx);
@@ -1688,6 +1906,14 @@ class FasterKv {
     // pending-I/O continuation) under the same trace id.
     obs::StatOpSpan chunk_span{obs::SpanKind::kBatchChunk,
                                static_cast<uint32_t>(n)};
+    // Slowlog attribution (only when armed): stages 1 and 2 are chunk-
+    // level, so their cost is amortized evenly across the chunk's ops;
+    // stage 3 is timed per op below.
+    const bool slow_armed =
+        obs::kStatsEnabled && obs::GlobalSlowLog().armed();
+    uint64_t slow_stage_start = slow_armed ? obs::NowNs() : 0;
+    uint64_t slow_share1 = 0;
+    uint64_t slow_share2 = 0;
 
     // ---- Stage 1: hash every key; prefetch its hash bucket. ----
     KeyHash hashes[kBatchChunk];
@@ -1714,6 +1940,11 @@ class FasterKv {
         }
         if (ops[i].kind != BatchOp::Kind::kRead) write_idx[num_writes++] = i;
       }
+    }
+    if (slow_armed) {
+      uint64_t now = obs::NowNs();
+      slow_share1 = (now - slow_stage_start) / n;
+      slow_stage_start = now;
     }
 
     // ---- Stage 2: resolve index entries; prefetch head records. ----
@@ -1770,13 +2001,35 @@ class FasterKv {
       }
     }
 
+    if (slow_armed) {
+      uint64_t now = obs::NowNs();
+      slow_share2 = (now - slow_stage_start) / n;
+    }
+
     // ---- Stage 3: execute against warm lines; fall back as needed. ----
     obs::StatChildSpan exec_stage{obs::SpanKind::kBatchExecute};
+    obs::SlowOpState slow_state;
     PendingContext* io_ctxs[kBatchChunk];
     size_t num_ios = 0;
     for (size_t i = 0; i < n; ++i) {
       BatchOp& op = ops[i];
       bool fast = false;
+      if (slow_armed) {
+        // Arm the ambient slow-op state for this op: fast-path pendings
+        // capture it via MakePendingRead; fallback ops nest their own
+        // single-op scope over it.
+        slow_state = obs::SlowOpState{};
+        slow_state.kind = op.kind == BatchOp::Kind::kRead
+                              ? obs::SlowOpKind::kRead
+                              : (op.kind == BatchOp::Kind::kUpsert
+                                     ? obs::SlowOpKind::kUpsert
+                                     : obs::SlowOpKind::kRmw);
+        slow_state.key_hash = hashes[i].control();
+        slow_state.hash_ns = slow_share1;
+        slow_state.resolve_ns = slow_share2;
+        slow_state.start_ns = obs::NowNs();
+        obs::CurrentSlowOp() = &slow_state;
+      }
       if (stable && !dep[i] && !batch_scope.interrupted()) {
         switch (op.kind) {
           case BatchOp::Kind::kRead:
@@ -1798,6 +2051,21 @@ class FasterKv {
         obs_stats_.batch_fallback.Inc();
         ExecuteSingle(op);
       }
+      if (slow_armed) {
+        obs::CurrentSlowOp() = nullptr;
+        // Fallback ops record through their own single-op scope; fast
+        // pendings were transferred to the context.
+        if (fast && !slow_state.transferred &&
+            op.status != Status::kPending) {
+          uint64_t execute = obs::NowNs() - slow_state.start_ns;
+          uint64_t stages[obs::kNumSlowStages] = {
+              slow_share1, slow_share2, execute, 0, 0, 0};
+          obs::GlobalSlowLog().MaybeRecord(
+              slow_state.kind, slow_state.key_hash,
+              slow_share1 + slow_share2 + execute, stages,
+              /*pending=*/false, Thread::Id());
+        }
+      }
     }
     // Unused extent slots keep the dead headers written at reservation.
 
@@ -1818,6 +2086,21 @@ class FasterKv {
   static void IoCallback(void* context, Status result, uint32_t /*bytes*/) {
     auto* ctx = static_cast<PendingContext*>(context);
     ctx->io_status = result;
+    if constexpr (obs::kStatsEnabled) {
+      if (ctx->slow.start_ns != 0) {
+        // Harvest the pool's queue/exec timing for this hop (zeros when
+        // the device ran the callback inline on the submitting thread),
+        // and start the owner-side wait window: everything from here to
+        // the owner processing the completion lands in io_complete.
+        obs::IoStageInfo& io = obs::CurrentIoStage();
+        uint64_t now = obs::NowNs();
+        ctx->slow.io_queue_ns += io.queue_ns;
+        if (io.exec_start_ns != 0 && now > io.exec_start_ns) {
+          ctx->slow.io_exec_ns += now - io.exec_start_ns;
+        }
+        ctx->slow.callback_ns = now;
+      }
+    }
     ThreadState& ts = ctx->store->thread_states_[ctx->owner];
     std::lock_guard<std::mutex> lock{ts.mutex};
     ts.completions.push_back(ctx);
@@ -1838,6 +2121,7 @@ class FasterKv {
                                      ctx->parent_span, ctx->issue_ns, now, 0,
                                      obs::SpanKind::kPendingIo);
       }
+      obs::RecordSlowPending(&ctx->slow, now);
     }
     trace_.Emit(obs::Ev::kPendingIoDone, ctx->owner);
     NotifyCompletion(ctx, result);
@@ -1972,6 +2256,11 @@ class FasterKv {
         case RmwOutcome::kDone:
           ++ts.completed;
           obs_stats_.pending_retries.Dec();
+          if constexpr (obs::kStatsEnabled) {
+            // Fuzzy-retry completions bypass FinishPending; the wait in
+            // the retry list folds into io_complete the same way.
+            obs::RecordSlowPending(&ctx->slow, obs::NowNs());
+          }
           NotifyCompletion(ctx, oc.status);
           delete ctx;
           break;

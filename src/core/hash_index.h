@@ -151,6 +151,45 @@ class HashIndex {
     }
   }
 
+  /// Inspector sampling for /debug/index: visits the first
+  /// `min(size, max_buckets)` buckets of the active table, calling
+  /// `bucket_fn(live_entries, overflow_buckets)` once per bucket and
+  /// `entry_fn(HashBucketEntry)` for each live (non-tentative) entry seen.
+  /// Returns false without probing if a resize is in flight. The caller
+  /// must be epoch-protected so entry addresses remain dereferenceable.
+  template <class BucketFn, class EntryFn>
+  bool SampleBuckets(uint64_t max_buckets, BucketFn&& bucket_fn,
+                     EntryFn&& entry_fn) const FASTER_REQUIRES_EPOCH() {
+    ResizeInfo info = resize_info();
+    if (info.phase != Phase::kStable) return false;
+    const HashBucket* table =
+        tables_[info.version].load(std::memory_order_acquire);
+    uint64_t size = table_size_[info.version].load(std::memory_order_acquire);
+    uint64_t n = size < max_buckets ? size : max_buckets;
+    for (uint64_t i = 0; i < n; ++i) {
+      uint32_t live = 0;
+      uint32_t overflow = 0;
+      for (const HashBucket* b = &table[i]; b != nullptr;
+           b = reinterpret_cast<const HashBucket*>(
+               b->overflow.load(std::memory_order_acquire))) {
+        if (b != &table[i]) ++overflow;
+        for (uint32_t j = 0; j < HashBucket::kNumEntries; ++j) {
+          HashBucketEntry e{b->entries[j].load(std::memory_order_acquire)};
+          if (e.IsUnused() || e.tentative()) continue;
+          ++live;
+          entry_fn(e);
+        }
+      }
+      bucket_fn(live, overflow);
+    }
+    return true;
+  }
+
+  /// Configured tag width in bits (1..15).
+  uint32_t tag_bits() const {
+    return static_cast<uint32_t>(__builtin_popcount(tag_mask_));
+  }
+
   /// Doubles the index on-line (Appendix B). Must be called from an
   /// epoch-protected thread; concurrent operations cooperate. Blocks until
   /// the grow completes.

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/log.h"
+
 namespace faster {
 
 namespace {
@@ -162,6 +164,9 @@ bool HybridLog::NewPage(uint64_t old_page) {
                              Address{to_page << Address::kOffsetBits});
         }
         obs_stats_.pages_evicted.Add(to_page - from_page);
+        obs::StatLog(obs::LogLevel::kInfo, "hlog", "pages evicted",
+                     obs::LogField{"from_page", from_page},
+                     obs::LogField{"to_page", to_page});
         for (uint64_t p = from_page; p < to_page; ++p) {
           closed_page_[p % buffer_pages_]->store(
               static_cast<int64_t>(p), std::memory_order_release);
@@ -170,6 +175,13 @@ bool HybridLog::NewPage(uint64_t old_page) {
     }
     if (new_head_page < desired_head_page) {
       obs_stats_.alloc_stalls.Inc();
+      // Rate-limited: a stalled allocator retries this path in a tight
+      // refresh loop; one report per window is plenty.
+      static obs::StatLogRateLimit stall_limit{100'000'000};  // 100ms
+      obs::StatLogLimited(stall_limit, obs::LogLevel::kWarn, "hlog",
+                          "allocation stalled on flush frontier",
+                          obs::LogField{"want_head_page", desired_head_page},
+                          obs::LogField{"flushed_page", flushed_page});
       return false;  // Flush frontier not far enough yet; caller refreshes.
     }
   }
@@ -180,6 +192,10 @@ bool HybridLog::NewPage(uint64_t old_page) {
       closed_page_[frame]->load(std::memory_order_acquire) !=
           static_cast<int64_t>(new_page - buffer_pages_)) {
     obs_stats_.alloc_stalls.Inc();
+    static obs::StatLogRateLimit evict_limit{100'000'000};  // 100ms
+    obs::StatLogLimited(evict_limit, obs::LogLevel::kWarn, "hlog",
+                        "allocation stalled on frame eviction",
+                        obs::LogField{"new_page", new_page});
     return false;  // Eviction trigger hasn't run; caller refreshes.
   }
 
@@ -224,6 +240,9 @@ void HybridLog::IssueFlushesLocked(Address limit) {
     }
     obs_stats_.flush_chunks.Inc();
     obs_stats_.flush_bytes.Add(len);
+    obs::StatLog(obs::LogLevel::kDebug, "hlog", "flush chunk issued",
+                 obs::LogField{"start", flush_issued_.control()},
+                 obs::LogField{"len", static_cast<uint64_t>(len)});
     device_->WriteAsync(Get(flush_issued_), flush_issued_.control(), len,
                         &HybridLog::FlushCallback, ctx);
     flush_issued_ = chunk_end;
@@ -236,6 +255,10 @@ void HybridLog::FlushCallback(void* context, Status result, uint32_t) {
   // cannot deadlock; callers that care (checkpoint) check io_error().
   if (result != Status::kOk) {
     ctx->log->io_error_.store(true, std::memory_order_release);
+    obs::StatLog(obs::LogLevel::kError, "hlog", "flush write failed",
+                 obs::LogField{"start", ctx->start.control()},
+                 obs::LogField{"end", ctx->end.control()},
+                 obs::LogField{"status", static_cast<uint64_t>(result)});
   }
   if constexpr (obs::kStatsEnabled) {
     ctx->log->obs_stats_.flush_ns.Record(obs::NowNs() - ctx->issue_ns);

@@ -190,6 +190,30 @@ class HybridLog {
     eviction_callback_ = std::move(cb);
   }
 
+  /// Point-in-time-ish region snapshot for /debug/log. Loaded smallest
+  /// marker first: every marker only advances, so reading `head` before
+  /// `read_only` before `tail` guarantees the *snapshot* preserves
+  /// begin <= head <= read_only <= tail (a marker read later can only be
+  /// ahead of, never behind, one read earlier).
+  struct RegionSnapshot {
+    Address begin;
+    Address head;
+    Address safe_read_only;
+    Address flushed_until;
+    Address read_only;
+    Address tail;
+  };
+  RegionSnapshot SnapshotRegions() const {
+    RegionSnapshot s;
+    s.begin = begin_address();
+    s.head = head_address();
+    s.safe_read_only = safe_read_only_address();
+    s.flushed_until = flushed_until_address();
+    s.read_only = read_only_address();
+    s.tail = tail_address();
+    return s;
+  }
+
   /// Number of page frames in the circular buffer.
   uint64_t buffer_pages() const { return buffer_pages_; }
   /// Pages of read-only lag between the read-only offset and the tail.

@@ -1,5 +1,7 @@
 #include "device/io_thread_pool.h"
 
+#include "obs/slowlog.h"
+
 namespace faster {
 
 IoThreadPool::IoThreadPool(uint32_t num_threads) {
@@ -62,17 +64,29 @@ void IoThreadPool::WorkerLoop() {
     ++active_;
     lock.unlock();
     if constexpr (obs::kStatsEnabled) {
+      uint64_t dequeue_ns = obs::NowNs();
       if (job.trace_id() != 0) {
         // The queueing-delay span (submit -> dequeue) is recorded here in
         // one shot; the execution span wraps the job body below. Both are
         // siblings under the span that submitted the job.
         obs::GlobalSpanRing().Record(job.trace_id(), obs::NewSpanId(),
                                      job.parent_span(), job.submit_ns(),
-                                     obs::NowNs(), 0, obs::SpanKind::kIoQueue);
+                                     dequeue_ns, 0, obs::SpanKind::kIoQueue);
       }
+      // Publish this job's queue/exec timing for the completion callback
+      // running inside the body (slowlog io_queue / io_exec stages);
+      // cleared after so a later inline callback never reads stale data.
+      obs::IoStageInfo& io_stage = obs::CurrentIoStage();
+      io_stage.queue_ns =
+          job.submit_ns() != 0 && dequeue_ns > job.submit_ns()
+              ? dequeue_ns - job.submit_ns()
+              : 0;
+      io_stage.exec_start_ns = dequeue_ns;
       obs::StatResumedSpan exec{obs::SpanKind::kIoExec, job.trace_id(),
                                 job.parent_span()};
       job();
+      io_stage.queue_ns = 0;
+      io_stage.exec_start_ns = 0;
     } else {
       job();
     }

@@ -92,7 +92,9 @@ class IoJob {
       obs::TraceContext tc = obs::CurrentTrace();
       trace_id_ = tc.trace_id;
       parent_span_ = tc.span_id;
-      if (trace_id_ != 0) submit_ns_ = obs::NowNs();
+      // Submit time always (not just for sampled traces): the slowlog's
+      // io_queue stage needs the queueing delay of every job.
+      submit_ns_ = obs::NowNs();
     }
   }
   uint64_t trace_id() const { return trace_id_; }

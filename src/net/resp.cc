@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/log.h"
+
 namespace faster {
 namespace net {
 
@@ -26,6 +28,10 @@ ptrdiff_t ParseCount(const char* p, const char* end, ptrdiff_t cap) {
 RespParser::Result RespParser::Fail(const std::string& what) {
   state_ = State::kFailed;
   error_ = what;
+  // Rate-limited: a garbage-spraying client can fail once per byte.
+  static obs::StatLogRateLimit fail_limit{100'000'000};  // 100ms
+  obs::StatLogLimited(fail_limit, obs::LogLevel::kDebug, "resp",
+                      "parse failure", obs::LogField{"what", what.c_str()});
   return Result::kError;
 }
 

@@ -12,6 +12,8 @@
 #include <deque>
 #include <optional>
 
+#include "obs/log.h"
+#include "obs/slowlog.h"
 #include "obs/span.h"
 
 namespace faster {
@@ -85,6 +87,7 @@ struct FasterServer::Connection {
   RespParser parser;
   std::string outbuf;              // rendered, unsent reply bytes
   std::vector<CmdRec> turn_cmds;   // this turn's replies, in order
+  uint32_t stat_slot = kNoSlot;    // index into conn_slots_, or kNoSlot
   bool in_ready = false;   // already on the worker's ready list
   bool has_more = false;   // parser holds complete commands beyond the cap
   bool want_close = false; // close once outbuf drains (QUIT / proto error)
@@ -110,6 +113,10 @@ struct FasterServer::Worker {
 
 FasterServer::FasterServer(const ServerOptions& options)
     : options_{options} {
+  if (options_.slowlog_threshold_us != 0) {
+    obs::GlobalSlowLog().set_threshold_ns(options_.slowlog_threshold_us *
+                                          1000);
+  }
   device_ = std::make_unique<MemoryDevice>(2);
   Store::Config cfg;
   cfg.table_size = options_.table_size;
@@ -150,6 +157,11 @@ FasterServer::FasterServer(const ServerOptions& options)
   }
   port_ = bound;
   ok_ = true;
+  obs::StatLog(obs::LogLevel::kInfo, "server", "listening",
+               obs::LogField{"port", static_cast<uint64_t>(port_)},
+               obs::LogField{"workers", threads},
+               obs::LogField{"slowlog_threshold_us",
+                             options_.slowlog_threshold_us});
   for (auto& w : workers_) {
     Worker* wp = w.get();
     wp->thread = std::thread([this, wp] { WorkerLoop(*wp); });
@@ -163,6 +175,9 @@ void FasterServer::Shutdown() {
   if (stopping_.compare_exchange_strong(expected, true,
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire)) {
+    obs::StatLog(obs::LogLevel::kInfo, "server", "shutdown: draining",
+                 obs::LogField{"commands",
+                               commands_.load(std::memory_order_relaxed)});
     for (auto& w : workers_) {
       char b = 1;
       if (w->wake_write) (void)!::write(w->wake_write.get(), &b, 1);
@@ -264,6 +279,7 @@ void FasterServer::WorkerLoop(Worker& w) {
       FlushConnection(*conn);
       if (!conn->outbuf.empty()) std::this_thread::yield();
     }
+    ReleaseConnSlot(conn->stat_slot);
     stats_.connections_closed.Inc();
     stats_.connections_open.Dec();
   }
@@ -284,11 +300,46 @@ void FasterServer::AcceptNew(Worker& w) {
     if (::epoll_ctl(w.epoll_fd.get(), EPOLL_CTL_ADD, cfd, &ev) != 0) {
       continue;
     }
-    w.conns.emplace(cfd, std::make_unique<Connection>(std::move(ufd),
-                                                      options_.limits));
+    auto conn = std::make_unique<Connection>(std::move(ufd),
+                                             options_.limits);
+    conn->stat_slot = ClaimConnSlot(cfd, w.index);
+    w.conns.emplace(cfd, std::move(conn));
     stats_.connections_accepted.Inc();
     stats_.connections_open.Inc();
+    obs::StatLog(obs::LogLevel::kDebug, "server", "connection accepted",
+                 obs::LogField{"fd", cfd},
+                 obs::LogField{"worker", w.index});
   }
+}
+
+uint32_t FasterServer::ClaimConnSlot(int fd, uint32_t worker_index) {
+  for (uint32_t i = 0; i < kMaxConnSlots; ++i) {
+    ConnSlot& slot = conn_slots_[i];
+    if (slot.used.load(std::memory_order_acquire)) continue;
+    // Workers race for free slots; losing just means probing on.
+    bool expected = false;
+    // Acquire pairs with the release store of `false` at close, ordering
+    // the old owner's final counter writes before ours; our own field
+    // stores land after the claim, so no release is needed here.
+    if (!slot.used.compare_exchange_strong(expected, true,
+                                           std::memory_order_acquire,
+                                           std::memory_order_acquire)) {
+      continue;
+    }
+    slot.fd.store(fd, std::memory_order_relaxed);
+    slot.worker.store(worker_index, std::memory_order_relaxed);
+    slot.accept_ns.store(obs::NowNs(), std::memory_order_relaxed);
+    slot.bytes_in.store(0, std::memory_order_relaxed);
+    slot.bytes_out.store(0, std::memory_order_relaxed);
+    slot.commands.store(0, std::memory_order_relaxed);
+    return i;
+  }
+  return kNoSlot;  // table full: the connection runs untracked
+}
+
+void FasterServer::ReleaseConnSlot(uint32_t slot) {
+  if (slot == kNoSlot) return;
+  conn_slots_[slot].used.store(false, std::memory_order_release);
 }
 
 bool FasterServer::HandleReadable(Worker& w, Connection& conn) {
@@ -297,6 +348,10 @@ bool FasterServer::HandleReadable(Worker& w, Connection& conn) {
   if (got == 0) return false;  // EOF
   if (got < 0) return errno == EAGAIN || errno == EWOULDBLOCK;
   stats_.bytes_read.Add(static_cast<uint64_t>(got));
+  if (conn.stat_slot != kNoSlot) {
+    conn_slots_[conn.stat_slot].bytes_in.fetch_add(
+        static_cast<uint64_t>(got), std::memory_order_relaxed);
+  }
   conn.parser.Feed(w.scratch.data(), static_cast<size_t>(got));
   if (!conn.in_ready) {
     w.ready.push_back(&conn);
@@ -337,6 +392,12 @@ void FasterServer::GatherCommands(Worker& w, Connection& conn) {
     }
     if (r == RespParser::Result::kError && !conn.want_close) {
       stats_.protocol_errors.Inc();
+      static obs::StatLogRateLimit proto_limit{100'000'000};  // 100ms
+      obs::StatLogLimited(proto_limit, obs::LogLevel::kWarn, "server",
+                          "protocol error, closing connection",
+                          obs::LogField{"fd", conn.fd.get()},
+                          obs::LogField{"error",
+                                        conn.parser.error().c_str()});
       CmdRec rec;
       rec.type = CmdRec::Type::kErr;
       rec.lit = "ERR " + conn.parser.error();
@@ -346,6 +407,10 @@ void FasterServer::GatherCommands(Worker& w, Connection& conn) {
     break;
   }
   if (count == options_.max_pipeline) conn.has_more = true;
+  if (conn.stat_slot != kNoSlot && count > 0) {
+    conn_slots_[conn.stat_slot].commands.fetch_add(
+        count, std::memory_order_relaxed);
+  }
   w.turn_commands += count;
   stats_.pipeline_depth.Record(count);
 }
@@ -430,6 +495,14 @@ void FasterServer::ClassifyCommand(Worker& w, Connection& conn,
   } else if (std::strcmp(name, "INFO") == 0) {
     rec.type = CmdRec::Type::kLit;
     AppendBulk(&rec.lit, InfoText());
+    stats_.cmd_other.Inc();
+  } else if (std::strcmp(name, "SLOWLOG") == 0) {
+    rec.type = CmdRec::Type::kLit;
+    HandleSlowlog(cmd, &rec.lit);
+    if (rec.lit.empty()) {
+      rec.type = CmdRec::Type::kErr;
+      rec.lit = "ERR unknown SLOWLOG subcommand; try GET, RESET, LEN";
+    }
     stats_.cmd_other.Inc();
   } else if (std::strcmp(name, "QUIT") == 0) {
     rec.type = CmdRec::Type::kLit;
@@ -618,6 +691,10 @@ void FasterServer::FlushConnection(Connection& conn) {
     }
     if (n == 0) return;  // EAGAIN: EPOLLOUT will resume
     stats_.bytes_written.Add(static_cast<uint64_t>(n));
+    if (conn.stat_slot != kNoSlot) {
+      conn_slots_[conn.stat_slot].bytes_out.fetch_add(
+          static_cast<uint64_t>(n), std::memory_order_relaxed);
+    }
     conn.outbuf.erase(0, static_cast<size_t>(n));
   }
 }
@@ -626,6 +703,10 @@ void FasterServer::CloseConnection(Worker& w, int fd) {
   auto it = w.conns.find(fd);
   if (it == w.conns.end()) return;
   Connection* conn = it->second.get();
+  obs::StatLog(obs::LogLevel::kDebug, "server", "connection closed",
+               obs::LogField{"fd", fd},
+               obs::LogField{"worker", w.index});
+  ReleaseConnSlot(conn->stat_slot);
   w.ready.erase(std::remove(w.ready.begin(), w.ready.end(), conn),
                 w.ready.end());
   w.conns.erase(it);  // UniqueFd close also removes the epoll entry
@@ -645,6 +726,61 @@ void FasterServer::UpdateEpollOut(Worker& w, Connection& conn,
   }
 }
 
+void FasterServer::HandleSlowlog(const RespCommand& cmd, std::string* out) {
+  char sub[16];
+  if (cmd.argv.size() < 2 || !UpperName(cmd.argv[1], sub, sizeof(sub))) {
+    return;  // caller renders the error
+  }
+  obs::SlowLog& slowlog = obs::GlobalSlowLog();
+  if (std::strcmp(sub, "LEN") == 0 && cmd.argv.size() == 2) {
+    AppendInteger(out, static_cast<long long>(slowlog.Len()));
+    return;
+  }
+  if (std::strcmp(sub, "RESET") == 0 && cmd.argv.size() == 2) {
+    slowlog.Reset();
+    AppendSimple(out, "OK");
+    return;
+  }
+  if (std::strcmp(sub, "GET") == 0 && cmd.argv.size() <= 3) {
+    uint64_t max_entries = 10;  // Redis's default count
+    if (cmd.argv.size() == 3 && !ParseU64(cmd.argv[2], &max_entries)) {
+      return;
+    }
+    std::vector<obs::SlowLog::Entry> entries = slowlog.Snapshot(max_entries);
+    *out += '*';
+    AppendU64(out, entries.size());
+    *out += "\r\n";
+    for (const obs::SlowLog::Entry& e : entries) {
+      // Redis-style entry: id, unix timestamp, duration in microseconds,
+      // then a details array (op, key hash, origin, stage breakdown).
+      *out += "*4\r\n";
+      AppendInteger(out, static_cast<long long>(e.id));
+      AppendInteger(out, static_cast<long long>(e.wall_ns / 1000000000ull));
+      AppendInteger(out, static_cast<long long>(e.total_ns / 1000));
+      *out += '*';
+      AppendU64(out, 3 + obs::kNumSlowStages);
+      *out += "\r\n";
+      AppendBulk(out, std::string("op=") + obs::SlowOpKindName(e.kind));
+      char key[32];
+      std::snprintf(key, sizeof(key), "key=%016llx",
+                    static_cast<unsigned long long>(e.key_hash));
+      AppendBulk(out, key);
+      std::string origin = e.pending ? "origin=pending" : "origin=sync";
+      origin += " tid=";
+      AppendU64(&origin, e.tid);
+      AppendBulk(out, origin);
+      for (uint32_t s = 0; s < obs::kNumSlowStages; ++s) {
+        std::string stage =
+            std::string(obs::SlowStageName(static_cast<obs::SlowStage>(s))) +
+            "_us=";
+        AppendU64(&stage, e.stage_ns[s] / 1000);
+        AppendBulk(out, stage);
+      }
+    }
+    return;
+  }
+}
+
 std::string FasterServer::InfoText() {
   std::string out;
   out += "# Server\r\n";
@@ -655,14 +791,98 @@ std::string FasterServer::InfoText() {
   out += "io_threads:";
   AppendU64(&out, static_cast<uint64_t>(workers_.size()));
   out += "\r\n";
-  out += "# Stats\r\n";
-  out += "total_commands_processed:";
-  AppendU64(&out, commands_.load(std::memory_order_relaxed));
-  out += "\r\n";
+  out += "# Clients\r\n";
   out += "connected_clients:";
   AppendU64(&out, static_cast<uint64_t>(
                       std::max<int64_t>(0, stats_.connections_open.Value())));
   out += "\r\n";
+  out += "# Stats\r\n";
+  out += "total_commands_processed:";
+  AppendU64(&out, commands_.load(std::memory_order_relaxed));
+  out += "\r\n";
+  // # Log: the hybrid-log region markers (read in ascending order so the
+  // reported values preserve head <= read_only <= tail).
+  HybridLog::RegionSnapshot regions = store_->hlog().SnapshotRegions();
+  out += "# Log\r\n";
+  out += "log_begin_address:";
+  AppendU64(&out, regions.begin.control());
+  out += "\r\n";
+  out += "log_head_address:";
+  AppendU64(&out, regions.head.control());
+  out += "\r\n";
+  out += "log_safe_read_only_address:";
+  AppendU64(&out, regions.safe_read_only.control());
+  out += "\r\n";
+  out += "log_read_only_address:";
+  AppendU64(&out, regions.read_only.control());
+  out += "\r\n";
+  out += "log_tail_address:";
+  AppendU64(&out, regions.tail.control());
+  out += "\r\n";
+  out += "log_in_memory_bytes:";
+  AppendU64(&out, regions.tail.control() - regions.head.control());
+  out += "\r\n";
+  out += "# Index\r\n";
+  out += "index_table_size:";
+  AppendU64(&out, store_->index().size());
+  out += "\r\n";
+  out += "# Epoch\r\n";
+  out += "epoch_current:";
+  AppendU64(&out, store_->epoch().CurrentEpoch());
+  out += "\r\n";
+  out += "epoch_safe:";
+  AppendU64(&out, store_->epoch().SafeToReclaimEpoch());
+  out += "\r\n";
+  out += "epoch_protected_threads:";
+  AppendU64(&out, store_->epoch().NumProtectedThreads());
+  out += "\r\n";
+  out += "# Slowlog\r\n";
+  const obs::SlowLog& slowlog = obs::GlobalSlowLog();
+  out += "slowlog_enabled:";
+  AppendU64(&out, slowlog.armed() ? 1 : 0);
+  out += "\r\n";
+  if (slowlog.armed()) {
+    out += "slowlog_threshold_us:";
+    AppendU64(&out, slowlog.threshold_ns() / 1000);
+    out += "\r\n";
+  }
+  out += "slowlog_len:";
+  AppendU64(&out, slowlog.Len());
+  out += "\r\n";
+  out += "slowlog_total_recorded:";
+  AppendU64(&out, slowlog.TotalRecorded());
+  out += "\r\n";
+  return out;
+}
+
+std::string FasterServer::DebugConnectionsJson() const {
+  std::string out = "{\"connections\":[";
+  char buf[192];
+  uint64_t now = obs::NowNs();
+  uint32_t listed = 0;
+  for (uint32_t i = 0; i < kMaxConnSlots; ++i) {
+    const ConnSlot& slot = conn_slots_[i];
+    if (!slot.used.load(std::memory_order_acquire)) continue;
+    uint64_t accept_ns = slot.accept_ns.load(std::memory_order_relaxed);
+    uint64_t age_ms = now > accept_ns ? (now - accept_ns) / 1000000 : 0;
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"fd\":%d,\"worker\":%u,\"age_ms\":%llu,\"bytes_in\":%llu,"
+        "\"bytes_out\":%llu,\"commands\":%llu}",
+        listed == 0 ? "" : ",", slot.fd.load(std::memory_order_relaxed),
+        slot.worker.load(std::memory_order_relaxed),
+        static_cast<unsigned long long>(age_ms),
+        static_cast<unsigned long long>(
+            slot.bytes_in.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            slot.bytes_out.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            slot.commands.load(std::memory_order_relaxed)));
+    out += buf;
+    ++listed;
+  }
+  std::snprintf(buf, sizeof(buf), "],\"open\":%u}\n", listed);
+  out += buf;
   return out;
 }
 

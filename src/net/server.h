@@ -29,11 +29,11 @@
 /// ExecuteBatch/ReadBatch calls so network traffic naturally produces the
 /// batch depths where the software-pipelined batch path wins.
 ///
-/// Commands: GET, SET, DEL, INCR, PING, INFO (plus QUIT and a COMMAND
-/// stub for redis-cli handshakes), in inline or multibulk form. The store
-/// is the paper's count store (uint64 keys/values): decimal keys map to
-/// their value, other keys are FNV-1a hashed (collisions possible), and
-/// SET values must be decimal uint64s.
+/// Commands: GET, SET, DEL, INCR, PING, INFO, SLOWLOG GET|RESET|LEN (plus
+/// QUIT and a COMMAND stub for redis-cli handshakes), in inline or
+/// multibulk form. The store is the paper's count store (uint64
+/// keys/values): decimal keys map to their value, other keys are FNV-1a
+/// hashed (collisions possible), and SET values must be decimal uint64s.
 ///
 /// Ordering contract: replies are rendered strictly in per-connection
 /// command order, regardless of how commands were split across batch
@@ -61,6 +61,10 @@ struct ServerOptions {
   uint64_t table_size = uint64_t{1} << 16;
   uint64_t log_memory_bytes = uint64_t{1} << 26;
   double mutable_fraction = 0.9;
+  /// Arms the global slow-op log at construction: operations slower than
+  /// this are recorded with per-stage breakdowns (SLOWLOG GET /
+  /// /debug/slowlog). 0 leaves the slowlog disabled (its default).
+  uint64_t slowlog_threshold_us = 0;
 };
 
 /// Server-side metrics, obs::-sharded like the store's own (compiled out
@@ -123,7 +127,35 @@ class FasterServer {
     return commands_.load(std::memory_order_relaxed);
   }
 
+  /// /debug/connections body: one JSON object per live connection with
+  /// its worker, age, byte counts, and command tally. Lock-free relaxed
+  /// reads of the connection slot table; always available (the slot
+  /// table is maintained in every build).
+  std::string DebugConnectionsJson() const;
+
  private:
+  /// Live per-connection counters for /debug/connections. Fixed slots
+  /// claimed at accept and released at close so the exporter thread can
+  /// scan without touching worker-owned Connection objects. Connections
+  /// beyond the table run untracked (accept never blocks on this).
+  struct ConnSlot {
+    // order: release store claims/releases a slot (publishing the fields
+    // set before the claim); acquire loads in the scan pair with it.
+    std::atomic<bool> used{false};
+    // order: relaxed; published by `used`, then monotone counters only.
+    std::atomic<int> fd{-1};
+    // order: relaxed; written before the `used` claim publishes the slot.
+    std::atomic<uint32_t> worker{0};
+    // order: relaxed; written before the `used` claim publishes the slot.
+    std::atomic<uint64_t> accept_ns{0};   // obs::NowNs() at accept
+    // order: relaxed; monotone counter, single-writer, torn-free reads.
+    std::atomic<uint64_t> bytes_in{0};
+    // order: relaxed; monotone counter, single-writer, torn-free reads.
+    std::atomic<uint64_t> bytes_out{0};
+    // order: relaxed; monotone counter, single-writer, torn-free reads.
+    std::atomic<uint64_t> commands{0};
+  };
+  static constexpr uint32_t kMaxConnSlots = 256;
   struct CmdRec;
   struct SlotRec;
   struct Connection;
@@ -146,6 +178,10 @@ class FasterServer {
   void CloseConnection(Worker& worker, int fd);
   void UpdateEpollOut(Worker& worker, Connection& conn, bool want_out);
   std::string InfoText();
+  /// Renders the RESP reply for SLOWLOG GET|RESET|LEN into `rec.lit`.
+  void HandleSlowlog(const RespCommand& cmd, std::string* out);
+  uint32_t ClaimConnSlot(int fd, uint32_t worker_index);
+  void ReleaseConnSlot(uint32_t slot);
 
   /// Config::completion_callback target: writes the final status of a
   /// pending op into the Status slot its user_context points at. Runs on
@@ -170,6 +206,7 @@ class FasterServer {
   // order: relaxed fetch_add/load — a monotone command tally for tests
   // and INFO; no data is published through it.
   std::atomic<uint64_t> commands_{0};
+  ConnSlot conn_slots_[kMaxConnSlots];
 };
 
 }  // namespace net

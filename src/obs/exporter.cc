@@ -131,11 +131,23 @@ void MetricsExporter::HandleConnection(int fd) {
   } else if (path == "/healthz") {
     WriteAll(fd, HttpResponse(200, "OK", "text/plain", "ok\n"));
   } else if (path == "/") {
-    WriteAll(fd, HttpResponse(200, "OK", "text/plain",
-                              "faster exporter: /metrics /vars /healthz\n"));
+    std::string index = "faster exporter: /metrics /vars /healthz";
+    for (const Handlers::Route& route : handlers_.routes) {
+      index += ' ';
+      index += route.path;
+    }
+    index += '\n';
+    WriteAll(fd, HttpResponse(200, "OK", "text/plain", index));
   } else {
+    for (const Handlers::Route& route : handlers_.routes) {
+      if (path == route.path) {
+        WriteAll(fd, HttpResponse(200, "OK", "application/json",
+                                  route.handler ? route.handler() : "{}"));
+        return;
+      }
+    }
     WriteAll(fd, HttpResponse(404, "Not Found", "text/plain",
-                              "unknown path; try /metrics /vars /healthz\n"));
+                              "unknown path; see / for the route list\n"));
   }
 }
 

@@ -6,6 +6,8 @@
 #include <functional>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 /// MetricsExporter: a dependency-free blocking HTTP/1.1 endpoint serving
 /// live metrics while a store runs (the Prometheus-style "scrape" model).
@@ -14,6 +16,9 @@
 ///   /metrics  Prometheus text exposition 0.0.4 (Registry::Prometheus)
 ///   /vars     JSON exposition (Registry::Json)
 ///   /healthz  liveness probe ("ok")
+///   ...plus any JSON routes the host registers (Handlers::routes) — the
+///   server wires /debug/slowlog, /debug/index, /debug/log, /debug/epochs,
+///   and /debug/connections this way (DESIGN.md §12).
 ///
 /// One background thread accepts one connection at a time — scrapes are
 /// rare (seconds apart) and tiny, so no connection concurrency is needed.
@@ -42,6 +47,22 @@ class MetricsExporter {
   struct Handlers {
     std::function<std::string()> metrics;  // -> Prometheus text
     std::function<std::string()> vars;     // -> JSON
+    /// Extra GET routes served as application/json and listed on the "/"
+    /// index. Fixed at construction (the serving thread reads them
+    /// unlocked). Paths must start with '/'.
+    struct Route {
+      std::string path;
+      std::function<std::string()> handler;
+    };
+    std::vector<Route> routes{};  // default-initialized so the two-member
+                                  // aggregate init at existing call sites
+                                  // stays warning-clean under -Wextra
+
+    Handlers& AddRoute(std::string path,
+                       std::function<std::string()> handler) {
+      routes.push_back(Route{std::move(path), std::move(handler)});
+      return *this;
+    }
   };
 
   /// Binds and starts the serving thread. Check ok() afterwards: failure

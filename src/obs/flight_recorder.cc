@@ -26,6 +26,15 @@ class SafeWriter {
     while (*s != '\0') Ch(*s++);
   }
 
+  /// Length-bounded append for unterminated ring text (control characters
+  /// replaced; the ring stores raw bytes).
+  void StrN(const char* s, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      char c = s[i];
+      Ch(static_cast<unsigned char>(c) >= 0x20 ? c : '.');
+    }
+  }
+
   void U64(uint64_t v) {
     char tmp[20];
     size_t n = 0;
@@ -173,6 +182,28 @@ void FlightRecorder::AttachEpoch(const void* owner, const LightEpoch* epoch) {
   }
 }
 
+void FlightRecorder::AttachLogRing(const void* owner, const LogRing* ring) {
+  std::lock_guard<std::mutex> guard{attach_mutex_};
+  for (LogRingSlot& slot : log_rings_) {
+    if (slot.used.load(std::memory_order_acquire)) continue;
+    slot.owner = owner;
+    slot.ring = ring;
+    slot.used.store(true, std::memory_order_release);
+    return;
+  }
+}
+
+void FlightRecorder::AttachSlowLog(const void* owner, const SlowLog* slowlog) {
+  std::lock_guard<std::mutex> guard{attach_mutex_};
+  for (SlowLogSlot& slot : slowlogs_) {
+    if (slot.used.load(std::memory_order_acquire)) continue;
+    slot.owner = owner;
+    slot.slowlog = slowlog;
+    slot.used.store(true, std::memory_order_release);
+    return;
+  }
+}
+
 void FlightRecorder::AttachMetrics(const void* owner, const Registry& reg) {
   std::lock_guard<std::mutex> guard{attach_mutex_};
   reg.ForEach([&](const std::string& name, Registry::Kind kind,
@@ -206,6 +237,16 @@ void FlightRecorder::Detach(const void* owner) {
     }
   }
   for (EpochSlot& slot : epochs_) {
+    if (slot.used.load(std::memory_order_acquire) && slot.owner == owner) {
+      slot.used.store(false, std::memory_order_release);
+    }
+  }
+  for (LogRingSlot& slot : log_rings_) {
+    if (slot.used.load(std::memory_order_acquire) && slot.owner == owner) {
+      slot.used.store(false, std::memory_order_release);
+    }
+  }
+  for (SlowLogSlot& slot : slowlogs_) {
     if (slot.used.load(std::memory_order_acquire) && slot.owner == owner) {
       slot.used.store(false, std::memory_order_release);
     }
@@ -385,6 +426,76 @@ void FlightRecorder::Dump(const char* reason) {
         w.U64(s.arg);
         w.Str("\n");
       }
+    }
+  }
+
+  // --- Structured-log ring tail ----------------------------------------
+  for (const LogRingSlot& slot : log_rings_) {
+    if (!slot.used.load(std::memory_order_acquire)) continue;
+    w.Str("-- log (last ");
+    w.U64(kLogRecordsPerThreadDumped);
+    w.Str(" records per thread) --\n");
+    const LogRing* ring = slot.ring;
+    for (uint32_t tid = 0; tid < LogRing::NumShards(); ++tid) {
+      uint64_t end = ring->CommittedEnd(tid);
+      if (end == 0) continue;
+      uint64_t window =
+          end < LogRing::kEntriesPerThread ? end : LogRing::kEntriesPerThread;
+      if (window > kLogRecordsPerThreadDumped) {
+        window = kLogRecordsPerThreadDumped;
+      }
+      for (uint64_t seq = end - window; seq < end; ++seq) {
+        LogRing::Record rec;
+        if (!ring->ReadEntryRaw(tid, seq, &rec)) continue;
+        w.Str("  tid=");
+        w.U64(tid);
+        w.Str(" ns=");
+        w.U64(rec.wall_ns);
+        w.Str(" ");
+        w.Str(LogLevelName(static_cast<LogLevel>(rec.level)));
+        w.Str(" ");
+        w.StrN(rec.text, rec.len);
+        w.Str("\n");
+      }
+    }
+  }
+
+  // --- Slow-op log tail ------------------------------------------------
+  for (const SlowLogSlot& slot : slowlogs_) {
+    if (!slot.used.load(std::memory_order_acquire)) continue;
+    const SlowLog* slowlog = slot.slowlog;
+    uint64_t end = slowlog->RawEnd();
+    uint64_t begin = slowlog->RawBegin();
+    if (end > begin + kSlowlogEntriesDumped) {
+      begin = end - kSlowlogEntriesDumped;
+    }
+    w.Str("-- slowlog (newest ");
+    w.U64(kSlowlogEntriesDumped);
+    w.Str(" of ");
+    w.U64(end);
+    w.Str(" recorded) --\n");
+    for (uint64_t seq = begin; seq < end; ++seq) {
+      SlowLog::Entry e;
+      if (!slowlog->ReadEntryRaw(seq, &e)) continue;
+      w.Str("  id=");
+      w.U64(e.id);
+      w.Str(" op=");
+      w.Str(SlowOpKindName(e.kind));
+      w.Str(" tid=");
+      w.U64(e.tid);
+      w.Str(" key=");
+      w.Hex(e.key_hash);
+      w.Str(" total_ns=");
+      w.U64(e.total_ns);
+      w.Str(e.pending ? " pending" : " sync");
+      for (uint32_t s = 0; s < kNumSlowStages; ++s) {
+        if (e.stage_ns[s] == 0) continue;
+        w.Str(" ");
+        w.Str(SlowStageName(static_cast<SlowStage>(s)));
+        w.Str("=");
+        w.U64(e.stage_ns[s]);
+      }
+      w.Str("\n");
     }
   }
 

@@ -6,6 +6,8 @@
 #include <mutex>
 
 #include "core/epoch.h"
+#include "obs/log.h"
+#include "obs/slowlog.h"
 #include "obs/span.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
@@ -42,12 +44,18 @@ class FlightRecorder {
   static constexpr uint32_t kMaxEventRings = 8;
   static constexpr uint32_t kMaxSpanRings = 4;
   static constexpr uint32_t kMaxEpochs = 8;
+  static constexpr uint32_t kMaxLogRings = 4;
+  static constexpr uint32_t kMaxSlowLogs = 4;
   static constexpr uint32_t kMaxMetrics = 192;
   static constexpr uint32_t kNameLen = 64;
   /// Most recent events dumped per thread (of EventRing::kEventsPerThread
   /// retained) and spans per thread — keeps a 128-thread dump readable.
   static constexpr uint32_t kEventsPerThreadDumped = 32;
   static constexpr uint32_t kSpansPerThreadDumped = 16;
+  /// Tail of the structured-log ring dumped per thread, and of the slow-op
+  /// log overall.
+  static constexpr uint32_t kLogRecordsPerThreadDumped = 8;
+  static constexpr uint32_t kSlowlogEntriesDumped = 32;
 
   static FlightRecorder& Instance();
 
@@ -66,6 +74,12 @@ class FlightRecorder {
                        const EventRing* ring);
   void AttachSpanRing(const void* owner, const SpanRing* ring);
   void AttachEpoch(const void* owner, const LightEpoch* epoch);
+  /// Structured-log ring (the async logger's store): the dump includes
+  /// each thread's most recent committed records.
+  void AttachLogRing(const void* owner, const LogRing* ring);
+  /// Slow-op log: the dump includes the newest entries with their stage
+  /// breakdowns.
+  void AttachSlowLog(const void* owner, const SlowLog* slowlog);
   /// Copies every counter/gauge/histogram pointer out of `reg` into fixed
   /// slots (kValue snapshots are taken at attach time and marked stale).
   void AttachMetrics(const void* owner, const Registry& reg);
@@ -107,6 +121,18 @@ class FlightRecorder {
     const void* owner = nullptr;
     const LightEpoch* epoch = nullptr;
   };
+  struct LogRingSlot {
+    // order: release store on attach/detach; acquire load on dump.
+    std::atomic<bool> used{false};
+    const void* owner = nullptr;
+    const LogRing* ring = nullptr;
+  };
+  struct SlowLogSlot {
+    // order: release store on attach/detach; acquire load on dump.
+    std::atomic<bool> used{false};
+    const void* owner = nullptr;
+    const SlowLog* slowlog = nullptr;
+  };
   struct MetricSlot {
     // order: release store on attach/detach; acquire load on dump.
     std::atomic<bool> used{false};
@@ -123,6 +149,8 @@ class FlightRecorder {
   EventRingSlot event_rings_[kMaxEventRings];
   SpanRingSlot span_rings_[kMaxSpanRings];
   EpochSlot epochs_[kMaxEpochs];
+  LogRingSlot log_rings_[kMaxLogRings];
+  SlowLogSlot slowlogs_[kMaxSlowLogs];
   MetricSlot metrics_[kMaxMetrics];
   // order: release store at the end of Install / acquire load in
   // installed() — publishes the cached flight dir and handler state.

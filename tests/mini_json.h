@@ -1,14 +1,16 @@
 #ifndef FASTER_TESTS_MINI_JSON_H_
 #define FASTER_TESTS_MINI_JSON_H_
 
+#include <cstring>
 #include <string>
 
 namespace faster {
 
 /// Minimal JSON well-formedness checker (objects, arrays, strings, unsigned
-/// and negative integers, optional fractional part) — enough to prove the
-/// obs:: expositions emit valid JSON without pulling in a parser
-/// dependency. Shared by stats_test and exporter_test.
+/// and negative integers, optional fractional part, true/false/null) —
+/// enough to prove the obs:: expositions emit valid JSON without pulling
+/// in a parser dependency. Shared by stats_test, exporter_test, net_test,
+/// and slowlog_test.
 class MiniJson {
  public:
   static bool Valid(const std::string& s) {
@@ -37,8 +39,17 @@ class MiniJson {
       case '{': return Object();
       case '[': return Array();
       case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
       default: return Number();
     }
+  }
+  bool Literal(const char* word) {
+    size_t len = std::strlen(word);
+    if (s_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
   }
   bool Object() {
     ++pos_;  // '{'

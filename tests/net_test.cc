@@ -8,12 +8,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "mini_json.h"
 #include "net/server.h"
 #include "net/socket.h"
+#include "obs/slowlog.h"
 
 namespace faster {
 namespace net {
@@ -457,6 +461,80 @@ TEST_F(NetServerTest, ShutdownClosesConnectionsAndIsIdempotent) {
   // And nothing is listening anymore.
   UniqueFd again = ConnectTcp("127.0.0.1", server_->port());
   EXPECT_FALSE(again.valid());
+}
+
+// SLOWLOG speaks in every build (the ring is always compiled; without
+// FASTER_STATS the instrumentation just never feeds it).
+TEST_F(NetServerTest, SlowlogCommands) {
+  ServerOptions opts;
+  opts.slowlog_threshold_us = 1000000;  // armed, nothing should trip it
+  StartServer(opts);
+  UniqueFd fd = Connect();
+
+  EXPECT_EQ(Exchange(fd.get(), "SLOWLOG RESET\r\n", 1), "+OK\r\n");
+  EXPECT_EQ(Exchange(fd.get(), "SLOWLOG LEN\r\n", 1), ":0\r\n");
+  EXPECT_EQ(Exchange(fd.get(), "SLOWLOG GET\r\n", 1), "*0\r\n");
+  std::string err = Exchange(fd.get(), "SLOWLOG BOGUS\r\n", 1);
+  EXPECT_EQ(err.rfind("-ERR", 0), 0u) << err;
+
+  if constexpr (obs::kStatsEnabled) {
+    // Drop the threshold to zero (shared process: the server reads the
+    // same global ring) — now every command's store ops are "slow".
+    obs::GlobalSlowLog().set_threshold_ns(0);
+    Exchange(fd.get(), "SET 5 1\r\nGET 5\r\nINCR 5\r\n", 3);
+    std::string len = Exchange(fd.get(), "SLOWLOG LEN\r\n", 1);
+    ASSERT_EQ(len[0], ':');
+    EXPECT_NE(len, ":0\r\n");
+    // GET returns id / timestamp / duration / details per entry.
+    std::string got = Exchange(fd.get(), "SLOWLOG GET 1\r\n", 1);
+    EXPECT_EQ(got.rfind("*1\r\n*4\r\n:", 0), 0u) << got;
+    EXPECT_NE(got.find("op="), std::string::npos);
+    EXPECT_NE(got.find("execute_us="), std::string::npos);
+    EXPECT_EQ(Exchange(fd.get(), "SLOWLOG RESET\r\n", 1), "+OK\r\n");
+    EXPECT_EQ(Exchange(fd.get(), "SLOWLOG LEN\r\n", 1), ":0\r\n");
+  }
+  obs::GlobalSlowLog().set_threshold_ns(obs::SlowLog::kDisabled);
+}
+
+TEST_F(NetServerTest, InfoIsSectioned) {
+  StartServer();
+  UniqueFd fd = Connect();
+  Exchange(fd.get(), "SET 1 1\r\n", 1);
+  std::string info = Exchange(fd.get(), "INFO\r\n", 1);
+  for (const char* needle :
+       {"# Server", "# Clients", "# Stats", "# Log", "# Index", "# Epoch",
+        "# Slowlog", "connected_clients:", "total_commands_processed:",
+        "log_tail_address:", "epoch_current:", "slowlog_enabled:"}) {
+    EXPECT_NE(info.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST_F(NetServerTest, DebugConnectionsTracksLiveConnections) {
+  StartServer();
+  std::string empty = server_->DebugConnectionsJson();
+  EXPECT_TRUE(MiniJson::Valid(empty)) << empty;
+  EXPECT_NE(empty.find("\"open\":0"), std::string::npos) << empty;
+
+  UniqueFd a = Connect();
+  UniqueFd b = Connect();
+  // Traffic both proves liveness and populates the per-slot counters.
+  EXPECT_EQ(Exchange(a.get(), "PING\r\n", 1), "+PONG\r\n");
+  EXPECT_EQ(Exchange(b.get(), "PING\r\nPING\r\n", 2), "+PONG\r\n+PONG\r\n");
+  std::string body = server_->DebugConnectionsJson();
+  EXPECT_TRUE(MiniJson::Valid(body)) << body;
+  EXPECT_NE(body.find("\"open\":2"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"bytes_in\":"), std::string::npos);
+  EXPECT_NE(body.find("\"commands\":"), std::string::npos);
+
+  a.reset();
+  b.reset();
+  // Slot release happens on the worker's next event-loop turn; poll.
+  for (int i = 0; i < 200; ++i) {
+    body = server_->DebugConnectionsJson();
+    if (body.find("\"open\":0") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_NE(body.find("\"open\":0"), std::string::npos) << body;
 }
 
 TEST_F(NetServerTest, ConcurrentClients) {

@@ -1,8 +1,12 @@
 // Stress: live scraping must be race-free against a store under load.
-// Scraper threads hammer the HTTP exporter (/metrics and /vars) and a
-// snapshot thread dumps the Chrome trace, all while worker threads run
-// sampled operations — every read on the dump path is a relaxed load on
-// sharded state, so the whole arrangement must be TSan-clean.
+// Scraper threads hammer the HTTP exporter (/metrics, /vars, and the
+// /debug/{slowlog,index,log,epochs} inspectors) and a snapshot thread
+// dumps the Chrome trace, all while worker threads run sampled
+// operations — every read on the dump path is a relaxed load on sharded
+// state or an epoch-protected walk, so the whole arrangement must be
+// TSan-clean. The /debug/log scrape additionally asserts the region
+// marker ordering (begin <= head <= read_only <= tail) holds in every
+// reply while the log is moving.
 
 #include <arpa/inet.h>
 #include <gtest/gtest.h>
@@ -21,11 +25,33 @@
 #include "core/functions.h"
 #include "device/memory_device.h"
 #include "obs/exporter.h"
+#include "obs/slowlog.h"
 #include "obs/span.h"
 #include "stress_common.h"
 
 namespace faster {
 namespace {
+
+/// Extracts the number following `"key":` in a JSON body; UINT64_MAX if
+/// the key is absent (keeps the assertion sites simple).
+uint64_t JsonU64(const std::string& body, const std::string& key) {
+  size_t at = body.find("\"" + key + "\":");
+  if (at == std::string::npos) return UINT64_MAX;
+  at += key.size() + 3;
+  uint64_t v = 0;
+  bool any = false;
+  while (at < body.size() && body[at] >= '0' && body[at] <= '9') {
+    v = v * 10 + static_cast<uint64_t>(body[at] - '0');
+    ++at;
+    any = true;
+  }
+  return any ? v : UINT64_MAX;
+}
+
+std::string HttpBody(const std::string& response) {
+  size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? "" : response.substr(at + 4);
+}
 
 std::string HttpGet(uint16_t port, const std::string& path) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -69,17 +95,26 @@ TEST(StressExporterTest, ScrapesAndTraceDumpsRaceStoreOperations) {
   cfg.log.memory_size_bytes = 64 << 20;
   FasterKv<CountStoreFunctions> store{cfg, &device};
 
-  // Sample aggressively so span recording races the snapshotters.
+  // Sample aggressively so span recording races the snapshotters, and
+  // arm the slowlog at zero so every op publishes an entry under load.
   uint32_t saved_every = obs::SpanSampleEvery();
   obs::SetSpanSampleEvery(4);
+  obs::GlobalSlowLog().Reset();
+  obs::GlobalSlowLog().set_threshold_ns(0);
 
   obs::ExporterOptions options;
   options.port = 0;
-  obs::MetricsExporter exporter{
-      options,
-      obs::MetricsExporter::Handlers{
-          [&store] { return store.DumpPrometheus(); },
-          [&store] { return store.DumpStats(/*json=*/true); }}};
+  obs::MetricsExporter::Handlers handlers{
+      [&store] { return store.DumpPrometheus(); },
+      [&store] { return store.DumpStats(/*json=*/true); }};
+  handlers
+      .AddRoute("/debug/slowlog",
+                [] { return obs::GlobalSlowLog().Json(); })
+      .AddRoute("/debug/index", [&store] { return store.DebugIndexJson(); })
+      .AddRoute("/debug/log", [&store] { return store.DebugLogJson(); })
+      .AddRoute("/debug/epochs",
+                [&store] { return store.DebugEpochsJson(); });
+  obs::MetricsExporter exporter{options, std::move(handlers)};
   ASSERT_TRUE(exporter.ok());
 
   std::atomic<bool> stop{false};
@@ -106,6 +141,35 @@ TEST(StressExporterTest, ScrapesAndTraceDumpsRaceStoreOperations) {
       std::ostringstream os;
       store.DumpTrace(os);
       EXPECT_FALSE(os.str().empty());
+    }
+  });
+  std::thread debug_scraper([&] {
+    const char* paths[] = {"/debug/slowlog", "/debug/index", "/debug/log",
+                           "/debug/epochs"};
+    size_t turn = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const char* path = paths[turn++ % 4];
+      std::string response = HttpGet(exporter.port(), path);
+      if (response.rfind("HTTP/1.1 200", 0) != 0) continue;
+      scrapes.fetch_add(1, std::memory_order_relaxed);
+      std::string body = HttpBody(response);
+      ASSERT_FALSE(body.empty()) << path;
+      if (std::string{path} == "/debug/log") {
+        // Region markers must be internally consistent in every reply,
+        // even while workers advance the tail concurrently.
+        uint64_t head = JsonU64(body, "head");
+        uint64_t ro = JsonU64(body, "read_only");
+        uint64_t tail = JsonU64(body, "tail");
+        ASSERT_NE(head, UINT64_MAX) << body;
+        EXPECT_LE(JsonU64(body, "begin"), head) << body;
+        EXPECT_LE(head, JsonU64(body, "safe_read_only")) << body;
+        EXPECT_LE(JsonU64(body, "safe_read_only"), ro) << body;
+        EXPECT_LE(ro, tail) << body;
+      } else if (std::string{path} == "/debug/epochs") {
+        EXPECT_LE(JsonU64(body, "safe_epoch"),
+                  JsonU64(body, "current_epoch"))
+            << body;
+      }
     }
   });
 
@@ -141,9 +205,15 @@ TEST(StressExporterTest, ScrapesAndTraceDumpsRaceStoreOperations) {
   metrics_scraper.join();
   vars_scraper.join();
   trace_snapshotter.join();
+  debug_scraper.join();
   obs::SetSpanSampleEvery(saved_every);
+  obs::GlobalSlowLog().set_threshold_ns(obs::SlowLog::kDisabled);
 
   EXPECT_GT(scrapes.load(std::memory_order_relaxed), 0u);
+  if constexpr (obs::kStatsEnabled) {
+    // A zero threshold under load must have captured slow ops.
+    EXPECT_GT(obs::GlobalSlowLog().TotalRecorded(), 0u);
+  }
   // A final scrape after the run still serves coherent output.
   std::string response = HttpGet(exporter.port(), "/metrics");
   EXPECT_EQ(response.rfind("HTTP/1.1 200", 0), 0u);

@@ -13,6 +13,11 @@
 // Exit code: 0 only if every connection finished without socket errors,
 // protocol-framing errors, or -ERR replies (--check also verifies reply
 // counts match request counts exactly).
+//
+// Like the bench binaries, a machine-readable sidecar
+// ($FASTER_BENCH_JSON_DIR/loadgen.stats.json, schema faster-bench-v1)
+// records throughput and latency percentiles for
+// tools/summarize_bench.py.
 
 #include <algorithm>
 #include <atomic>
@@ -193,6 +198,31 @@ int main(int argc, char** argv) {
   double p99 = Percentile(&rtts, 0.99) / o.pipeline;
   double ops = elapsed > 0 ? static_cast<double>(total.replies) / elapsed
                            : 0.0;
+
+  // Sidecar for summarize_bench.py (same schema the bench binaries
+  // emit via bench/common.h's BenchSidecar).
+  {
+    const char* dir = std::getenv("FASTER_BENCH_JSON_DIR");
+    std::string path =
+        std::string(dir != nullptr ? dir : ".") + "/loadgen.stats.json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(
+          f,
+          "{\"schema\": \"faster-bench-v1\", \"bench\": \"loadgen\","
+          " \"cases\": [\n"
+          "  {\"name\": \"loadgen/conns:%u/pipeline:%u\", \"counters\": "
+          "{\"Mops\": %.17g, \"total_ops\": %.17g, \"p50_us\": %.17g, "
+          "\"p95_us\": %.17g, \"p99_us\": %.17g, \"elapsed_s\": %.17g}}\n"
+          "]}\n",
+          o.connections, o.pipeline, ops / 1e6,
+          static_cast<double>(total.replies), p50, p95, p99, elapsed);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "loadgen: cannot write sidecar %s\n",
+                   path.c_str());
+    }
+  }
 
   std::printf(
       "loadgen: conns=%u pipeline=%u elapsed=%.2fs commands=%llu "

@@ -34,8 +34,8 @@ SIDECAR_SCHEMA = "faster-bench-v1"
 # Counters worth a table column, in display order.
 INTERESTING = (
     "B", "P", "Mops", "miss_ratio", "log_growth_MBps", "fuzzy_pct",
-    "log_bw_MBps", "cache_hit_pct", "storage_reads_pct", "p50_us", "p99_us",
-    "p999_us",
+    "log_bw_MBps", "cache_hit_pct", "storage_reads_pct", "p50_us", "p95_us",
+    "p99_us", "p999_us",
 )
 
 
