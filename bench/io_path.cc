@@ -1,0 +1,131 @@
+// I/O-path sidecar: the thread-pool completion hop vs. the
+// completion-polling queue pairs (DESIGN.md §13), as a Fig. 10-style
+// memory-budget sweep. At small budgets a 50:50 zipf workload turns into
+// a pending-read storm, so the per-I/O overhead of the completion path —
+// submit handoff, worker wakeup, cross-thread completion queue vs.
+// poll-on-caller — dominates throughput. Case names:
+//
+//   io_path/pool/budgetMB:N      IoThreadPool (2 workers), the old path
+//   io_path/polling/budgetMB:N   IoQueuePair submit/poll, no I/O threads
+//   io_path_file/{pool,polling,uring}/budgetMB:N
+//                                same comparison on a FileDevice, with
+//                                the io_uring backend when the kernel
+//                                supports it (uring_active counter says
+//                                whether it actually engaged)
+//
+// tools/summarize_bench.py pairs pool vs. the other modes per budget and
+// prints the speedup lines recorded in EXPERIMENTS.md.
+
+#include <filesystem>
+
+#include "common.h"
+#include "device/file_device.h"
+
+namespace faster {
+namespace bench {
+namespace {
+
+using Funcs = BlobStoreFunctions<100>;
+
+uint64_t DatasetKeys() { return BenchKeys() / 2; }
+
+/// FasterStoreHolder hardcodes a thread-pool MemoryDevice; the point here
+/// is the device, so this holder takes one by reference instead.
+struct ModalStoreHolder {
+  ModalStoreHolder(const FasterKv<Funcs>::Config& cfg, IDevice* device)
+      : store(std::make_unique<FasterKv<Funcs>>(cfg, device)) {}
+
+  void Load(uint64_t n) {
+    store->StartSession();
+    for (uint64_t k = 0; k < n; ++k) {
+      store->Upsert(k, MakeValue<Funcs::Value>(k));
+    }
+    store->StopSession();
+  }
+
+  std::unique_ptr<FasterKv<Funcs>> store;
+};
+
+void RunCase(benchmark::State& state, IDevice* device, uint64_t keys,
+             uint64_t budget_mb) {
+  auto spec = WorkloadSpec::Ycsb(0.5, 0.0, Distribution::kZipfian, keys);
+  auto cfg = FasterConfig<Funcs>(keys, budget_mb << 20, 0.9);
+  cfg.table_size = std::max<uint64_t>(keys / 8, 1024);
+  ModalStoreHolder holder{cfg, device};
+  holder.Load(keys);
+  FasterAdapter<Funcs> adapter{*holder.store};
+  Report(state, RunWorkload(adapter, spec, 2, BenchSeconds()));
+}
+
+void BM_MemoryIoPath(benchmark::State& state) {
+  uint64_t keys = DatasetKeys();
+  uint64_t budget_mb = static_cast<uint64_t>(state.range(0));
+  bool polling = state.range(1) != 0;
+  for (auto _ : state) {
+    // Polling runs zero I/O threads: every flush write and cold read
+    // executes inside a worker's own CompletePending poll.
+    MemoryDevice device = polling
+                              ? MemoryDevice{0, 0, IoPathMode::kPolling}
+                              : MemoryDevice{2, 0, IoPathMode::kThreadPool};
+    RunCase(state, &device, keys, budget_mb);
+  }
+}
+
+void BM_FileIoPath(benchmark::State& state) {
+  // File-backed runs are slower per op; shrink the dataset so load +
+  // measure still fits a sidecar-friendly window.
+  uint64_t keys = DatasetKeys() / 4;
+  uint64_t budget_mb = static_cast<uint64_t>(state.range(0));
+  auto mode = static_cast<IoPathMode>(state.range(1));
+  std::string path = "/tmp/faster_bench_io_path.log";
+  for (auto _ : state) {
+    std::filesystem::remove(path);
+    {
+      FileDevice device{path, 2, mode};
+      RunCase(state, &device, keys, budget_mb);
+      // kUring silently falls back to kPolling on old kernels; record
+      // which backend actually ran so the sidecar is honest.
+      state.counters["uring_active"] = benchmark::Counter(
+          device.mode() == IoPathMode::kUring ? 1.0 : 0.0);
+    }
+    std::filesystem::remove(path);
+  }
+}
+
+void RegisterAll() {
+  for (int64_t budget : {8, 16, 32, 64}) {
+    for (int polling = 0; polling < 2; ++polling) {
+      benchmark::RegisterBenchmark(
+          (std::string("io_path/") + (polling != 0 ? "polling" : "pool") +
+           "/budgetMB:" + std::to_string(budget))
+              .c_str(),
+          BM_MemoryIoPath)
+          ->Args({budget, polling})
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  struct FileMode {
+    const char* name;
+    IoPathMode mode;
+  };
+  for (FileMode fm : {FileMode{"pool", IoPathMode::kThreadPool},
+                      FileMode{"polling", IoPathMode::kPolling},
+                      FileMode{"uring", IoPathMode::kUring}}) {
+    benchmark::RegisterBenchmark(
+        (std::string("io_path_file/") + fm.name + "/budgetMB:16").c_str(),
+        BM_FileIoPath)
+        ->Args({16, static_cast<int64_t>(fm.mode)})
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace faster
+
+int main(int argc, char** argv) {
+  faster::bench::RegisterAll();
+  return faster::bench::RunBenchmarks(argc, argv);
+}

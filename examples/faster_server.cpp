@@ -19,6 +19,11 @@
 // Logging: --log-level debug|info|warn|error|off (default warn; also
 // FASTER_LOG_LEVEL), --log-file PATH appends structured records to a
 // file. --slowlog-threshold-us N arms the slow-op log (SLOWLOG GET).
+//
+// --memory-budget-mb N caps the HybridLog in-memory buffer (cold keys
+// spill and GETs of them take the pending-I/O path); --io-path polling
+// serves that path with completion-polling queue pairs instead of the
+// I/O thread pool (DESIGN.md §13).
 
 #include <signal.h>
 
@@ -50,6 +55,7 @@ void Usage(const char* argv0) {
                "          [--max-pipeline N] [--export-port P] [--print-port]\n"
                "          [--log-level debug|info|warn|error|off]\n"
                "          [--log-file PATH] [--slowlog-threshold-us N]\n"
+               "          [--memory-budget-mb N] [--io-path pool|polling]\n"
                "  --port 0 binds an ephemeral port (printed with "
                "--print-port)\n",
                argv0);
@@ -85,6 +91,19 @@ bool ParseArgs(int argc, char** argv, Options* o) {
       o->log_file = argv[++i];
     } else if (a == "--slowlog-threshold-us" && next(0, 1LL << 40, &v)) {
       o->server.slowlog_threshold_us = static_cast<uint64_t>(v);
+    } else if (a == "--memory-budget-mb" && next(1, 1 << 20, &v)) {
+      o->server.log_memory_bytes = static_cast<uint64_t>(v) << 20;
+    } else if (a == "--io-path" && i + 1 < argc) {
+      std::string mode = argv[++i];
+      if (mode == "pool") {
+        o->server.io_path = faster::IoPathMode::kThreadPool;
+      } else if (mode == "polling") {
+        o->server.io_path = faster::IoPathMode::kPolling;
+      } else {
+        std::fprintf(stderr, "faster_server: bad --io-path %s\n",
+                     mode.c_str());
+        return false;
+      }
     } else {
       Usage(argv[0]);
       return false;

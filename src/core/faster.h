@@ -545,6 +545,12 @@ class FasterKv {
     assert(epoch_.IsProtected());
     ThreadState& ts = thread_states_[Thread::Id()];
     for (;;) {
+      // Completion polling (DESIGN.md §13): on a polling device this
+      // executes and reaps this thread's queued I/O right here — the
+      // callbacks push into ts.completions with no cross-thread hop. On
+      // thread-pool devices it returns 0 and completions arrive from the
+      // pool as before.
+      hlog_.device()->Poll();
       ProcessRetries(ts);
       ProcessCompletions(ts);
       bool done = ts.outstanding_ios == 0 && ts.retries.empty();
@@ -2079,7 +2085,17 @@ class FasterKv {
                                 &FasterKv::IoCallback, c};
       }
       obs_stats_.batch_io_group_size.Record(num_ios);
-      hlog_.AsyncGetFromDiskBatch(reqs, static_cast<uint32_t>(num_ios));
+      uint32_t accepted = 0;
+      Status s = hlog_.AsyncGetFromDiskBatch(
+          reqs, static_cast<uint32_t>(num_ios), &accepted);
+      if (s != Status::kOk) {
+        // Rejected requests ([accepted, num_ios)) never reach the device
+        // and never fire callbacks; fail them through the normal
+        // completion machinery so each still completes exactly once.
+        for (size_t k = accepted; k < num_ios; ++k) {
+          IoCallback(io_ctxs[k], Status::kIoError, 0);
+        }
+      }
     }
   }
 
@@ -2088,8 +2104,9 @@ class FasterKv {
     ctx->io_status = result;
     if constexpr (obs::kStatsEnabled) {
       if (ctx->slow.start_ns != 0) {
-        // Harvest the pool's queue/exec timing for this hop (zeros when
-        // the device ran the callback inline on the submitting thread),
+        // Harvest the executor's queue/exec timing for this hop — pool
+        // worker, polling reaper, or io_uring reaper (zeros when the
+        // device ran the callback inline on the submitting thread) —
         // and start the owner-side wait window: everything from here to
         // the owner processing the completion lands in io_complete.
         obs::IoStageInfo& io = obs::CurrentIoStage();

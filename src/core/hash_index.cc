@@ -557,7 +557,17 @@ Status HashIndex::WriteCheckpoint(int fd,
     }
     const auto* next = reinterpret_cast<const HashBucket*>(
         b->overflow.load(std::memory_order_acquire));
-    image[7] = (next == nullptr) ? 0 : ordinal.at(next);
+    // A concurrent insert can link a brand-new overflow bucket after the
+    // ordinal scan above. Cut the persisted chain there: every entry in
+    // such a bucket points at a record appended after t1, and the
+    // recovery log scan over [t1, t2) re-inserts it (Sec. 6.5's fuzzy
+    // checkpoint contract).
+    uint64_t next_ord = 0;
+    if (next != nullptr) {
+      auto it = ordinal.find(next);
+      if (it != ordinal.end()) next_ord = it->second;
+    }
+    image[7] = next_ord;
     return WriteAll(fd, image, sizeof(image));
   };
 

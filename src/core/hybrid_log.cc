@@ -182,6 +182,12 @@ bool HybridLog::NewPage(uint64_t old_page) {
                           "allocation stalled on flush frontier",
                           obs::LogField{"want_head_page", desired_head_page},
                           obs::LogField{"flushed_page", flushed_page});
+      // On a polling device the flush frontier only advances when someone
+      // executes the queued writes — including writes queued by other
+      // (possibly stalled or departed) threads, hence PollAll. Safe under
+      // flush_mutex_: it is recursive, so CompleteFlush re-entering on
+      // this thread is fine. No-op on the thread-pool path.
+      device_->PollAll();
       return false;  // Flush frontier not far enough yet; caller refreshes.
     }
   }
@@ -196,6 +202,9 @@ bool HybridLog::NewPage(uint64_t old_page) {
     obs::StatLogLimited(evict_limit, obs::LogLevel::kWarn, "hlog",
                         "allocation stalled on frame eviction",
                         obs::LogField{"new_page", new_page});
+    // Eviction waits on the flush frontier too (see above): keep queued
+    // device writes moving while the caller's refresh loop spins.
+    device_->PollAll();
     return false;  // Eviction trigger hasn't run; caller refreshes.
   }
 
@@ -287,8 +296,8 @@ Status HybridLog::AsyncGetFromDisk(Address address, uint32_t size, void* dst,
 }
 
 Status HybridLog::AsyncGetFromDiskBatch(const IoReadRequest* requests,
-                                        uint32_t n) {
-  return device_->ReadBatchAsync(requests, n);
+                                        uint32_t n, uint32_t* accepted) {
+  return device_->ReadBatchAsync(requests, n, accepted);
 }
 
 Status HybridLog::ReadFromDiskSync(Address address, uint32_t size, void* dst) {
@@ -309,6 +318,8 @@ Status HybridLog::ReadFromDiskSync(Address address, uint32_t size, void* dst) {
       },
       &ctx);
   while (done.load(std::memory_order_acquire) == 0) {
+    // Polling devices complete I/O on the waiting thread; no-op otherwise.
+    device_->Poll();
     std::this_thread::yield();
   }
   return result;
@@ -327,6 +338,9 @@ Address HybridLog::ShiftReadOnlyToTail(bool wait) {
   if (wait) {
     while (Load(flushed_until_) < tail) {
       epoch_->Refresh();
+      // Execute queued flush writes — ours and other threads' — so the
+      // frontier can advance on polling devices (no-op otherwise).
+      device_->PollAll();
       std::this_thread::yield();
     }
   }

@@ -162,7 +162,10 @@ class HybridLog {
   /// submission. `requests[i].offset` must already hold the logical
   /// address (`Address::control()`), as filled in by the store's batch
   /// pipeline; callbacks complete into the usual pending machinery.
-  Status AsyncGetFromDiskBatch(const IoReadRequest* requests, uint32_t n);
+  /// `*accepted` (when non-null) reports the accepted prefix as in
+  /// IDevice::ReadBatchAsync; rejected requests never fire callbacks.
+  Status AsyncGetFromDiskBatch(const IoReadRequest* requests, uint32_t n,
+                               uint32_t* accepted = nullptr);
 
   /// Synchronously reads from the stable region (recovery / log scan).
   Status ReadFromDiskSync(Address address, uint32_t size, void* dst);

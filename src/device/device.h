@@ -25,6 +25,22 @@ struct IoReadRequest {
   void* context = nullptr;
 };
 
+/// How a device executes and completes asynchronous I/O (DESIGN.md §13).
+enum class IoPathMode : uint8_t {
+  /// Portable fallback: an IoThreadPool executes operations and invokes
+  /// callbacks on its own threads (cross-thread completion handoff).
+  kThreadPool,
+  /// Completion polling: submissions go to the calling thread's
+  /// IoQueuePair; operations execute and their callbacks fire on whichever
+  /// thread polls (normally the submitter, via IDevice::Poll()). No
+  /// internal threads, no wakeups.
+  kPolling,
+  /// Linux io_uring (FileDevice only): per-thread kernel rings, reaped by
+  /// polling the completion queue in userspace. Falls back to kPolling
+  /// when the kernel or build lacks io_uring support.
+  kUring,
+};
+
 /// Abstract block device backing the HybridLog's stable region (Sec. 5.2).
 ///
 /// The log issues sector-aligned page flushes (write) and record-sized
@@ -46,21 +62,43 @@ class IDevice {
   virtual Status ReadAsync(uint64_t offset, void* dst, uint32_t len,
                            IoCallback callback, void* context) = 0;
 
-  /// Issues `n` reads as one group. Each request's callback fires exactly
-  /// once, as with ReadAsync. Pool-backed devices override this to enqueue
-  /// the whole group under a single lock acquisition; the default just
-  /// loops. Returns kOk if every request was accepted.
-  virtual Status ReadBatchAsync(const IoReadRequest* requests, uint32_t n) {
-    Status result = Status::kOk;
+  /// Issues `n` reads as one group. Returns kOk if every request was
+  /// accepted; otherwise the status of the first rejected request, with
+  /// `*accepted` (when non-null) set to its index. Requests `[0,
+  /// *accepted)` were accepted and their callbacks fire exactly once, as
+  /// with ReadAsync; requests `[*accepted, n)` were NOT issued and never
+  /// fire — the caller owns completing or failing them. The default stops
+  /// at the first rejection so the accepted set is always a prefix;
+  /// pool-backed devices override this to enqueue the whole group under a
+  /// single lock acquisition.
+  virtual Status ReadBatchAsync(const IoReadRequest* requests, uint32_t n,
+                                uint32_t* accepted = nullptr) {
     for (uint32_t i = 0; i < n; ++i) {
       const IoReadRequest& r = requests[i];
       Status s = ReadAsync(r.offset, r.dst, r.len, r.callback, r.context);
-      if (s != Status::kOk) result = s;
+      if (s != Status::kOk) {
+        if (accepted != nullptr) *accepted = i;
+        return s;
+      }
     }
-    return result;
+    if (accepted != nullptr) *accepted = n;
+    return Status::kOk;
   }
 
+  /// Completion polling (IoPathMode::kPolling / kUring): executes and/or
+  /// reaps the calling thread's queued operations, invoking their
+  /// callbacks on this thread. Returns the number of callbacks delivered.
+  /// Devices on the thread-pool path complete I/O on their own threads
+  /// and return 0 here.
+  virtual uint32_t Poll() { return 0; }
+
+  /// Poll(), plus steals other threads' queued work — used by stall loops
+  /// (e.g. waiting on a flush another thread submitted) and Drain so
+  /// progress never depends on the submitting thread polling again.
+  virtual uint32_t PollAll() { return Poll(); }
+
   /// Blocks until every operation issued before this call has completed.
+  /// On polling paths this executes the work on the calling thread.
   virtual void Drain() = 0;
 
   /// Total bytes ever written (monotonic; used to measure log growth).

@@ -6,26 +6,38 @@
 #include <string>
 
 #include "device/device.h"
+#include "device/io_queue_pair.h"
 #include "device/io_thread_pool.h"
+#include "device/uring_device.h"
 
 namespace faster {
 
-/// Log device backed by a POSIX file, with asynchronous reads/writes
-/// executed on an I/O thread pool (pread/pwrite at absolute offsets).
+/// Log device backed by a POSIX file (pread/pwrite at absolute offsets).
 /// The paper points FASTER at a file on an NVMe SSD; this is the same
 /// arrangement on whatever filesystem hosts `path`.
-class FileDevice : public IDevice {
+///
+/// `mode` selects the I/O path (DESIGN.md §13): kThreadPool executes on
+/// an IoThreadPool (callbacks on pool threads); kPolling queues on the
+/// calling thread's IoQueuePair, executed when a thread polls; kUring
+/// submits to a per-thread Linux io_uring and reaps completions in
+/// userspace — feature-detected at build (FASTER_IO_URING) and probed at
+/// runtime, degrading to kPolling when unavailable (check mode()).
+class FileDevice : public IDevice, private IoOpExecutor {
  public:
   /// Opens (creating if needed) `path`. `num_io_threads` pool threads
-  /// service requests.
-  FileDevice(const std::string& path, uint32_t num_io_threads = 2);
+  /// service requests in kThreadPool mode (unused otherwise).
+  FileDevice(const std::string& path, uint32_t num_io_threads = 2,
+             IoPathMode mode = IoPathMode::kThreadPool);
   ~FileDevice() override;
 
   Status WriteAsync(const void* src, uint64_t offset, uint32_t len,
                     IoCallback callback, void* context) override;
   Status ReadAsync(uint64_t offset, void* dst, uint32_t len,
                    IoCallback callback, void* context) override;
-  Status ReadBatchAsync(const IoReadRequest* requests, uint32_t n) override;
+  Status ReadBatchAsync(const IoReadRequest* requests, uint32_t n,
+                        uint32_t* accepted = nullptr) override;
+  uint32_t Poll() override;
+  uint32_t PollAll() override;
   void Drain() override;
   uint64_t bytes_written() const override {
     return bytes_written_.load(std::memory_order_relaxed);
@@ -33,19 +45,32 @@ class FileDevice : public IDevice {
 
   const std::string& path() const { return path_; }
 
+  /// The effective I/O path after feature detection (a kUring request
+  /// reports kPolling when io_uring is unavailable).
+  IoPathMode mode() const { return mode_; }
+
   void RegisterStats(obs::StatRegistry& registry,
                      const std::string& prefix) const override {
     obs_stats_.Register(registry, prefix);
-    pool_->RegisterStats(registry, prefix + ".pool");
+    if (pool_ != nullptr) pool_->RegisterStats(registry, prefix + ".pool");
+    if (queues_ != nullptr) queues_->RegisterStats(registry, prefix + ".io");
+    if (uring_ != nullptr) uring_->RegisterStats(registry, prefix + ".io");
   }
 
  private:
   IoJob MakeReadJob(uint64_t offset, void* dst, uint32_t len,
                     IoCallback callback, void* context, uint64_t t0);
 
+  /// IoOpExecutor (polling path + io_uring inline fallback): runs one op
+  /// synchronously via the pread/pwrite loop.
+  Status ExecuteOp(const IoOp& op, uint32_t* bytes) override;
+
   std::string path_;
   int fd_;
-  std::unique_ptr<IoThreadPool> pool_;
+  IoPathMode mode_;
+  std::unique_ptr<IoThreadPool> pool_;      // kThreadPool only
+  std::unique_ptr<IoQueuePairSet> queues_;  // kPolling only
+  std::unique_ptr<UringIo> uring_;          // kUring only
   // order: relaxed fetch_add/load — a monotonically increasing byte
   // counter for stats and tests; no data is published through it.
   std::atomic<uint64_t> bytes_written_{0};

@@ -1,0 +1,187 @@
+#include "device/io_queue_pair.h"
+
+#include <thread>
+
+#include "obs/slowlog.h"
+#include "obs/span.h"
+
+namespace faster {
+
+IoQueuePairSet::~IoQueuePairSet() {
+  for (auto& slot : pairs_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+}
+
+IoQueuePair* IoQueuePairSet::PairFor(uint32_t tid, bool create) {
+  IoQueuePair* pair = pairs_[tid].load(std::memory_order_acquire);
+  if (pair == nullptr && create) {
+    auto* fresh = new IoQueuePair();
+    // Only `tid`'s own thread creates its pair (Submit), but a CAS keeps
+    // this safe even if thread-id recycling ever overlaps a create.
+    if (pairs_[tid].compare_exchange_strong(pair, fresh,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      pair = fresh;
+    } else {
+      delete fresh;
+    }
+  }
+  return pair;
+}
+
+void IoQueuePairSet::Submit(IoOp op, IoOpExecutor& exec) {
+  if constexpr (obs::kStatsEnabled) {
+    obs::TraceContext tc = obs::CurrentTrace();
+    op.trace_id = tc.trace_id;
+    op.parent_span = tc.span_id;
+    // Submit time always (not just for sampled traces): the slowlog's
+    // io_queue stage needs the queueing delay of every op.
+    op.submit_ns = obs::NowNs();
+  }
+  stats_.submits.Inc();
+  IoQueuePair& pair = *PairFor(Thread::Id(), /*create=*/true);
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  if (!pair.sq.TryPush(op)) {
+    // Backpressure: the submission ring is full, so pay the execution and
+    // the callback here instead of blocking. Exactly-once still holds.
+    stats_.sq_full_inline.Inc();
+    ExecuteOne(pair, op, exec, /*foreign=*/false, /*deliver_inline=*/true);
+  }
+}
+
+void IoQueuePairSet::ExecuteOne(IoQueuePair& pair, const IoOp& op,
+                                IoOpExecutor& exec, bool foreign,
+                                bool deliver_inline) {
+  if (foreign) stats_.foreign_execs.Inc();
+  IoCompletion c;
+  c.callback = op.callback;
+  c.context = op.context;
+  c.submit_ns = op.submit_ns;
+  c.trace_id = op.trace_id;
+  c.parent_span = op.parent_span;
+  uint32_t bytes = 0;
+  if constexpr (obs::kStatsEnabled) {
+    c.exec_start_ns = obs::NowNs();
+    if (op.trace_id != 0) {
+      // Queueing-delay span (submit -> execution pickup), mirroring the
+      // thread-pool worker loop so trace trees look the same either way.
+      obs::GlobalSpanRing().Record(op.trace_id, obs::NewSpanId(),
+                                   op.parent_span, op.submit_ns,
+                                   c.exec_start_ns, 0,
+                                   obs::SpanKind::kIoQueue);
+    }
+    obs::StatResumedSpan exec_span{obs::SpanKind::kIoExec, op.trace_id,
+                                   op.parent_span};
+    c.status = exec.ExecuteOp(op, &bytes);
+  } else {
+    c.status = exec.ExecuteOp(op, &bytes);
+  }
+  c.bytes = bytes;
+  if (deliver_inline || !pair.cq.TryPush(c)) {
+    // Deliver directly (submit-side backpressure, or completion ring
+    // full). Safe — the thread-pool path always ran callbacks on an
+    // arbitrary pool thread, so every callback is already thread-agnostic.
+    if (!deliver_inline) stats_.cq_full_inline.Inc();
+    Deliver(c);
+    in_flight_.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void IoQueuePairSet::Deliver(const IoCompletion& c) {
+  if constexpr (obs::kStatsEnabled) {
+    // Publish queue/exec timing for the callback (slowlog io_queue /
+    // io_exec stages); cleared after so a later inline callback on this
+    // thread never reads stale data. The io_exec stage measured by the
+    // callback spans exec start -> delivery, i.e. execution plus
+    // completion-ring residence.
+    obs::IoStageInfo& io_stage = obs::CurrentIoStage();
+    io_stage.queue_ns =
+        c.submit_ns != 0 && c.exec_start_ns > c.submit_ns
+            ? c.exec_start_ns - c.submit_ns
+            : 0;
+    io_stage.exec_start_ns = c.exec_start_ns;
+    c.callback(c.context, c.status, c.bytes);
+    io_stage.queue_ns = 0;
+    io_stage.exec_start_ns = 0;
+  } else {
+    c.callback(c.context, c.status, c.bytes);
+  }
+  stats_.poll_completions.Inc();
+}
+
+uint32_t IoQueuePairSet::RunPair(IoQueuePair& pair, IoOpExecutor& exec,
+                                 bool foreign) {
+  if (!pair.TryLockConsumer()) {
+    return 0;  // another thread is consuming this pair right now
+  }
+  uint64_t sweep_start = 0;
+  uint64_t first_trace = 0;
+  uint64_t first_parent = 0;
+  if constexpr (obs::kStatsEnabled) sweep_start = obs::NowNs();
+  // Execute queued submissions; completions land in the CQ (or deliver
+  // inline on overflow).
+  IoOp op;
+  while (pair.sq.TryPop(&op)) {
+    ExecuteOne(pair, op, exec, foreign, /*deliver_inline=*/false);
+  }
+  // Deliver queued completions (possibly pushed by a previous consumer).
+  uint32_t delivered = 0;
+  IoCompletion c;
+  while (pair.cq.TryPop(&c)) {
+    if (delivered == 0) {
+      first_trace = c.trace_id;
+      first_parent = c.parent_span;
+    }
+    Deliver(c);
+    in_flight_.fetch_sub(1, std::memory_order_release);
+    ++delivered;
+  }
+  pair.UnlockConsumer();
+  if constexpr (obs::kStatsEnabled) {
+    if (delivered > 0 && first_trace != 0) {
+      // One span per non-empty sweep (arg = completions reaped) so traces
+      // show the reap batching rather than a per-op forest.
+      obs::GlobalSpanRing().Record(first_trace, obs::NewSpanId(),
+                                   first_parent, sweep_start, obs::NowNs(),
+                                   delivered, obs::SpanKind::kIoPoll);
+    }
+  }
+  return delivered;
+}
+
+uint32_t IoQueuePairSet::Poll(IoOpExecutor& exec) {
+  stats_.poll_calls.Inc();
+  IoQueuePair* pair = PairFor(Thread::Id(), /*create=*/false);
+  uint32_t delivered =
+      pair != nullptr ? RunPair(*pair, exec, /*foreign=*/false) : 0;
+  if (delivered == 0) stats_.poll_empty.Inc();
+  return delivered;
+}
+
+uint32_t IoQueuePairSet::PollAll(IoOpExecutor& exec) {
+  stats_.poll_calls.Inc();
+  uint32_t own = Thread::Id();
+  uint32_t delivered = 0;
+  for (uint32_t tid = 0; tid < Thread::kMaxThreads; ++tid) {
+    IoQueuePair* pair = PairFor(tid, /*create=*/false);
+    if (pair == nullptr) continue;
+    delivered += RunPair(*pair, exec, /*foreign=*/tid != own);
+  }
+  if (delivered == 0) stats_.poll_empty.Inc();
+  return delivered;
+}
+
+void IoQueuePairSet::Drain(IoOpExecutor& exec) {
+  // PollAll makes progress on every pair (stealing from threads that are
+  // stalled or gone); in_flight_ reaching zero means every callback ran.
+  while (!AllIdle()) {
+    if (PollAll(exec) == 0) {
+      // Ops were claimed by a concurrent consumer (or a submit is still
+      // between its counter increment and ring push) — yield, re-poll.
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace faster

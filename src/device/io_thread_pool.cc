@@ -50,7 +50,15 @@ void IoThreadPool::SubmitBatch(IoJob* jobs, uint32_t n) {
 
 void IoThreadPool::Drain() {
   std::unique_lock<std::mutex> lock{mutex_};
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  for (;;) {
+    if (queue_.empty() && active_ == 0) return;
+    // Wait for one busy->idle transition rather than re-checking the
+    // queue per completed job: workers only notify on the transition, so
+    // a drain under heavy churn wakes O(1) times per idle period instead
+    // of O(queue).
+    uint64_t gen = idle_generation_;
+    idle_cv_.wait(lock, [this, gen] { return idle_generation_ != gen; });
+  }
 }
 
 void IoThreadPool::WorkerLoop() {
@@ -92,7 +100,10 @@ void IoThreadPool::WorkerLoop() {
     }
     lock.lock();
     --active_;
-    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    if (queue_.empty() && active_ == 0) {
+      ++idle_generation_;
+      idle_cv_.notify_all();
+    }
   }
 }
 

@@ -193,6 +193,10 @@ class IoThreadPool {
   std::condition_variable idle_cv_;
   std::deque<IoJob> queue_;
   uint32_t active_ = 0;
+  // Bumped (under mutex_) each time the pool transitions busy -> idle, so
+  // Drain waits for one generation change instead of re-evaluating
+  // "empty and nobody active" on every job completion under contention.
+  uint64_t idle_generation_ = 0;
   bool stop_ = false;
   mutable ObsStats obs_stats_;
 };

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "device/device.h"
+#include "device/io_queue_pair.h"
 #include "device/io_thread_pool.h"
 
 namespace faster {
@@ -22,21 +23,35 @@ namespace faster {
 /// experiments measure FASTER's code paths rather than container disk
 /// noise. `simulated_latency_us` can add per-operation latency to model a
 /// slower device.
-class MemoryDevice : public IDevice {
+///
+/// `mode` selects the I/O path (DESIGN.md §13): kThreadPool hands
+/// operations to an IoThreadPool (callbacks on pool threads); kPolling
+/// queues them on the calling thread's IoQueuePair and executes them when
+/// a thread polls — note that simulated latency is then paid inline by the
+/// polling thread. kUring has no meaning for an in-RAM device and is
+/// treated as kPolling.
+class MemoryDevice : public IDevice, private IoOpExecutor {
  public:
   explicit MemoryDevice(uint32_t num_io_threads = 2,
-                        uint32_t simulated_latency_us = 0);
+                        uint32_t simulated_latency_us = 0,
+                        IoPathMode mode = IoPathMode::kThreadPool);
   ~MemoryDevice() override;
 
   Status WriteAsync(const void* src, uint64_t offset, uint32_t len,
                     IoCallback callback, void* context) override;
   Status ReadAsync(uint64_t offset, void* dst, uint32_t len,
                    IoCallback callback, void* context) override;
-  Status ReadBatchAsync(const IoReadRequest* requests, uint32_t n) override;
+  Status ReadBatchAsync(const IoReadRequest* requests, uint32_t n,
+                        uint32_t* accepted = nullptr) override;
+  uint32_t Poll() override;
+  uint32_t PollAll() override;
   void Drain() override;
   uint64_t bytes_written() const override {
     return bytes_written_.load(std::memory_order_relaxed);
   }
+
+  /// The effective I/O path (kUring degrades to kPolling here).
+  IoPathMode mode() const { return mode_; }
 
   /// Synchronous read used by recovery and the log-scan iterator.
   Status ReadSync(uint64_t offset, void* dst, uint32_t len);
@@ -44,7 +59,8 @@ class MemoryDevice : public IDevice {
   void RegisterStats(obs::StatRegistry& registry,
                      const std::string& prefix) const override {
     obs_stats_.Register(registry, prefix);
-    pool_->RegisterStats(registry, prefix + ".pool");
+    if (pool_ != nullptr) pool_->RegisterStats(registry, prefix + ".pool");
+    if (queues_ != nullptr) queues_->RegisterStats(registry, prefix + ".io");
   }
 
  private:
@@ -54,8 +70,14 @@ class MemoryDevice : public IDevice {
   uint8_t* SegmentFor(uint64_t offset, bool create);
   IoJob MakeReadJob(uint64_t offset, void* dst, uint32_t len,
                     IoCallback callback, void* context, uint64_t t0);
+  Status WriteSync(const void* src, uint64_t offset, uint32_t len);
 
-  std::unique_ptr<IoThreadPool> pool_;
+  /// IoOpExecutor (polling path): runs one queued op synchronously.
+  Status ExecuteOp(const IoOp& op, uint32_t* bytes) override;
+
+  IoPathMode mode_;
+  std::unique_ptr<IoThreadPool> pool_;     // kThreadPool only
+  std::unique_ptr<IoQueuePairSet> queues_; // kPolling only
   uint32_t latency_us_;
   std::mutex segments_mutex_;
   std::vector<std::unique_ptr<uint8_t[]>> segments_;

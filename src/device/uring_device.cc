@@ -1,0 +1,471 @@
+#include "device/uring_device.h"
+
+#if defined(FASTER_HAVE_IO_URING)
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "obs/slowlog.h"
+#include "obs/span.h"
+
+namespace faster {
+
+namespace {
+
+int IoUringSetup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int IoUringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
+                 unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+}  // namespace
+
+/// One thread's kernel ring plus the userspace op-slot pool that carries
+/// callback/trace context across the kernel boundary (user_data = slot
+/// index). kEntries slots bound in-flight ops, so the kernel CQ (sized
+/// 2x SQ by default) can never overflow and IORING_ENTER_GETEVENTS is
+/// never needed on the hot path.
+struct UringIo::Ring {
+  static constexpr uint32_t kEntries = 64;
+
+  int ring_fd = -1;
+  // mmap'd regions (sq/cq may share one mapping: IORING_FEAT_SINGLE_MMAP).
+  void* sq_mmap = nullptr;
+  size_t sq_mmap_len = 0;
+  void* cq_mmap = nullptr;
+  size_t cq_mmap_len = 0;
+  io_uring_sqe* sqes = nullptr;
+  size_t sqes_len = 0;
+
+  // Kernel-shared ring fields. Plain pointers into the shared mappings;
+  // accessed with __atomic builtins (acquire on the side the kernel
+  // writes, release on the side we publish) exactly as liburing does.
+  unsigned* sq_head = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned* sq_mask = nullptr;
+  unsigned* sq_array = nullptr;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned* cq_mask = nullptr;
+  io_uring_cqe* cqes = nullptr;
+
+  struct OpSlot {
+    IoOp op;
+    struct iovec iov {};
+    // order: acq_rel CAS claims a free slot at submit (owner thread);
+    // release store frees it at reap (possibly a foreign drainer), making
+    // the slot's prior contents safe to overwrite after an acquire claim.
+    std::atomic<bool> busy{false};
+  };
+  OpSlot slots[kEntries];
+
+  // order: acq_rel CAS takes the reaper role for this ring (observing
+  // the previous reaper's cq_head progress; acquire on CAS failure is
+  // enough to see who holds it); release store hands it back.
+  std::atomic<bool> consuming{false};
+  // order: relaxed increment at submit (the enter syscall orders the op
+  // itself); release decrement after the callback pairs with the acquire
+  // load in AllIdle so a zero count implies completed effects are visible.
+  std::atomic<uint32_t> in_flight{0};
+
+  ~Ring() {
+    if (sqes != nullptr) ::munmap(sqes, sqes_len);
+    if (cq_mmap != nullptr && cq_mmap != sq_mmap) ::munmap(cq_mmap, cq_mmap_len);
+    if (sq_mmap != nullptr) ::munmap(sq_mmap, sq_mmap_len);
+    if (ring_fd >= 0) ::close(ring_fd);
+  }
+
+  static Ring* Create() {
+    io_uring_params p;
+    std::memset(&p, 0, sizeof(p));
+    int rfd = IoUringSetup(kEntries, &p);
+    if (rfd < 0) return nullptr;
+    auto* ring = new Ring();
+    ring->ring_fd = rfd;
+    size_t sq_len = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+    size_t cq_len = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+    bool single = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single && cq_len > sq_len) sq_len = cq_len;
+    ring->sq_mmap_len = sq_len;
+    ring->sq_mmap = ::mmap(nullptr, sq_len, PROT_READ | PROT_WRITE,
+                           MAP_SHARED | MAP_POPULATE, rfd, IORING_OFF_SQ_RING);
+    if (ring->sq_mmap == MAP_FAILED) {
+      ring->sq_mmap = nullptr;
+      delete ring;
+      return nullptr;
+    }
+    if (single) {
+      ring->cq_mmap = ring->sq_mmap;
+      ring->cq_mmap_len = sq_len;
+    } else {
+      ring->cq_mmap_len = cq_len;
+      ring->cq_mmap =
+          ::mmap(nullptr, cq_len, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_POPULATE, rfd, IORING_OFF_CQ_RING);
+      if (ring->cq_mmap == MAP_FAILED) {
+        ring->cq_mmap = nullptr;
+        delete ring;
+        return nullptr;
+      }
+    }
+    ring->sqes_len = p.sq_entries * sizeof(io_uring_sqe);
+    ring->sqes = static_cast<io_uring_sqe*>(
+        ::mmap(nullptr, ring->sqes_len, PROT_READ | PROT_WRITE,
+               MAP_SHARED | MAP_POPULATE, rfd, IORING_OFF_SQES));
+    if (ring->sqes == MAP_FAILED) {
+      ring->sqes = nullptr;
+      delete ring;
+      return nullptr;
+    }
+    auto* sq = static_cast<uint8_t*>(ring->sq_mmap);
+    ring->sq_head = reinterpret_cast<unsigned*>(sq + p.sq_off.head);
+    ring->sq_tail = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+    ring->sq_mask = reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+    ring->sq_array = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+    auto* cq = static_cast<uint8_t*>(ring->cq_mmap);
+    ring->cq_head = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+    ring->cq_tail = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+    ring->cq_mask = reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+    ring->cqes = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+    return ring;
+  }
+};
+
+bool UringIo::Supported() {
+  static const bool supported = [] {
+    io_uring_params p;
+    std::memset(&p, 0, sizeof(p));
+    int fd = IoUringSetup(4, &p);
+    if (fd < 0) return false;  // ENOSYS / EPERM (seccomp) / old kernel
+    bool enter_ok = IoUringEnter(fd, 0, 0, 0) == 0;
+    ::close(fd);
+    return enter_ok;
+  }();
+  return supported;
+}
+
+UringIo::UringIo(int fd, IoOpExecutor& inline_exec, DeviceObsStats* dev_stats)
+    : fd_{fd}, inline_exec_{inline_exec}, dev_stats_{dev_stats} {}
+
+UringIo::~UringIo() {
+  Drain();
+  for (auto& slot : rings_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+}
+
+UringIo::Ring* UringIo::RingFor(uint32_t tid, bool create) {
+  Ring* ring = rings_[tid].load(std::memory_order_acquire);
+  if (ring == nullptr && create) {
+    Ring* fresh = Ring::Create();
+    if (fresh == nullptr) return nullptr;  // caller falls back inline
+    if (rings_[tid].compare_exchange_strong(ring, fresh,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      ring = fresh;
+    } else {
+      delete fresh;
+    }
+  }
+  return ring;
+}
+
+void UringIo::InlineFallback(const IoOp& op) {
+  stats_.sq_full_inline.Inc();
+  uint32_t bytes = 0;
+  Status s;
+  if constexpr (obs::kStatsEnabled) {
+    obs::StatResumedSpan exec_span{obs::SpanKind::kIoExec, op.trace_id,
+                                   op.parent_span};
+    s = inline_exec_.ExecuteOp(op, &bytes);
+  } else {
+    s = inline_exec_.ExecuteOp(op, &bytes);
+  }
+  if constexpr (obs::kStatsEnabled) {
+    obs::IoStageInfo& io_stage = obs::CurrentIoStage();
+    io_stage.queue_ns = 0;
+    io_stage.exec_start_ns = op.submit_ns;
+    op.callback(op.context, s, bytes);
+    io_stage.queue_ns = 0;
+    io_stage.exec_start_ns = 0;
+  } else {
+    op.callback(op.context, s, bytes);
+  }
+}
+
+void UringIo::Submit(const IoOp* ops, uint32_t n) {
+  Ring* ring = RingFor(Thread::Id(), /*create=*/true);
+  if (ring == nullptr) {
+    // Ring creation failed (fd limits, mmap): stay correct, go sync.
+    for (uint32_t i = 0; i < n; ++i) InlineFallback(ops[i]);
+    return;
+  }
+  uint32_t queued = 0;
+  unsigned tail = __atomic_load_n(ring->sq_tail, __ATOMIC_RELAXED);
+  for (uint32_t i = 0; i < n; ++i) {
+    IoOp op = ops[i];
+    if constexpr (obs::kStatsEnabled) {
+      obs::TraceContext tc = obs::CurrentTrace();
+      op.trace_id = tc.trace_id;
+      op.parent_span = tc.span_id;
+      op.submit_ns = obs::NowNs();
+    }
+    // Claim an op slot; the slot count == SQ entries, so a free slot
+    // implies SQ space (the kernel consumes SQEs inside io_uring_enter).
+    uint32_t slot_idx = Ring::kEntries;
+    for (uint32_t s = 0; s < Ring::kEntries; ++s) {
+      bool expected = false;
+      if (ring->slots[s].busy.compare_exchange_strong(
+              expected, true, std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
+        slot_idx = s;
+        break;
+      }
+    }
+    unsigned head = __atomic_load_n(ring->sq_head, __ATOMIC_ACQUIRE);
+    if (slot_idx == Ring::kEntries || tail - head >= Ring::kEntries) {
+      if (slot_idx != Ring::kEntries) {
+        ring->slots[slot_idx].busy.store(false, std::memory_order_release);
+      }
+      InlineFallback(op);
+      continue;
+    }
+    Ring::OpSlot& slot = ring->slots[slot_idx];
+    slot.op = op;
+    slot.iov.iov_base = op.buf;
+    slot.iov.iov_len = op.len;
+    unsigned idx = tail & *ring->sq_mask;
+    io_uring_sqe* sqe = &ring->sqes[idx];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sqe->opcode =
+        op.kind == IoOp::Kind::kWrite ? IORING_OP_WRITEV : IORING_OP_READV;
+    sqe->fd = fd_;
+    sqe->off = op.offset;
+    sqe->addr = reinterpret_cast<uint64_t>(&slot.iov);
+    sqe->len = 1;
+    sqe->user_data = slot_idx;
+    ring->sq_array[idx] = idx;
+    ++tail;
+    ++queued;
+    ring->in_flight.fetch_add(1, std::memory_order_relaxed);
+    stats_.submits.Inc();
+  }
+  if (queued == 0) return;
+  __atomic_store_n(ring->sq_tail, tail, __ATOMIC_RELEASE);
+  uint32_t submitted = 0;
+  while (submitted < queued) {
+    int r = IoUringEnter(ring->ring_fd, queued - submitted, 0, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      // EAGAIN/EBUSY: kernel backlogged — reap to make space, retry.
+      Reap(*ring);
+      std::this_thread::yield();
+      continue;
+    }
+    submitted += static_cast<uint32_t>(r);
+  }
+}
+
+Status UringIo::Finish(const IoOp& op, int res, uint32_t* bytes,
+                       bool* counted) {
+  *counted = false;
+  if (res < 0) {
+    *bytes = 0;
+    return Status::kIoError;
+  }
+  auto done = static_cast<uint32_t>(res);
+  if (done == op.len) {
+    *bytes = op.len;
+    return Status::kOk;
+  }
+  if (done == 0) {
+    // EOF — e.g. a read of a never-written region (mirrors the pread
+    // loop's kIoError-with-partial-count contract).
+    *bytes = 0;
+    return Status::kIoError;
+  }
+  // Short transfer: complete the remainder synchronously. Rare on regular
+  // files; inline_exec_ records device stats for it.
+  IoOp rest = op;
+  rest.offset += done;
+  rest.buf = static_cast<uint8_t*>(op.buf) + done;
+  rest.len -= done;
+  uint32_t rest_bytes = 0;
+  Status s = inline_exec_.ExecuteOp(rest, &rest_bytes);
+  *counted = true;
+  *bytes = done + rest_bytes;
+  return s;
+}
+
+void UringIo::Deliver(const IoOp& op, Status status, uint32_t bytes) {
+  if constexpr (obs::kStatsEnabled) {
+    uint64_t now = obs::NowNs();
+    if (op.trace_id != 0) {
+      // The kernel window (submit -> reap) is the execution span; there
+      // is no separate queueing delay to attribute.
+      obs::GlobalSpanRing().Record(op.trace_id, obs::NewSpanId(),
+                                   op.parent_span, op.submit_ns, now, 0,
+                                   obs::SpanKind::kIoExec);
+    }
+    obs::IoStageInfo& io_stage = obs::CurrentIoStage();
+    io_stage.queue_ns = 0;
+    io_stage.exec_start_ns = op.submit_ns;
+    op.callback(op.context, status, bytes);
+    io_stage.queue_ns = 0;
+    io_stage.exec_start_ns = 0;
+  } else {
+    op.callback(op.context, status, bytes);
+  }
+  stats_.poll_completions.Inc();
+}
+
+uint32_t UringIo::Reap(Ring& ring) {
+  bool expected = false;
+  if (!ring.consuming.compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+    return 0;  // another thread is reaping this ring right now
+  }
+  uint64_t sweep_start = 0;
+  uint64_t first_trace = 0;
+  uint64_t first_parent = 0;
+  if constexpr (obs::kStatsEnabled) sweep_start = obs::NowNs();
+  uint32_t delivered = 0;
+  unsigned head = __atomic_load_n(ring.cq_head, __ATOMIC_RELAXED);
+  for (;;) {
+    unsigned tail = __atomic_load_n(ring.cq_tail, __ATOMIC_ACQUIRE);
+    if (head == tail) break;
+    io_uring_cqe* cqe = &ring.cqes[head & *ring.cq_mask];
+    auto slot_idx = static_cast<uint32_t>(cqe->user_data);
+    Ring::OpSlot& slot = ring.slots[slot_idx];
+    IoOp op = slot.op;
+    int res = cqe->res;
+    ++head;
+    __atomic_store_n(ring.cq_head, head, __ATOMIC_RELEASE);
+    slot.busy.store(false, std::memory_order_release);
+    uint32_t bytes = 0;
+    bool counted = false;
+    Status status = Finish(op, res, &bytes, &counted);
+    if (!counted && dev_stats_ != nullptr) {
+      if (op.kind == IoOp::Kind::kWrite) {
+        dev_stats_->writes.Inc();
+        if constexpr (obs::kStatsEnabled) {
+          dev_stats_->write_ns.Record(obs::NowNs() - op.submit_ns);
+        }
+      } else {
+        dev_stats_->reads.Inc();
+        if constexpr (obs::kStatsEnabled) {
+          dev_stats_->read_ns.Record(obs::NowNs() - op.submit_ns);
+        }
+      }
+    }
+    if (delivered == 0) {
+      first_trace = op.trace_id;
+      first_parent = op.parent_span;
+    }
+    Deliver(op, status, bytes);
+    ring.in_flight.fetch_sub(1, std::memory_order_release);
+    ++delivered;
+  }
+  ring.consuming.store(false, std::memory_order_release);
+  if constexpr (obs::kStatsEnabled) {
+    if (delivered > 0 && first_trace != 0) {
+      obs::GlobalSpanRing().Record(first_trace, obs::NewSpanId(),
+                                   first_parent, sweep_start, obs::NowNs(),
+                                   delivered, obs::SpanKind::kIoPoll);
+    }
+  }
+  return delivered;
+}
+
+uint32_t UringIo::Poll() {
+  stats_.poll_calls.Inc();
+  Ring* ring = RingFor(Thread::Id(), /*create=*/false);
+  uint32_t delivered = ring != nullptr ? Reap(*ring) : 0;
+  if (delivered == 0) stats_.poll_empty.Inc();
+  return delivered;
+}
+
+uint32_t UringIo::PollAll() {
+  stats_.poll_calls.Inc();
+  uint32_t delivered = 0;
+  for (uint32_t tid = 0; tid < Thread::kMaxThreads; ++tid) {
+    Ring* ring = RingFor(tid, /*create=*/false);
+    if (ring == nullptr) continue;
+    uint32_t n = Reap(*ring);
+    if (tid != Thread::Id()) stats_.foreign_execs.Add(n);
+    delivered += n;
+  }
+  if (delivered == 0) stats_.poll_empty.Inc();
+  return delivered;
+}
+
+bool UringIo::AllIdle() const {
+  for (const auto& slot : rings_) {
+    Ring* ring = slot.load(std::memory_order_acquire);
+    if (ring != nullptr &&
+        ring->in_flight.load(std::memory_order_acquire) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void UringIo::Drain() {
+  while (!AllIdle()) {
+    if (PollAll() == 0) std::this_thread::yield();
+  }
+}
+
+}  // namespace faster
+
+#else  // !FASTER_HAVE_IO_URING
+
+namespace faster {
+
+// Stub build (no <linux/io_uring.h>): never supported, never constructed
+// on a live path — FileDevice degrades kUring to kPolling up front.
+struct UringIo::Ring {};
+
+bool UringIo::Supported() { return false; }
+
+UringIo::UringIo(int fd, IoOpExecutor& inline_exec, DeviceObsStats* dev_stats)
+    : fd_{fd}, inline_exec_{inline_exec}, dev_stats_{dev_stats} {}
+
+UringIo::~UringIo() = default;
+
+void UringIo::Submit(const IoOp* ops, uint32_t n) {
+  for (uint32_t i = 0; i < n; ++i) InlineFallback(ops[i]);
+}
+
+void UringIo::InlineFallback(const IoOp& op) {
+  uint32_t bytes = 0;
+  Status s = inline_exec_.ExecuteOp(op, &bytes);
+  op.callback(op.context, s, bytes);
+}
+
+uint32_t UringIo::Poll() { return 0; }
+uint32_t UringIo::PollAll() { return 0; }
+bool UringIo::AllIdle() const { return true; }
+void UringIo::Drain() {}
+UringIo::Ring* UringIo::RingFor(uint32_t, bool) { return nullptr; }
+uint32_t UringIo::Reap(Ring&) { return 0; }
+Status UringIo::Finish(const IoOp&, int, uint32_t*, bool*) {
+  return Status::kOk;
+}
+void UringIo::Deliver(const IoOp&, Status, uint32_t) {}
+
+}  // namespace faster
+
+#endif  // FASTER_HAVE_IO_URING

@@ -248,12 +248,17 @@ inline void RecordSlowPending(PendingSlowOp* slow, uint64_t now) {
   slow->start_ns = 0;
 }
 
-/// I/O-stage attribution published by the IoThreadPool worker loop for
-/// the job currently executing on this thread; read by the store's I/O
-/// completion callback (which runs inside the job body).
+/// I/O-stage attribution published by whichever component is about to run
+/// a device completion callback on this thread — the IoThreadPool worker
+/// loop, the IoQueuePair polling executor, or the io_uring reaper — and
+/// read by the store's I/O completion callback running inside it. On the
+/// polling paths both fields describe the op as seen by the *polling*
+/// thread: queue_ns is submit -> execution pickup (0 under io_uring,
+/// where the kernel window is all exec), exec_start_ns anchors the
+/// io_exec stage ending when the callback runs.
 struct IoStageInfo {
-  uint64_t queue_ns = 0;       // submit -> dequeue
-  uint64_t exec_start_ns = 0;  // dequeue time; 0 = not inside a pool job
+  uint64_t queue_ns = 0;       // submit -> execution pickup
+  uint64_t exec_start_ns = 0;  // pickup time; 0 = no device op in flight
 };
 
 inline IoStageInfo& CurrentIoStage() {

@@ -57,6 +57,7 @@ enum class SpanKind : uint16_t {
   kNetRequest,    // one server event-loop turn: socket read -> reply flush
   kNetParse,      // RESP frame parsing within a turn
   kNetFlush,      // reply rendering + socket writes within a turn
+  kIoPoll,        // one non-empty Poll() sweep (arg = completions reaped)
 };
 
 inline const char* SpanKindName(SpanKind k) {
@@ -78,6 +79,7 @@ inline const char* SpanKindName(SpanKind k) {
     case SpanKind::kNetRequest: return "net_request";
     case SpanKind::kNetParse: return "net_parse";
     case SpanKind::kNetFlush: return "net_flush";
+    case SpanKind::kIoPoll: return "io_poll";
   }
   return "unknown";
 }

@@ -129,6 +129,357 @@ TEST(MemoryDeviceTest, ConcurrentWritersToDistinctRegions) {
   }
 }
 
+// ---------------------------------------------------------------------
+// ReadBatchAsync partial failure: the accepted set must be a reported
+// prefix, and rejected requests must never fire callbacks.
+// ---------------------------------------------------------------------
+
+/// Accepts the first `limit` reads (completing them inline) and rejects
+/// the rest — a stand-in for a device hitting queue exhaustion mid-batch.
+class RejectAfterDevice : public IDevice {
+ public:
+  explicit RejectAfterDevice(uint32_t limit) : limit_{limit} {}
+  Status WriteAsync(const void*, uint64_t, uint32_t len, IoCallback callback,
+                    void* context) override {
+    callback(context, Status::kOk, len);
+    return Status::kOk;
+  }
+  Status ReadAsync(uint64_t, void*, uint32_t len, IoCallback callback,
+                   void* context) override {
+    if (issued_ >= limit_) return Status::kIoError;
+    ++issued_;
+    callback(context, Status::kOk, len);
+    return Status::kOk;
+  }
+  void Drain() override {}
+  uint64_t bytes_written() const override { return 0; }
+
+ private:
+  uint32_t limit_;
+  uint32_t issued_ = 0;
+};
+
+TEST(DeviceBatchTest, PartialBatchFailureReportsAcceptedPrefix) {
+  RejectAfterDevice device{3};
+  constexpr uint32_t kN = 5;
+  int fired[kN] = {};
+  uint8_t dst[kN][8];
+  IoReadRequest reqs[kN];
+  for (uint32_t i = 0; i < kN; ++i) {
+    reqs[i] = IoReadRequest{
+        i * 8, dst[i], 8,
+        [](void* ctx, Status s, uint32_t) {
+          ASSERT_EQ(s, Status::kOk);
+          ++*static_cast<int*>(ctx);
+        },
+        &fired[i]};
+  }
+  uint32_t accepted = 99;
+  EXPECT_EQ(device.ReadBatchAsync(reqs, kN, &accepted), Status::kIoError);
+  EXPECT_EQ(accepted, 3u);
+  for (uint32_t i = 0; i < 3; ++i) EXPECT_EQ(fired[i], 1) << i;
+  for (uint32_t i = 3; i < kN; ++i) EXPECT_EQ(fired[i], 0) << i;
+}
+
+TEST(DeviceBatchTest, FullAcceptanceReportsN) {
+  RejectAfterDevice device{8};
+  constexpr uint32_t kN = 4;
+  int fired[kN] = {};
+  uint8_t dst[kN][8];
+  IoReadRequest reqs[kN];
+  for (uint32_t i = 0; i < kN; ++i) {
+    reqs[i] = IoReadRequest{
+        i * 8, dst[i], 8,
+        [](void* ctx, Status, uint32_t) { ++*static_cast<int*>(ctx); },
+        &fired[i]};
+  }
+  uint32_t accepted = 0;
+  EXPECT_EQ(device.ReadBatchAsync(reqs, kN, &accepted), Status::kOk);
+  EXPECT_EQ(accepted, kN);
+  for (uint32_t i = 0; i < kN; ++i) EXPECT_EQ(fired[i], 1) << i;
+}
+
+// ---------------------------------------------------------------------
+// Completion-polling path (IoPathMode::kPolling, DESIGN.md §13).
+// ---------------------------------------------------------------------
+
+/// Spin-waits on a SyncIo while driving the device's poll loop (polling
+/// devices complete I/O on the polling thread, never in the background).
+template <class D>
+Status PollWait(D& device, SyncIo& io) {
+  while (io.done.load(std::memory_order_acquire) == 0) {
+    device.Poll();
+    std::this_thread::yield();
+  }
+  return io.status;
+}
+
+TEST(PollingDeviceTest, WriteReadRoundTrip) {
+  MemoryDevice device{0, 0, IoPathMode::kPolling};
+  EXPECT_EQ(device.mode(), IoPathMode::kPolling);
+  std::vector<uint8_t> out(4096);
+  for (size_t i = 0; i < out.size(); ++i) out[i] = static_cast<uint8_t>(i);
+  SyncIo w;
+  device.WriteAsync(out.data(), 8192, out.size(), &SyncIo::Callback, &w);
+  ASSERT_EQ(PollWait(device, w), Status::kOk);
+  std::vector<uint8_t> in(4096, 0);
+  SyncIo r;
+  device.ReadAsync(8192, in.data(), in.size(), &SyncIo::Callback, &r);
+  ASSERT_EQ(PollWait(device, r), Status::kOk);
+  EXPECT_EQ(in, out);
+}
+
+TEST(PollingDeviceTest, CompletionsArriveOnlyWhenPolled) {
+  MemoryDevice device{0, 0, IoPathMode::kPolling};
+  std::vector<uint8_t> page(4096, 0x7E);
+  SyncIo w;
+  device.WriteAsync(page.data(), 0, page.size(), &SyncIo::Callback, &w);
+  ASSERT_EQ(PollWait(device, w), Status::kOk);
+
+  SyncIo r;
+  std::vector<uint8_t> in(64);
+  device.ReadAsync(0, in.data(), in.size(), &SyncIo::Callback, &r);
+  // No poll yet: the op sits in this thread's submission ring.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(r.done.load(std::memory_order_acquire), 0);
+  EXPECT_EQ(device.Poll(), 1u);
+  EXPECT_EQ(r.done.load(std::memory_order_acquire), 1);
+  EXPECT_EQ(r.status, Status::kOk);
+}
+
+TEST(PollingDeviceTest, QueueFullBackpressureExecutesInline) {
+  MemoryDevice device{0, 0, IoPathMode::kPolling};
+  std::vector<uint8_t> page(4096, 0x11);
+  SyncIo w;
+  device.WriteAsync(page.data(), 0, page.size(), &SyncIo::Callback, &w);
+  ASSERT_EQ(PollWait(device, w), Status::kOk);
+
+  constexpr uint32_t kRing = IoQueuePair::kSubmissionEntries;
+  constexpr uint32_t kOps = kRing + 40;
+  static std::atomic<uint32_t> completed;
+  completed.store(0);
+  std::vector<std::vector<uint8_t>> bufs(kOps, std::vector<uint8_t>(16));
+  for (uint32_t i = 0; i < kOps; ++i) {
+    device.ReadAsync(
+        (i % 256) * 16, bufs[i].data(), 16,
+        [](void*, Status s, uint32_t) {
+          ASSERT_EQ(s, Status::kOk);
+          completed.fetch_add(1, std::memory_order_relaxed);
+        },
+        nullptr);
+  }
+  // The ring holds kRing ops; the overflow executed inline at submit.
+  EXPECT_EQ(completed.load(std::memory_order_relaxed), kOps - kRing);
+  EXPECT_EQ(device.Poll(), kRing);
+  EXPECT_EQ(completed.load(std::memory_order_relaxed), kOps);
+}
+
+TEST(PollingDeviceTest, ExactOnceAcrossConcurrentPollers) {
+  MemoryDevice device{0, 0, IoPathMode::kPolling};
+  std::vector<uint8_t> page(4096, 0x3A);
+  SyncIo w;
+  device.WriteAsync(page.data(), 0, page.size(), &SyncIo::Callback, &w);
+  ASSERT_EQ(PollWait(device, w), Status::kOk);
+
+  // > ring capacity so the submitter also exercises the inline path.
+  constexpr uint32_t kOps = IoQueuePair::kSubmissionEntries + 100;
+  constexpr uint32_t kPollers = 4;
+  struct OpState {
+    std::atomic<uint32_t> count{0};
+  };
+  std::vector<OpState> ops(kOps);
+  static std::atomic<uint32_t> total;
+  total.store(0);
+  std::vector<std::vector<uint8_t>> bufs(kOps, std::vector<uint8_t>(16));
+
+  // Submit from a dedicated thread, so every poller consumes foreign work
+  // (the submitter exits with its ring still full — the abandoned-queue
+  // case PollAll exists for).
+  std::thread submitter([&] {
+    for (uint32_t i = 0; i < kOps; ++i) {
+      device.ReadAsync(
+          (i % 256) * 16, bufs[i].data(), 16,
+          [](void* ctx, Status s, uint32_t) {
+            ASSERT_EQ(s, Status::kOk);
+            static_cast<OpState*>(ctx)->count.fetch_add(
+                1, std::memory_order_relaxed);
+            total.fetch_add(1, std::memory_order_relaxed);
+          },
+          &ops[i]);
+    }
+  });
+  submitter.join();
+
+  std::vector<std::thread> pollers;
+  for (uint32_t p = 0; p < kPollers; ++p) {
+    pollers.emplace_back([&] {
+      while (total.load(std::memory_order_relaxed) < kOps) {
+        device.PollAll();
+      }
+    });
+  }
+  for (auto& t : pollers) t.join();
+
+  EXPECT_EQ(total.load(std::memory_order_relaxed), kOps);
+  for (uint32_t i = 0; i < kOps; ++i) {
+    EXPECT_EQ(ops[i].count.load(std::memory_order_relaxed), 1u) << i;
+  }
+}
+
+TEST(PollingDeviceTest, DrainWhilePollingDeliversExactlyOnce) {
+  MemoryDevice device{0, 0, IoPathMode::kPolling};
+  std::vector<uint8_t> page(4096, 0x99);
+  SyncIo w;
+  device.WriteAsync(page.data(), 0, page.size(), &SyncIo::Callback, &w);
+  ASSERT_EQ(PollWait(device, w), Status::kOk);
+
+  constexpr uint32_t kOps = 200;
+  struct OpState {
+    std::atomic<uint32_t> count{0};
+  };
+  std::vector<OpState> ops(kOps);
+  static std::atomic<uint32_t> total2;
+  total2.store(0);
+  std::vector<std::vector<uint8_t>> bufs(kOps, std::vector<uint8_t>(16));
+  std::atomic<bool> stop{false};
+  // A concurrent foreign poller races Drain for the same queue pairs
+  // (consumer-exclusion path).
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      device.PollAll();
+    }
+  });
+  for (uint32_t i = 0; i < kOps; ++i) {
+    device.ReadAsync(
+        (i % 256) * 16, bufs[i].data(), 16,
+        [](void* ctx, Status s, uint32_t) {
+          ASSERT_EQ(s, Status::kOk);
+          static_cast<OpState*>(ctx)->count.fetch_add(
+              1, std::memory_order_relaxed);
+          total2.fetch_add(1, std::memory_order_relaxed);
+        },
+        &ops[i]);
+  }
+  device.Drain();
+  EXPECT_EQ(total2.load(std::memory_order_relaxed), kOps);
+  stop.store(true, std::memory_order_release);
+  poller.join();
+  for (uint32_t i = 0; i < kOps; ++i) {
+    EXPECT_EQ(ops[i].count.load(std::memory_order_relaxed), 1u) << i;
+  }
+}
+
+TEST(PollingDeviceTest, BatchSubmissionCompletesViaPoll) {
+  MemoryDevice device{0, 0, IoPathMode::kPolling};
+  std::vector<uint8_t> page(4096, 0xC4);
+  SyncIo w;
+  device.WriteAsync(page.data(), 0, page.size(), &SyncIo::Callback, &w);
+  ASSERT_EQ(PollWait(device, w), Status::kOk);
+
+  constexpr uint32_t kN = 32;
+  static std::atomic<uint32_t> batch_done;
+  batch_done.store(0);
+  std::vector<std::vector<uint8_t>> bufs(kN, std::vector<uint8_t>(32));
+  IoReadRequest reqs[kN];
+  for (uint32_t i = 0; i < kN; ++i) {
+    reqs[i] = IoReadRequest{
+        i * 32, bufs[i].data(), 32,
+        [](void*, Status s, uint32_t) {
+          ASSERT_EQ(s, Status::kOk);
+          batch_done.fetch_add(1, std::memory_order_relaxed);
+        },
+        nullptr};
+  }
+  uint32_t accepted = 0;
+  ASSERT_EQ(device.ReadBatchAsync(reqs, kN, &accepted), Status::kOk);
+  EXPECT_EQ(accepted, kN);
+  while (batch_done.load(std::memory_order_relaxed) < kN) {
+    device.Poll();
+  }
+  for (uint32_t i = 0; i < kN; ++i) EXPECT_EQ(bufs[i][0], 0xC4);
+}
+
+TEST(PollingFileDeviceTest, WriteReadRoundTrip) {
+  std::string path = "/tmp/faster_device_poll_test.log";
+  ::unlink(path.c_str());
+  {
+    FileDevice device{path, 0, IoPathMode::kPolling};
+    EXPECT_EQ(device.mode(), IoPathMode::kPolling);
+    std::vector<uint8_t> out(4096);
+    for (size_t i = 0; i < out.size(); ++i) out[i] = static_cast<uint8_t>(i);
+    SyncIo w;
+    device.WriteAsync(out.data(), 8192, out.size(), &SyncIo::Callback, &w);
+    ASSERT_EQ(PollWait(device, w), Status::kOk);
+    std::vector<uint8_t> in(4096, 0);
+    SyncIo r;
+    device.ReadAsync(8192, in.data(), in.size(), &SyncIo::Callback, &r);
+    ASSERT_EQ(PollWait(device, r), Status::kOk);
+    EXPECT_EQ(in, out);
+  }
+  ::unlink(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// io_uring backend (kUring): skips when the kernel/build lacks support —
+// FileDevice then reports the degraded mode.
+// ---------------------------------------------------------------------
+
+TEST(UringDeviceTest, WriteReadRoundTripOrSkip) {
+  std::string path = "/tmp/faster_device_uring_test.log";
+  ::unlink(path.c_str());
+  {
+    FileDevice device{path, 0, IoPathMode::kUring};
+    if (device.mode() != IoPathMode::kUring) {
+      ::unlink(path.c_str());
+      GTEST_SKIP() << "io_uring unavailable (build stub or kernel probe "
+                      "failed); kUring degraded to kPolling as designed";
+    }
+    std::vector<uint8_t> out(4096);
+    for (size_t i = 0; i < out.size(); ++i) out[i] = static_cast<uint8_t>(i);
+    SyncIo w;
+    device.WriteAsync(out.data(), 0, out.size(), &SyncIo::Callback, &w);
+    ASSERT_EQ(PollWait(device, w), Status::kOk);
+
+    std::vector<uint8_t> in(4096, 0);
+    SyncIo r;
+    device.ReadAsync(0, in.data(), in.size(), &SyncIo::Callback, &r);
+    ASSERT_EQ(PollWait(device, r), Status::kOk);
+    EXPECT_EQ(in, out);
+
+    // Coalesced batch through the kernel ring.
+    constexpr uint32_t kN = 16;
+    static std::atomic<uint32_t> uring_done;
+    uring_done.store(0);
+    std::vector<std::vector<uint8_t>> bufs(kN, std::vector<uint8_t>(64));
+    IoReadRequest reqs[kN];
+    for (uint32_t i = 0; i < kN; ++i) {
+      reqs[i] = IoReadRequest{
+          i * 64, bufs[i].data(), 64,
+          [](void*, Status s, uint32_t) {
+            ASSERT_EQ(s, Status::kOk);
+            uring_done.fetch_add(1, std::memory_order_relaxed);
+          },
+          nullptr};
+    }
+    uint32_t accepted = 0;
+    ASSERT_EQ(device.ReadBatchAsync(reqs, kN, &accepted), Status::kOk);
+    EXPECT_EQ(accepted, kN);
+    while (uring_done.load(std::memory_order_relaxed) < kN) {
+      device.Poll();
+      std::this_thread::yield();
+    }
+    for (uint32_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(bufs[i][0], out[i * 64]) << i;
+    }
+    // Reads past EOF fail like the pread path does.
+    SyncIo eof;
+    uint8_t tiny[8];
+    device.ReadAsync(1ull << 30, tiny, sizeof(tiny), &SyncIo::Callback, &eof);
+    EXPECT_EQ(PollWait(device, eof), Status::kIoError);
+  }
+  ::unlink(path.c_str());
+}
+
 TEST(NullDeviceTest, DiscardsWritesAndFailsReads) {
   NullDevice device;
   std::vector<uint8_t> buf(64, 1);

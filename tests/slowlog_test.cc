@@ -210,10 +210,10 @@ TEST(SlowLogTest, RecordSlowPendingIgnoresUntrackedContexts) {
 // slowlog, including ops that cross the async I/O boundary, and stage
 // sums reconstruct each reported total exactly. Instrumented call sites
 // compile away without FASTER_STATS, so this only runs in stats builds.
-TEST(SlowLogTest, StoreOpsRecordWithExactStageSums) {
-  if (!obs::kStatsEnabled) {
-    GTEST_SKIP() << "store instrumentation requires FASTER_STATS";
-  }
+// Shared by the thread-pool and polling I/O-path variants below: the
+// partition invariant must hold regardless of which thread executes the
+// I/O and delivers the callback (DESIGN.md §13).
+void RunStoreStageSumCheck(MemoryDevice& device) {
   obs::SlowLog& global = obs::GlobalSlowLog();
   global.Reset();
   global.set_threshold_ns(0);
@@ -223,7 +223,6 @@ TEST(SlowLogTest, StoreOpsRecordWithExactStageSums) {
   cfg.table_size = 2048;
   cfg.log.memory_size_bytes = 2ull << Address::kOffsetBits;
   cfg.log.mutable_fraction = 0.5;
-  MemoryDevice device;
   {
     Store store{cfg, &device};
     store.StartSession();
@@ -252,6 +251,25 @@ TEST(SlowLogTest, StoreOpsRecordWithExactStageSums) {
   }
   EXPECT_GT(pending_entries, 0u);
   EXPECT_TRUE(MiniJson::Valid(obs::GlobalSlowLog().Json()));
+}
+
+TEST(SlowLogTest, StoreOpsRecordWithExactStageSums) {
+  if (!obs::kStatsEnabled) {
+    GTEST_SKIP() << "store instrumentation requires FASTER_STATS";
+  }
+  MemoryDevice device;
+  RunStoreStageSumCheck(device);
+}
+
+// Same invariant on the completion-polling path: io_exec/io_complete are
+// harvested on the *polling* thread (no pool workers exist at all here),
+// and the stage sums must still partition each total exactly.
+TEST(SlowLogTest, PollingPathStageSumsStillPartitionTotal) {
+  if (!obs::kStatsEnabled) {
+    GTEST_SKIP() << "store instrumentation requires FASTER_STATS";
+  }
+  MemoryDevice device{0, 0, IoPathMode::kPolling};
+  RunStoreStageSumCheck(device);
 }
 
 // ---------------------------------------------------------------------------

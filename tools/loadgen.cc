@@ -1,7 +1,14 @@
 // loadgen: closed-loop RESP pipeline load generator for faster_server.
 //
 //   ./loadgen --port P [--host H] [--connections N] [--pipeline D]
-//             [--seconds S] [--keys K] [--get-ratio R] [--check]
+//             [--seconds S] [--keys K] [--get-ratio R] [--read-heavy]
+//             [--memory-budget MB] [--check]
+//
+// --read-heavy is shorthand for --get-ratio 0.95 (the cold-read smoke
+// profile). --memory-budget MB sizes the key space, when --keys is not
+// given explicitly, to ~4x the record capacity of a server running with
+// that HybridLog budget — so GETs of the key tail hit storage and
+// exercise the server's pending-I/O path rather than pure in-memory hits.
 //
 // Each of N connection threads keeps D commands in flight: it writes a
 // batch of D requests, reads until D replies are framed (net::SkipReply),
@@ -44,7 +51,9 @@ struct Options {
   uint32_t pipeline = 16;
   double seconds = 5.0;
   uint64_t keys = 100000;
+  bool keys_explicit = false;
   double get_ratio = 0.5;
+  uint64_t memory_budget_mb = 0;  // 0 = don't derive keys from a budget
   bool check = false;
 };
 
@@ -158,18 +167,29 @@ int main(int argc, char** argv) {
       o.seconds = std::atof(argv[++i]);
     } else if (a == "--keys" && next_ll(1, 1ll << 40, &v)) {
       o.keys = static_cast<uint64_t>(v);
+      o.keys_explicit = true;
     } else if (a == "--get-ratio" && i + 1 < argc) {
       o.get_ratio = std::atof(argv[++i]);
+    } else if (a == "--read-heavy") {
+      o.get_ratio = 0.95;
+    } else if (a == "--memory-budget" && next_ll(1, 1 << 20, &v)) {
+      o.memory_budget_mb = static_cast<uint64_t>(v);
     } else if (a == "--check") {
       o.check = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s --port P [--host H] [--connections N] "
                    "[--pipeline D] [--seconds S] [--keys K] "
-                   "[--get-ratio R] [--check]\n",
+                   "[--get-ratio R] [--read-heavy] [--memory-budget MB] "
+                   "[--check]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (o.memory_budget_mb != 0 && !o.keys_explicit) {
+    // ~4x the number of 32-byte records a HybridLog of this budget holds
+    // in memory, so the uniform key tail spills to storage server-side.
+    o.keys = (o.memory_budget_mb << 20) / 32 * 4;
   }
 
   std::vector<WorkerResult> results(o.connections);

@@ -140,6 +140,7 @@ def main():
         report_batch_speedup(groups[fig])
         report_depth_speedup(groups[fig])
         report_server_vs_baseline(groups[fig])
+        report_io_path_speedup(groups[fig])
     return 0
 
 
@@ -193,6 +194,35 @@ def report_depth_speedup(group):
         speedup = by_p[best_p] / by_p[1]
         print(f"\npipeline speedup ({case}): P=1 {by_p[1]:.3g} Mops -> "
               f"P={best_p} {by_p[best_p]:.3g} Mops ({speedup:.2f}x)")
+
+
+def report_io_path_speedup(group):
+    """For the io_path bench (cases named <fig>/<mode>/budgetMB:N), prints
+    per-budget speedup of each completion-polling mode over the thread-pool
+    baseline ('pool')."""
+    sweeps = defaultdict(dict)  # budget -> {mode: Mops}
+    for name, c in group:
+        parts = name.split("/")
+        if len(parts) < 3 or not parts[0].startswith("io_path"):
+            continue
+        if "Mops" not in c:
+            continue
+        m = re.match(r"budgetMB:(\d+)", parts[2])
+        if not m:
+            continue
+        try:
+            sweeps[int(m.group(1))][parts[1]] = float(c["Mops"])
+        except ValueError:
+            continue
+    for budget, by_mode in sorted(sweeps.items()):
+        pool = by_mode.get("pool")
+        if not pool or pool <= 0:
+            continue
+        for mode in sorted(m for m in by_mode if m != "pool"):
+            speedup = by_mode[mode] / pool
+            print(f"\npolling-vs-pool (budgetMB:{budget}, {mode}): pool "
+                  f"{pool:.3g} Mops -> {mode} {by_mode[mode]:.3g} Mops "
+                  f"({speedup:.2f}x)")
 
 
 def report_server_vs_baseline(group):
